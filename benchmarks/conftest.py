@@ -1,0 +1,51 @@
+"""Benchmark fixtures: profile selection and shared pre-trained LM.
+
+Benchmarks default to the ``fast`` profile (reduced pair grid, small model)
+so the whole suite runs on one CPU in minutes; set
+``REPRO_BENCH_PROFILE=standard`` (or ``full``) to regenerate the
+EXPERIMENTS.md numbers on a bigger budget.
+"""
+
+import os
+
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+os.environ.setdefault("OMP_NUM_THREADS", "1")
+
+import pytest
+
+from repro.experiments import bench_profile, shared_lm
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return bench_profile()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_lm(profile):
+    """Pre-train (or load) the shared checkpoint once, outside timings."""
+    shared_lm(profile)
+
+
+def reduced(pairs, profile, fast_count=2):
+    """In fast mode, exercise a representative prefix of a pair grid."""
+    if profile.name == "fast":
+        return tuple(pairs[:fast_count])
+    return tuple(pairs)
+
+
+def reduced_methods(profile,
+                    fast=("noda", "mmd", "invgan_kd")):
+    """In fast mode, run the headline methods; otherwise the full design space."""
+    from repro.experiments import ALL_METHODS
+    if profile.name == "fast":
+        return fast
+    return ALL_METHODS
+
+
+def persist(name, payload, profile):
+    """Save a bench result so EXPERIMENTS.md can be regenerated from it."""
+    from repro.experiments import ResultStore
+    store = ResultStore()
+    store.save(f"{name}_{profile.name}", payload,
+               metadata={"profile": profile.name})

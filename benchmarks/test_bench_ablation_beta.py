@@ -1,0 +1,29 @@
+"""Ablation: the alignment-loss weight beta (§6.1's {0.001..5} grid).
+
+DESIGN.md calls out beta as the key trade-off knob between matching and
+domain confusion (Eq. 3); this bench sweeps the paper's candidate grid on
+one pair with the MMD aligner.
+"""
+
+from repro.experiments import prepare_task, run_method
+from repro.train import TrainConfig
+
+BETAS = (0.001, 0.01, 0.1, 1.0, 5.0)
+
+
+def test_bench_ablation_beta(benchmark, profile):
+    task = prepare_task("books2", "fodors_zagats", profile, seed=0)
+
+    def run():
+        scores = {}
+        for beta in BETAS:
+            config = profile.train_config(seed=0, beta=beta)
+            result = run_method("mmd", task, profile, seed=0, config=config)
+            scores[beta] = result.best_f1
+        return scores
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nAblation — beta sweep (MMD, B2 -> FZ)")
+    for beta, f1 in scores.items():
+        print(f"  beta={beta:<6g} F1={f1:5.1f}")
+    assert set(scores) == set(BETAS)

@@ -1,0 +1,42 @@
+"""Ablation: knowledge-distillation temperature t of Eq. (12).
+
+The paper fixes t implicitly; this bench sweeps it to show the stability
+band of InvGAN+KD.
+"""
+
+import numpy as np
+
+from repro.aligners import InvGanKdAligner
+from repro.experiments import prepare_task, shared_lm
+from repro.matcher import MlpMatcher
+from repro.pretrain import fresh_copy
+from repro.train import train_gan
+
+TEMPERATURES = (1.0, 2.0, 4.0)
+
+
+def test_bench_ablation_kd_temperature(benchmark, profile):
+    task = prepare_task("fodors_zagats", "zomato_yelp", profile, seed=0)
+    base, __ = shared_lm(profile)
+
+    def run():
+        scores = {}
+        for temperature in TEMPERATURES:
+            extractor = fresh_copy(base, seed=0)
+            matcher = MlpMatcher(extractor.feature_dim,
+                                 np.random.default_rng(17))
+            aligner = InvGanKdAligner(extractor.feature_dim,
+                                      np.random.default_rng(5),
+                                      temperature=temperature)
+            result = train_gan(extractor, matcher, aligner, task.source,
+                               task.target_train, task.target_valid,
+                               task.target_test,
+                               profile.train_config(seed=0))
+            scores[temperature] = result.best_f1
+        return scores
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nAblation — KD temperature (InvGAN+KD, FZ -> ZY)")
+    for temperature, f1 in scores.items():
+        print(f"  t={temperature:<4g} F1={f1:5.1f}")
+    assert scores

@@ -1,0 +1,22 @@
+"""Bench: Figure 10 — DADER (feature-level DA) vs Reweight (instance-level).
+
+Paper shape (Finding 6): DADER's InvGAN+KD clearly beats instance
+reweighting on both similar- and different-domain pairs.
+"""
+
+from repro.experiments import check_finding_6, figure10
+
+from .conftest import reduced
+
+
+def test_bench_figure10(benchmark, profile):
+    pairs = (("dblp_acm", "dblp_scholar"), ("books2", "fodors_zagats"))
+    pairs = reduced(pairs, profile, fast_count=2)
+    rows = benchmark.pedantic(
+        lambda: figure10(profile, pairs=pairs), rounds=1, iterations=1)
+    print("\nFigure 10 — Reweight vs DADER (InvGAN+KD)")
+    for row in rows:
+        print(f"  {row['pair']:34s} reweight={row['reweight_f1']:5.1f} "
+              f"dader={row['dader_f1']:5.1f}")
+    print(f"  {check_finding_6(rows)}")
+    assert rows

@@ -1,0 +1,36 @@
+"""Bench: Figure 11 — semi-supervised comparison with some target labels.
+
+Paper shape (Finding 7): with few labels the DA method dominates; Ditto
+needs fewer labels than DeepMatcher; everyone converges as labels grow.
+"""
+
+from repro.experiments import check_finding_7, figure11
+
+from .conftest import reduced
+
+# Paper panels: AB, WA, DA, DS.  The citation panel leads so the fast
+# profile (which runs only the first panel) exercises a pair learnable
+# within its tiny step budget.
+PANELS = (("dblp_scholar", "dblp_acm"),
+          ("dblp_acm", "dblp_scholar"),
+          ("walmart_amazon", "abt_buy"),
+          ("abt_buy", "walmart_amazon"))
+
+
+def test_bench_figure11(benchmark, profile):
+    panels = reduced(PANELS, profile, fast_count=1)
+
+    def run():
+        return [figure11(profile, source, target)
+                for source, target in panels]
+
+    series_list = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nFigure 11 — F1 vs number of target labels")
+    for series in series_list:
+        print(f"  target {series.dataset}, budgets {series.budgets}")
+        for method, values in series.f1.items():
+            cells = " ".join(f"{v:5.1f}" for v in values)
+            print(f"    {method:12s} {cells}")
+    for series in series_list:
+        print(f"  {check_finding_7(series.f1)}")
+    assert series_list

@@ -1,0 +1,18 @@
+"""Bench: Figure 5 — t-SNE domain mixing, NoDA vs DA (AB -> WA).
+
+Paper shape: source and target features are visibly more mixed after DA;
+our mixing score makes that claim quantitative.
+"""
+
+from repro.experiments import figure5
+
+
+def test_bench_figure5(benchmark, profile):
+    result = benchmark.pedantic(
+        lambda: figure5(profile, sample=40), rounds=1, iterations=1)
+    print("\nFigure 5 — domain mixing score (1.0 = fully mixed)")
+    print(f"  NoDA : {result.mixing_noda:.3f}")
+    print(f"  DA   : {result.mixing_da:.3f}")
+    print(f"  t-SNE embeddings: {result.embedding_noda.shape} points")
+    assert result.embedding_da.shape[1] == 2
+    assert 0.0 <= result.mixing_da <= 1.0

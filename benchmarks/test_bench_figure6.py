@@ -1,0 +1,30 @@
+"""Bench: Figure 6 — source/target MMD distance vs DA F1.
+
+Paper shape (Finding 2): for a fixed target, sources at smaller MMD
+distance yield higher DA F1.
+"""
+
+import numpy as np
+
+from repro.experiments import check_finding_2, figure6
+
+
+def test_bench_figure6(benchmark, profile):
+    points = benchmark.pedantic(lambda: figure6(profile),
+                                rounds=1, iterations=1)
+    print("\nFigure 6 — MMD(source, target) vs DA F1")
+    for p in points:
+        print(f"  {p.source:16s} -> {p.target:16s} "
+              f"dist={p.distance:7.4f}  DA F1={p.da_f1:5.1f} "
+              f"(NoDA {p.noda_f1:5.1f})")
+    # Check the headline correlation on the shared-target groups.
+    by_target = {}
+    for p in points:
+        by_target.setdefault(p.target, []).append(p)
+    for target, group in by_target.items():
+        if len(group) >= 2:
+            group.sort(key=lambda p: p.distance)
+            print(f"  target {target}: nearest-source F1 "
+                  f"{group[0].da_f1:.1f} vs farthest {group[-1].da_f1:.1f}")
+    print(f"  {check_finding_2(points)}")
+    assert all(np.isfinite(p.distance) for p in points)

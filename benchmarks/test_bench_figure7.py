@@ -1,0 +1,28 @@
+"""Bench: Figure 7 — convergence of MMD vs InvGAN+KD across learning rates.
+
+Paper shape: MMD converges steadily; InvGAN+KD oscillates at larger rates
+and smooths out (but converges later) at smaller ones.
+"""
+
+import numpy as np
+
+from repro.experiments import check_finding_3, figure7
+
+
+def _volatility(curve):
+    arr = np.asarray(curve)
+    return float(np.abs(np.diff(arr)).mean()) if len(arr) > 1 else 0.0
+
+
+def test_bench_figure7(benchmark, profile):
+    results = benchmark.pedantic(lambda: figure7(profile),
+                                 rounds=1, iterations=1)
+    print("\nFigure 7 — per-epoch target F1 curves (B2 -> FZ)")
+    for res in results:
+        print(f"  lr={res.learning_rate:g}")
+        for method, curve in res.curves.items():
+            vol = _volatility(curve)
+            series = " ".join(f"{v:5.1f}" for v in curve)
+            print(f"    {method:10s} vol={vol:5.2f}  {series}")
+    print(f"  {check_finding_3(results)}")
+    assert results

@@ -1,0 +1,23 @@
+"""Bench: Figure 8 — InvGAN collapse vs InvGAN+KD stability (FZ <-> ZY).
+
+Paper shape: during adversarial adaptation, plain InvGAN's F1 decays even
+on the *source* (features lose discriminative content); knowledge
+distillation keeps both source and target F1 high.
+"""
+
+from repro.experiments import check_finding_4, figure8
+
+
+def test_bench_figure8(benchmark, profile):
+    results = benchmark.pedantic(lambda: figure8(profile),
+                                 rounds=1, iterations=1)
+    print("\nFigure 8 — source/target F1 during adversarial adaptation")
+    for res in results:
+        print(f"  {res.pair}")
+        for method in ("invgan", "invgan_kd"):
+            src = " ".join(f"{v:5.1f}" for v in res.source_curves[method])
+            tgt = " ".join(f"{v:5.1f}" for v in res.target_curves[method])
+            print(f"    {method:10s} source: {src}")
+            print(f"    {method:10s} target: {tgt}")
+    print(f"  {check_finding_4(results)}")
+    assert results

@@ -1,0 +1,27 @@
+"""Bench: Figure 9 — RNN vs pre-trained LM feature extractors.
+
+Paper shape (Finding 5): with an RNN extractor both NoDA and DA are weak —
+the RNN trained from scratch does not transfer; the pre-trained LM bars are
+higher across the board.
+"""
+
+from repro.experiments import check_finding_5, figure9
+
+from .conftest import reduced
+
+
+def test_bench_figure9(benchmark, profile):
+    pairs = (("dblp_acm", "dblp_scholar"), ("books2", "fodors_zagats"),
+             ("wdc_shoes", "wdc_cameras"))
+    pairs = reduced(pairs, profile, fast_count=1)
+    results = benchmark.pedantic(
+        lambda: figure9(profile, pairs=pairs), rounds=1, iterations=1)
+    print("\nFigure 9 — extractor comparison (F1, mean over repeats)")
+    for pair, kinds in results.items():
+        print(f"  {pair}")
+        for kind, scores in kinds.items():
+            cells = "  ".join(f"{m}={s.mean:5.1f}"
+                              for m, s in scores.items())
+            print(f"    {kind:4s}: {cells}")
+    print(f"  {check_finding_5(results)}")
+    assert results

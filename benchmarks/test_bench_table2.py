@@ -1,0 +1,11 @@
+"""Bench: regenerate Table 2 — dataset statistics of all 13 benchmarks."""
+
+from repro.experiments import format_table2
+
+
+def test_bench_table2(benchmark):
+    text = benchmark.pedantic(lambda: format_table2(scale=1.0),
+                              rounds=1, iterations=1)
+    print("\nTable 2 — dataset statistics (paper-scale counts)")
+    print(text)
+    assert "DBLP-Scholar" in text

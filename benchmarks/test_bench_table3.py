@@ -1,0 +1,23 @@
+"""Bench: Table 3 — similar-domain DA (NoDA vs the six aligners).
+
+Paper shape: DA's best method beats NoDA on shifted pairs (ΔF1 up to +27),
+and is never catastrophically below it; DBLP pairs are near-saturated.
+"""
+
+from repro.experiments import TABLE3_PAIRS, check_finding_1, format_table, run_table
+
+from .conftest import persist, reduced, reduced_methods
+
+
+def test_bench_table3(benchmark, profile):
+    pairs = reduced(TABLE3_PAIRS, profile)
+    methods = reduced_methods(profile)
+    rows = benchmark.pedantic(
+        lambda: run_table(pairs, profile, methods), rounds=1, iterations=1)
+    print(f"\nTable 3 — similar domains ({profile.name} profile, "
+          f"{len(pairs)} of {len(TABLE3_PAIRS)} pairs)")
+    print(format_table(rows, methods))
+    persist("table3", rows, profile)
+    print(f"  {check_finding_1(rows)}")
+    for row in rows:
+        assert row["noda"].mean >= 0.0

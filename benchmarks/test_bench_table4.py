@@ -1,0 +1,22 @@
+"""Bench: Table 4 — different-domain DA.
+
+Paper shape: NoDA degrades badly across domains and the best DA method
+recovers large margins (ΔF1 +11 to +44).
+"""
+
+from repro.experiments import TABLE4_PAIRS, check_finding_1, format_table, run_table
+
+from .conftest import persist, reduced, reduced_methods
+
+
+def test_bench_table4(benchmark, profile):
+    pairs = reduced(TABLE4_PAIRS, profile)
+    methods = reduced_methods(profile)
+    rows = benchmark.pedantic(
+        lambda: run_table(pairs, profile, methods), rounds=1, iterations=1)
+    print(f"\nTable 4 — different domains ({profile.name} profile, "
+          f"{len(pairs)} of {len(TABLE4_PAIRS)} pairs)")
+    print(format_table(rows, methods))
+    persist("table4", rows, profile)
+    print(f"  {check_finding_1(rows)}")
+    assert rows

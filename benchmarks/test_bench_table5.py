@@ -1,0 +1,22 @@
+"""Bench: Table 5 — WDC cross-category DA.
+
+Paper shape: the four WDC categories share one title vocabulary, so domain
+shift is small, NoDA is already strong, and DA gains are marginal
+(-1.5 to +8.3).
+"""
+
+from repro.experiments import TABLE5_PAIRS, format_table, run_table
+
+from .conftest import persist, reduced, reduced_methods
+
+
+def test_bench_table5(benchmark, profile):
+    pairs = reduced(TABLE5_PAIRS, profile)
+    methods = reduced_methods(profile)
+    rows = benchmark.pedantic(
+        lambda: run_table(pairs, profile, methods), rounds=1, iterations=1)
+    print(f"\nTable 5 — WDC cross-category ({profile.name} profile, "
+          f"{len(pairs)} of {len(TABLE5_PAIRS)} pairs)")
+    print(format_table(rows, methods))
+    persist("table5", rows, profile)
+    assert rows

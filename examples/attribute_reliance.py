@@ -1,0 +1,70 @@
+"""Which attributes does the matcher rely on, before and after DA?
+
+§6.2.1 of the paper explains DA's gains on Walmart-Amazon <-> Abt-Buy:
+without adaptation the model "pays much attention to the specific
+attributes in the source", while DA makes it "make full use of the shared
+attributes (Title, Price)".  This example measures that directly with
+attribute occlusion: null one attribute at a time and watch the F1 drop.
+
+Run:  python examples/attribute_reliance.py
+"""
+
+import os
+
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+
+import numpy as np
+
+from repro.analysis import attribute_reliance, shared_attribute_share
+from repro.data import target_da_split
+from repro.datasets import load_dataset
+from repro.matcher import MlpMatcher
+from repro.aligners import make_aligner
+from repro.pretrain import fresh_copy, pretrained_lm
+from repro.train import TrainConfig, train_joint, train_source_only
+
+SCALE = 0.15
+LM = dict(dim=32, num_layers=1, num_heads=2, max_len=96,
+          corpus_scale=0.01, steps=150)
+CONFIG = TrainConfig(epochs=6, batch_size=16, learning_rate=1e-3, beta=0.1)
+
+# WA schema: title/category/brand/modelno/price; AB schema:
+# name/description/price.  The semantically shared content lives in the
+# title/name and price columns.
+SHARED_TARGET_ATTRIBUTES = ["name", "price"]
+
+
+def main() -> None:
+    source = load_dataset("walmart_amazon", scale=SCALE, seed=0)
+    target = load_dataset("abt_buy", scale=SCALE, seed=0)
+    valid, test = target_da_split(target, np.random.default_rng(1))
+    base, __ = pretrained_lm(**LM)
+
+    def reliance_of(method: str):
+        extractor = fresh_copy(base, seed=0)
+        matcher = MlpMatcher(extractor.feature_dim, np.random.default_rng(0))
+        if method == "noda":
+            result = train_source_only(extractor, matcher, source, valid,
+                                       test, CONFIG)
+        else:
+            aligner = make_aligner("mmd", extractor.feature_dim,
+                                   np.random.default_rng(1))
+            result = train_joint(extractor, matcher, aligner, source,
+                                 target.without_labels(), valid, test,
+                                 CONFIG)
+        reliance = attribute_reliance(result.extractor, result.matcher, test)
+        return result.best_f1, reliance
+
+    for method in ("noda", "mmd"):
+        f1, reliance = reliance_of(method)
+        share = shared_attribute_share(reliance, SHARED_TARGET_ATTRIBUTES)
+        print(f"\n{method}: target F1 = {f1:.1f}")
+        for attribute, drop in sorted(reliance.items(),
+                                      key=lambda kv: -kv[1]):
+            print(f"  occlude {attribute:12s} -> F1 drop {drop * 100:+5.1f}")
+        print(f"  reliance share on shared attributes: {share:.2f}")
+    print("\n§6.2.1 predicts the shared-attribute share rises under DA.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Full ER pipeline on product catalogs: blocking + adapted matching.
+
+The paper's motivating scenario (§1, Figure 2): a retailer has a *labeled*
+product-matching dataset (Walmart-Amazon style) and wants to match a new
+catalog pair (Abt-Buy style) *without labeling it*.  This example runs the
+complete §2 pipeline:
+
+  1. blocking — generate candidate pairs from the two raw tables;
+  2. matching — a matcher adapted from the labeled source via InvGAN+KD.
+
+Run:  python examples/product_matching_pipeline.py
+"""
+
+import os
+
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+
+import numpy as np
+
+from repro.blocking import OverlapBlocker, blocking_recall
+from repro.data import target_da_split
+from repro.datasets import load_dataset
+from repro.matcher import MlpMatcher
+from repro.aligners import make_aligner
+from repro.pretrain import fresh_copy, pretrained_lm
+from repro.train import TrainConfig, evaluate, train_gan
+
+SCALE = 0.1
+LM = dict(dim=32, num_layers=1, num_heads=2, max_len=96,
+          corpus_scale=0.01, steps=150)
+
+
+def main() -> None:
+    source = load_dataset("walmart_amazon", scale=SCALE, seed=0)
+    target = load_dataset("abt_buy", scale=SCALE, seed=0)
+
+    # ---- 1. blocking on the raw target tables ------------------------- #
+    left_table = [pair.left for pair in target.pairs]
+    right_table = [pair.right for pair in target.pairs]
+    truth = [(p.left.entity_id, p.right.entity_id)
+             for p in target.pairs if p.label == 1]
+    blocker = OverlapBlocker(min_overlap=2, stop_fraction=0.3)
+    candidates = blocker.candidates(left_table, right_table)
+    recall = blocking_recall(candidates, truth)
+    total = len(left_table) * len(right_table)
+    print(f"blocking: {len(candidates)} candidates out of {total} "
+          f"possible pairs (recall on true matches: {recall:.2f})")
+
+    # ---- 2. adapted matching ------------------------------------------ #
+    valid, test = target_da_split(target, np.random.default_rng(1))
+    base, __ = pretrained_lm(**LM)
+    extractor = fresh_copy(base, seed=0)
+    matcher = MlpMatcher(extractor.feature_dim, np.random.default_rng(0))
+    aligner = make_aligner("invgan_kd", extractor.feature_dim,
+                           np.random.default_rng(1))
+    config = TrainConfig(epochs=6, batch_size=16, learning_rate=1e-3,
+                         beta=0.1, pretrain_epochs=3)
+    result = train_gan(extractor, matcher, aligner, source,
+                       target.without_labels(), valid, test, config)
+    print(f"adapted matcher (InvGAN+KD): target F1 = {result.best_f1:.1f}")
+
+    metrics = evaluate(result.extractor, result.matcher, test)
+    print(f"  precision={metrics.precision:.2f} recall={metrics.recall:.2f}")
+
+    # Score a few blocked candidates with the adapted matcher.
+    sample = candidates[:5]
+    probabilities = result.matcher.probabilities(
+        result.extractor(sample))
+    print("\nsample candidate scores:")
+    for pair, prob in zip(sample, probabilities):
+        title_l = list(pair.left.attributes.values())[0]
+        title_r = list(pair.right.attributes.values())[0]
+        print(f"  P(match)={prob:.2f}  {title_l!r:45s} vs {title_r!r}")
+
+
+if __name__ == "__main__":
+    main()

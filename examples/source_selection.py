@@ -1,0 +1,50 @@
+"""Source selection by dataset distance (Finding 2).
+
+Given a new unlabeled target, which of several labeled source datasets
+should you adapt from?  §6.2.2 shows DA works best from the *closest*
+source in MMD distance under the pre-trained LM's features.  This example
+ranks candidate sources for the Fodors-Zagats target and adapts from the
+nearest and the farthest to show the gap.
+
+Run:  python examples/source_selection.py
+"""
+
+import os
+
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+
+from repro import adapt, load_dataset
+from repro.analysis import rank_sources_by_distance
+from repro.pretrain import pretrained_lm
+from repro.train import TrainConfig
+
+SCALE = 0.15
+LM = dict(dim=32, num_layers=1, num_heads=2, max_len=96,
+          corpus_scale=0.01, steps=150)
+CONFIG = TrainConfig(epochs=6, batch_size=16, learning_rate=1e-3, beta=0.1)
+
+CANDIDATE_SOURCES = ("zomato_yelp", "books2", "rotten_imdb")
+TARGET = "fodors_zagats"
+
+
+def main() -> None:
+    target = load_dataset(TARGET, scale=SCALE, seed=0)
+    candidates = [load_dataset(name, scale=SCALE, seed=0)
+                  for name in CANDIDATE_SOURCES]
+
+    base, __ = pretrained_lm(**LM)
+    ranked = rank_sources_by_distance(base, target, candidates, sample=64)
+    print(f"candidate sources for target {TARGET!r}, nearest first:")
+    for distance, source in ranked:
+        print(f"  {source.name:16s} MMD distance = {distance:.4f}")
+
+    nearest, farthest = ranked[0][1], ranked[-1][1]
+    for source in (nearest, farthest):
+        result = adapt(source, target, aligner="mmd", config=CONFIG,
+                       lm_kwargs=LM)
+        print(f"adapt from {source.name:16s} -> F1 = {result.best_f1:5.1f}")
+    print("\nFinding 2: the nearer source should adapt better.")
+
+
+if __name__ == "__main__":
+    main()

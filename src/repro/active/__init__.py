@@ -1,0 +1,6 @@
+"""Active label selection for the semi-supervised study (Figure 11)."""
+
+from .selection import entropy_of_probabilities, max_entropy_rounds, select_max_entropy
+
+__all__ = ["entropy_of_probabilities", "max_entropy_rounds",
+           "select_max_entropy"]

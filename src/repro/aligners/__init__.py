@@ -1,0 +1,52 @@
+"""The six Feature Aligner designs of Table 1 plus a factory."""
+
+from typing import Optional
+
+import numpy as np
+
+from ..text import Vocabulary
+from .adversarial import (GrlAligner, InvGanAligner, InvGanKdAligner,
+                          grad_reverse)
+from .base import AlignmentBatch, FeatureAligner
+from .discrepancy import (CmdAligner, KOrderAligner, MmdAligner, cmd, coral,
+                          mmd2, pairwise_squared_distances)
+from .ed import EdAligner
+
+# The paper's six designs plus the CMD extension (ref [78]).
+ALIGNER_NAMES = ("mmd", "k_order", "grl", "invgan", "invgan_kd", "ed", "cmd")
+
+
+def make_aligner(name: str, feature_dim: int, rng: np.random.Generator,
+                 vocab: Optional[Vocabulary] = None,
+                 max_len: int = 64, **kwargs) -> FeatureAligner:
+    """Build an aligner by its Table 1 name.
+
+    ``vocab``/``max_len`` are only needed for the reconstruction-based ED
+    aligner, which decodes back to token space.
+    """
+    key = name.strip().lower().replace("-", "_").replace("+", "_")
+    if key == "mmd":
+        return MmdAligner(**kwargs)
+    if key in ("k_order", "korder", "coral"):
+        return KOrderAligner(**kwargs)
+    if key == "cmd":
+        return CmdAligner(**kwargs)
+    if key == "grl":
+        return GrlAligner(feature_dim, rng, **kwargs)
+    if key == "invgan":
+        return InvGanAligner(feature_dim, rng, **kwargs)
+    if key in ("invgan_kd", "invgankd"):
+        return InvGanKdAligner(feature_dim, rng, **kwargs)
+    if key == "ed":
+        if vocab is None:
+            raise ValueError("the ED aligner needs the extractor's vocab")
+        return EdAligner(vocab, feature_dim, rng, max_len=max_len, **kwargs)
+    raise ValueError(f"unknown aligner {name!r}; choose from {ALIGNER_NAMES}")
+
+
+__all__ = [
+    "ALIGNER_NAMES", "AlignmentBatch", "FeatureAligner", "make_aligner",
+    "MmdAligner", "KOrderAligner", "CmdAligner", "GrlAligner",
+    "InvGanAligner", "InvGanKdAligner", "EdAligner",
+    "mmd2", "coral", "cmd", "pairwise_squared_distances", "grad_reverse",
+]

@@ -1,0 +1,135 @@
+"""Adversarial aligners: GRL, InvGAN, InvGAN+KD — §5.2.
+
+All three pit a domain classifier (the aligner) against the feature
+extractor.  GRL does it in one pass with a gradient reversal layer
+(Procedure 2); the GAN variants alternate discriminator and generator
+updates on a cloned extractor F' (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor, functional as F, mlp
+from .base import AlignmentBatch, FeatureAligner
+
+
+def grad_reverse(x: Tensor, scale: float = 1.0) -> Tensor:
+    """Identity forward; multiplies the gradient by ``-scale`` backward.
+
+    The gradient reversal layer of Ganin & Lempitsky: placed between F and
+    the domain classifier, it lets one backward pass simultaneously train
+    the classifier to *minimize* and the extractor to *maximize* the domain
+    loss (Eq. 9).
+    """
+    out = Tensor(x.data)
+    if x.requires_grad:
+        out.requires_grad = True
+        out._parents = (x,)
+        out._backward = lambda grad: x._accumulate(grad * (-scale))
+    return out
+
+
+def _domain_bce(logits: Tensor, is_source: bool) -> Tensor:
+    target = np.ones(logits.shape[0]) if is_source else np.zeros(
+        logits.shape[0])
+    return F.binary_cross_entropy_with_logits(
+        logits.reshape(logits.shape[0]), target)
+
+
+class _DomainClassifier(FeatureAligner):
+    """Shared machinery: an MLP that scores features as source (1)/target (0)."""
+
+    def __init__(self, feature_dim: int, rng: np.random.Generator,
+                 hidden: tuple):
+        super().__init__()
+        # Paper §6.1: one FC layer (GRL) vs. three LeakyReLU layers (InvGAN*).
+        self.classifier = mlp([feature_dim, *hidden, 1], rng,
+                              activation="leaky_relu")
+
+    def domain_logits(self, features: Tensor) -> Tensor:
+        return self.classifier(features)
+
+    def domain_accuracy(self, source: np.ndarray,
+                        target: np.ndarray) -> float:
+        """Diagnostic: how well A separates domains (0.5 = fully confused)."""
+        logits_s = self.domain_logits(Tensor(source)).data.reshape(-1)
+        logits_t = self.domain_logits(Tensor(target)).data.reshape(-1)
+        correct = float((logits_s > 0).sum() + (logits_t <= 0).sum())
+        return correct / (len(logits_s) + len(logits_t))
+
+
+class GrlAligner(_DomainClassifier):
+    """Gradient Reversal Layer aligner (Table 1, choice c).
+
+    ``alignment_loss`` computes the domain-classification BCE on *reversed*
+    features: minimizing it trains the classifier, while the reversed
+    gradient pushes the extractor to confuse it — Eq. (9) in one pass.
+    """
+
+    kind = "joint"
+    name = "grl"
+
+    def __init__(self, feature_dim: int, rng: np.random.Generator,
+                 reversal_scale: float = 1.0):
+        super().__init__(feature_dim, rng, hidden=())
+        self.reversal_scale = reversal_scale
+
+    def alignment_loss(self, batch: AlignmentBatch) -> Tensor:
+        reversed_s = grad_reverse(batch.source_features, self.reversal_scale)
+        reversed_t = grad_reverse(batch.target_features, self.reversal_scale)
+        loss_s = _domain_bce(self.domain_logits(reversed_s), is_source=True)
+        loss_t = _domain_bce(self.domain_logits(reversed_t), is_source=False)
+        return (loss_s + loss_t) * 0.5
+
+
+class InvGanAligner(_DomainClassifier):
+    """Inverted-labels GAN aligner, ADDA-style (Table 1, choice d).
+
+    Trained by Algorithm 2: the discriminator separates real (source, from
+    the frozen F) and fake (target, from the adapted clone F') features
+    (Eq. 10); the generator trains F' with inverted labels (Eq. 11).
+    """
+
+    kind = "gan"
+    name = "invgan"
+    use_kd = False
+
+    def __init__(self, feature_dim: int, rng: np.random.Generator,
+                 hidden: tuple = (64, 64, 64)):
+        super().__init__(feature_dim, rng, hidden=hidden)
+
+    def discriminator_loss(self, real: Tensor, fake: Tensor) -> Tensor:
+        loss_real = _domain_bce(self.domain_logits(real), is_source=True)
+        loss_fake = _domain_bce(self.domain_logits(fake), is_source=False)
+        return (loss_real + loss_fake) * 0.5
+
+    def generator_loss(self, fake: Tensor) -> Tensor:
+        # Inverted labels: make the discriminator call the fake "source".
+        return _domain_bce(self.domain_logits(fake), is_source=True)
+
+
+class InvGanKdAligner(InvGanAligner):
+    """InvGAN + Knowledge Distillation (Table 1, choice e).
+
+    Identical adversarial game, plus the KD loss of Eq. (12) that anchors
+    M(F'(x_s)) to the frozen teacher M(F(x_s)) so F' cannot collapse to
+    domain-invariant-but-useless features (the InvGAN failure of §6.3.2).
+    The trainer also feeds *source* features from F' to the discriminator
+    (Eq. 13) rather than from F.
+    """
+
+    name = "invgan_kd"
+    use_kd = True
+
+    def __init__(self, feature_dim: int, rng: np.random.Generator,
+                 hidden: tuple = (64, 64, 64), temperature: float = 2.0):
+        super().__init__(feature_dim, rng, hidden=hidden)
+        if temperature <= 0:
+            raise ValueError("KD temperature must be positive")
+        self.temperature = temperature
+
+    def kd_loss(self, teacher_logits: Tensor, student_logits: Tensor) -> Tensor:
+        """L_KD of Eq. (12); teacher logits are treated as constant."""
+        return F.distillation_loss(teacher_logits, student_logits,
+                                   self.temperature)

@@ -1,0 +1,61 @@
+"""Feature Aligner interface (the ``A`` module of DADER).
+
+Two families with different training templates (§5):
+
+* ``kind == "joint"`` — discrepancy-based (MMD, K-order), GRL, and
+  reconstruction-based (ED).  Trained by Algorithm 1: every iteration the
+  trainer computes ``alignment_loss`` on a source/target minibatch and adds
+  ``beta *`` it to the matching loss.
+* ``kind == "gan"`` — InvGAN and InvGAN+KD.  Trained by Algorithm 2: a
+  discriminator/generator loop over ``discriminator_loss`` and
+  ``generator_loss``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..extractors import FeatureExtractor
+from ..nn import Module, Tensor
+
+
+@dataclass
+class AlignmentBatch:
+    """Everything an aligner may need for one Algorithm-1 iteration.
+
+    Discrepancy aligners read only the features; the ED aligner additionally
+    reads the raw token ids and the extractor (to rebuild per-token states
+    for reconstruction).
+    """
+
+    source_features: Tensor
+    target_features: Tensor
+    source_ids: np.ndarray
+    source_mask: np.ndarray
+    target_ids: np.ndarray
+    target_mask: np.ndarray
+    extractor: FeatureExtractor
+
+
+class FeatureAligner(Module):
+    """Base class; subclasses set ``kind`` and implement their losses."""
+
+    kind: str = "joint"
+    name: str = "base"
+
+    def alignment_loss(self, batch: AlignmentBatch) -> Tensor:
+        """Algorithm-1 alignment loss L_A (joint aligners only)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a joint alignment loss")
+
+    def discriminator_loss(self, real: Tensor, fake: Tensor) -> Tensor:
+        """Algorithm-2 discriminator objective (GAN aligners only)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} is not an adversarial aligner")
+
+    def generator_loss(self, fake: Tensor) -> Tensor:
+        """Algorithm-2 generator (inverted-labels) objective."""
+        raise NotImplementedError(
+            f"{type(self).__name__} is not an adversarial aligner")

@@ -1,0 +1,83 @@
+"""Reconstruction-based aligner: Encoder-Decoder (ED) — §5.3.
+
+The extractor plays the (BART-style) encoder and this aligner is the
+autoregressive decoder that must rebuild the serialized entity pair from the
+extracted feature alone.  Bottlenecking reconstruction through the feature
+forces it to retain information shared by both domains (Eq. 15); the trainer
+adds ``beta * L_REC`` for source and target batches alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (Embedding, LayerNorm, Linear, Tensor,
+                  TransformerDecoderLayer, additive_mask)
+from ..nn import functional as F, init
+from ..nn.module import Parameter
+from ..text import Vocabulary
+from .base import AlignmentBatch, FeatureAligner
+
+
+class EdAligner(FeatureAligner):
+    """Autoregressive transformer decoder over the pair feature."""
+
+    kind = "joint"
+    name = "ed"
+
+    def __init__(self, vocab: Vocabulary, feature_dim: int,
+                 rng: np.random.Generator, num_layers: int = 1,
+                 num_heads: int = 2, max_len: int = 64):
+        super().__init__()
+        self.vocab = vocab
+        self.max_len = max_len
+        self.dim = feature_dim
+        self.token_embedding = Embedding(len(vocab), feature_dim, rng,
+                                         padding_idx=vocab.pad_id)
+        self.position_embedding = Parameter(
+            init.normal(rng, (max_len, feature_dim)))
+        self.layers = [TransformerDecoderLayer(feature_dim, num_heads,
+                                               2 * feature_dim, rng)
+                       for __ in range(num_layers)]
+        self.final_norm = LayerNorm(feature_dim)
+        self.output = Linear(feature_dim, len(vocab), rng)
+
+    def _decode_logits(self, features: Tensor, ids: np.ndarray,
+                       mask: np.ndarray) -> Tensor:
+        """Teacher-forced logits (N, T, V) for reconstructing ``ids``."""
+        n, t = ids.shape
+        if t > self.max_len:
+            raise ValueError(f"sequence length {t} exceeds decoder max_len")
+        # Shift right: position i predicts ids[i] from [BOS], ids[:i].
+        decoder_in = np.empty_like(ids)
+        decoder_in[:, 0] = self.vocab.bos_id
+        decoder_in[:, 1:] = ids[:, :-1]
+        x = self.token_embedding(decoder_in) + self.position_embedding[:t]
+        self_bias = additive_mask(mask, causal=True)
+        memory = features.reshape(n, 1, self.dim)
+        for layer in self.layers:
+            x = layer(x, memory, self_bias=self_bias)
+        return self.output(self.final_norm(x))
+
+    def reconstruction_loss(self, features: Tensor, ids: np.ndarray,
+                            mask: np.ndarray) -> Tensor:
+        """Token-level CE of rebuilding ``ids`` from ``features`` (Eq. 15)."""
+        logits = self._decode_logits(features, ids, mask)
+        return F.token_cross_entropy(logits, ids, mask=mask)
+
+    def alignment_loss(self, batch: AlignmentBatch) -> Tensor:
+        source = self.reconstruction_loss(batch.source_features,
+                                          batch.source_ids, batch.source_mask)
+        target = self.reconstruction_loss(batch.target_features,
+                                          batch.target_ids, batch.target_mask)
+        return (source + target) * 0.5
+
+    def greedy_decode(self, features: Tensor, length: int) -> np.ndarray:
+        """Greedy reconstruction (diagnostics): returns token ids (N, length)."""
+        n = features.shape[0]
+        ids = np.full((n, length), self.vocab.pad_id, dtype=np.int64)
+        mask = np.ones((n, length))
+        for position in range(length):
+            logits = self._decode_logits(features, ids, mask)
+            ids[:, position] = logits.data[:, position, :].argmax(axis=-1)
+        return ids

@@ -1,0 +1,16 @@
+"""Analysis tools: dataset distance (Fig. 6), t-SNE + mixing (Fig. 5),
+and attribute-occlusion reliance (the §6.2.1 shared-attributes claim)."""
+
+from .calibration import (CalibrationReport, expected_calibration_error,
+                          matcher_calibration)
+from .plot import ascii_curves, ascii_scatter
+from .attribution import (attribute_reliance, occlude_attribute,
+                          shared_attribute_share)
+from .distance import dataset_mmd, rank_sources_by_distance
+from .tsne import mixing_score, tsne
+
+__all__ = ["dataset_mmd", "rank_sources_by_distance", "mixing_score", "tsne",
+           "CalibrationReport", "expected_calibration_error",
+           "matcher_calibration", "ascii_curves", "ascii_scatter",
+           "attribute_reliance", "occlude_attribute",
+           "shared_attribute_share"]

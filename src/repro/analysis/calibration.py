@@ -1,0 +1,72 @@
+"""Probability calibration of the matcher.
+
+DA moves the feature distribution under the matcher; even when F1 holds,
+the *probabilities* may stop being calibrated on the target.  Expected
+calibration error (ECE) quantifies this — useful when the matcher's scores
+feed a downstream triage queue (a common ER deployment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..data import ERDataset
+from ..extractors import FeatureExtractor
+from ..matcher import MlpMatcher
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """ECE plus per-bin reliability detail."""
+
+    ece: float
+    bin_edges: np.ndarray
+    bin_confidence: np.ndarray
+    bin_accuracy: np.ndarray
+    bin_counts: np.ndarray
+
+
+def expected_calibration_error(probabilities: Sequence[float],
+                               labels: Sequence[int],
+                               bins: int = 10) -> CalibrationReport:
+    """Standard binned ECE over match probabilities.
+
+    Bins [0, 1] uniformly; each bin contributes ``|accuracy - confidence|``
+    weighted by its share of examples.
+    """
+    probabilities = np.asarray(probabilities, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    if probabilities.shape != labels.shape:
+        raise ValueError("probabilities and labels disagree on length")
+    if bins < 1:
+        raise ValueError("need at least one bin")
+    edges = np.linspace(0.0, 1.0, bins + 1)
+    confidence = np.zeros(bins)
+    accuracy = np.zeros(bins)
+    counts = np.zeros(bins, dtype=int)
+    indices = np.clip(np.digitize(probabilities, edges[1:-1]), 0, bins - 1)
+    for b in range(bins):
+        mask = indices == b
+        counts[b] = int(mask.sum())
+        if counts[b]:
+            confidence[b] = probabilities[mask].mean()
+            accuracy[b] = labels[mask].mean()
+    total = max(counts.sum(), 1)
+    ece = float(np.sum(counts / total * np.abs(accuracy - confidence)))
+    return CalibrationReport(ece, edges, confidence, accuracy, counts)
+
+
+def matcher_calibration(extractor: FeatureExtractor, matcher: MlpMatcher,
+                        dataset: ERDataset, bins: int = 10,
+                        batch_size: int = 64) -> CalibrationReport:
+    """Calibration of (F, M)'s match probabilities on a labeled dataset."""
+    if not dataset.is_labeled:
+        raise ValueError("calibration needs labels")
+    probabilities: List[float] = []
+    for start in range(0, len(dataset), batch_size):
+        batch = dataset.pairs[start:start + batch_size]
+        probabilities.extend(matcher.probabilities(extractor(batch)))
+    return expected_calibration_error(probabilities, dataset.labels(), bins)

@@ -1,0 +1,88 @@
+"""ASCII rendering of curves and scatter plots.
+
+No plotting backend is available offline, so the figure benches and
+examples render their series as terminal art: good enough to *see* the
+InvGAN oscillation of Figure 8 or the Figure 6 distance/F1 trend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+_GLYPHS = "ox+*#@"
+
+
+def ascii_curves(curves: Dict[str, Sequence[float]], width: int = 60,
+                 height: int = 12, y_label: str = "F1",
+                 y_range: Optional[Tuple[float, float]] = None) -> str:
+    """Render named series as an ASCII line chart (one glyph per series)."""
+    if not curves:
+        raise ValueError("no curves to plot")
+    lengths = {len(v) for v in curves.values()}
+    if 0 in lengths:
+        raise ValueError("curves must be non-empty")
+    values = np.concatenate([np.asarray(v, dtype=float)
+                             for v in curves.values()])
+    low, high = y_range if y_range else (float(values.min()),
+                                         float(values.max()))
+    if high <= low:
+        high = low + 1.0
+    n_points = max(lengths)
+    grid = [[" "] * width for __ in range(height)]
+
+    for series_index, (__, series) in enumerate(curves.items()):
+        glyph = _GLYPHS[series_index % len(_GLYPHS)]
+        for i, value in enumerate(series):
+            x = (int(i * (width - 1) / (n_points - 1)) if n_points > 1
+                 else 0)
+            fraction = (float(value) - low) / (high - low)
+            y = height - 1 - int(round(fraction * (height - 1)))
+            y = min(max(y, 0), height - 1)
+            grid[y][x] = glyph
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{high:6.1f} |"
+        elif row_index == height - 1:
+            label = f"{low:6.1f} |"
+        else:
+            label = "       |"
+        lines.append(label + "".join(row))
+    lines.append("       +" + "-" * width)
+    legend = "   ".join(f"{_GLYPHS[i % len(_GLYPHS)]}={name}"
+                        for i, name in enumerate(curves))
+    lines.append(f"       {y_label} vs epoch;  {legend}")
+    return "\n".join(lines)
+
+
+def ascii_scatter(points: Sequence[Tuple[float, float]], width: int = 50,
+                  height: int = 14, x_label: str = "x",
+                  y_label: str = "y") -> str:
+    """Render (x, y) points as an ASCII scatter plot."""
+    if not points:
+        raise ValueError("no points to plot")
+    xs = np.array([p[0] for p in points], dtype=float)
+    ys = np.array([p[1] for p in points], dtype=float)
+    x_low, x_high = float(xs.min()), float(xs.max())
+    y_low, y_high = float(ys.min()), float(ys.max())
+    if x_high <= x_low:
+        x_high = x_low + 1.0
+    if y_high <= y_low:
+        y_high = y_low + 1.0
+    grid = [[" "] * width for __ in range(height)]
+    for x, y in zip(xs, ys):
+        column = int(round((x - x_low) / (x_high - x_low) * (width - 1)))
+        row = height - 1 - int(round((y - y_low) / (y_high - y_low)
+                                     * (height - 1)))
+        grid[row][column] = "o"
+    lines = [f"{y_high:8.2f} |" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append("         |" + "".join(row))
+    lines.append(f"{y_low:8.2f} |" + "".join(grid[-1]))
+    lines.append("         +" + "-" * width)
+    lines.append(f"          {x_label}: [{x_low:.3g}, {x_high:.3g}]   "
+                 f"{y_label} on the vertical axis")
+    return "\n".join(lines)

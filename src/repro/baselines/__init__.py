@@ -1,0 +1,11 @@
+"""Comparison approaches: Reweight, DeepMatcher-like, Ditto-like."""
+
+from .reweight import (ReweightResult, embed_dataset, hashed_pair_embedding,
+                       source_weights, train_reweight)
+from .supervised import train_deepmatcher, train_ditto
+
+__all__ = [
+    "ReweightResult", "embed_dataset", "hashed_pair_embedding",
+    "source_weights", "train_reweight",
+    "train_deepmatcher", "train_ditto",
+]

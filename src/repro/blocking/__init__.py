@@ -1,0 +1,11 @@
+"""Blocking: candidate-pair generation for the full ER pipeline (§2).
+
+The paper's scope is the matching step, but its pipeline definition includes
+blocking; this module provides a token-overlap blocker so the examples can
+run end-to-end from two raw tables.
+"""
+
+from .overlap import OverlapBlocker, blocking_recall
+from .qgram import QGramBlocker, qgrams
+
+__all__ = ["OverlapBlocker", "QGramBlocker", "blocking_recall", "qgrams"]

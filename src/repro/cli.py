@@ -1,0 +1,160 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro datasets                      # list the 13 benchmarks
+    python -m repro generate fz out.csv --scale 0.2
+    python -m repro table2
+    python -m repro adapt dblp_acm dblp_scholar --aligner mmd --scale 0.1
+    python -m repro distance books2 fodors_zagats
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _add_lm_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--lm-dim", type=int, default=32,
+                        help="mini-LM width (default 32)")
+    parser.add_argument("--lm-layers", type=int, default=1,
+                        help="encoder layers (default 1)")
+    parser.add_argument("--pretrain-steps", type=int, default=150,
+                        help="MLM pre-training steps (default 150)")
+
+
+def _lm_kwargs(args: argparse.Namespace) -> dict:
+    heads = 2 if args.lm_dim % 2 == 0 else 1
+    return dict(dim=args.lm_dim, num_layers=args.lm_layers, num_heads=heads,
+                max_len=96, corpus_scale=0.01, steps=args.pretrain_steps)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DADER reproduction: domain adaptation for deep ER")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="list the benchmark datasets")
+
+    generate = commands.add_parser(
+        "generate", help="generate a benchmark dataset to a pair CSV")
+    generate.add_argument("dataset", help="dataset key or alias (e.g. fz)")
+    generate.add_argument("output", help="output CSV path")
+    generate.add_argument("--scale", type=float, default=0.1)
+    generate.add_argument("--seed", type=int, default=0)
+
+    table2 = commands.add_parser("table2",
+                                 help="print Table 2 dataset statistics")
+    table2.add_argument("--scale", type=float, default=1.0)
+
+    adapt = commands.add_parser(
+        "adapt", help="adapt a matcher from a labeled source to a target")
+    adapt.add_argument("source")
+    adapt.add_argument("target")
+    adapt.add_argument("--aligner", default="mmd",
+                       help="mmd | k_order | grl | invgan | invgan_kd | ed "
+                            "| cmd (default mmd)")
+    adapt.add_argument("--scale", type=float, default=0.1)
+    adapt.add_argument("--epochs", type=int, default=6)
+    adapt.add_argument("--beta", type=float, default=0.1)
+    adapt.add_argument("--seed", type=int, default=0)
+    adapt.add_argument("--no-da", action="store_true",
+                       help="run the NoDA baseline instead")
+    _add_lm_arguments(adapt)
+
+    report = commands.add_parser(
+        "report", help="render a paper-vs-measured report from stored "
+                       "benchmark results")
+    report.add_argument("--profile", default="fast",
+                        help="profile whose results to report (default fast)")
+
+    distance = commands.add_parser(
+        "distance", help="MMD distance between two datasets (Finding 2)")
+    distance.add_argument("source")
+    distance.add_argument("target")
+    distance.add_argument("--scale", type=float, default=0.1)
+    _add_lm_arguments(distance)
+    return parser
+
+
+def cmd_datasets() -> int:
+    from .datasets import CATALOG
+    for key, spec in CATALOG.items():
+        print(f"{key:16s} {spec.domain:10s} {spec.full_name}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from .data import save_csv
+    from .datasets import load_dataset
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    save_csv(dataset, args.output)
+    print(f"wrote {dataset.num_pairs} pairs ({dataset.num_matches} matches) "
+          f"to {args.output}")
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    from .experiments import format_table2
+    print(format_table2(scale=args.scale))
+    return 0
+
+
+def cmd_adapt(args: argparse.Namespace) -> int:
+    from .api import adapt, no_da
+    from .datasets import load_dataset
+    from .train import TrainConfig
+    source = load_dataset(args.source, scale=args.scale, seed=args.seed)
+    target = load_dataset(args.target, scale=args.scale, seed=args.seed)
+    config = TrainConfig(epochs=args.epochs, beta=args.beta, seed=args.seed)
+    if args.no_da:
+        result = no_da(source, target, config=config,
+                       lm_kwargs=_lm_kwargs(args))
+    else:
+        result = adapt(source, target, aligner=args.aligner, config=config,
+                       seed=args.seed, lm_kwargs=_lm_kwargs(args))
+    metrics = result.test_metrics
+    print(f"method={result.method} best_epoch={result.best_epoch}")
+    print(f"target F1={result.best_f1:.1f} "
+          f"precision={metrics.precision:.3f} recall={metrics.recall:.3f}")
+    return 0
+
+
+def cmd_distance(args: argparse.Namespace) -> int:
+    from .analysis import dataset_mmd
+    from .datasets import load_dataset
+    from .pretrain import pretrained_lm
+    source = load_dataset(args.source, scale=args.scale, seed=0)
+    target = load_dataset(args.target, scale=args.scale, seed=0)
+    extractor, __ = pretrained_lm(**_lm_kwargs(args))
+    value = dataset_mmd(extractor, source, target)
+    print(f"MMD({args.source}, {args.target}) = {value:.4f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return cmd_datasets()
+    if args.command == "generate":
+        return cmd_generate(args)
+    if args.command == "table2":
+        return cmd_table2(args)
+    if args.command == "adapt":
+        return cmd_adapt(args)
+    if args.command == "distance":
+        return cmd_distance(args)
+    if args.command == "report":
+        from .experiments import render_report
+        print(render_report(profile_name=args.profile))
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Data substrate: entities, pairs, datasets, splits, CSV I/O."""
+
+from .entity import Entity, EntityPair, ERDataset
+from .io import load_csv, save_csv
+from .splits import split_fractions, supervised_split, target_da_split
+
+__all__ = [
+    "Entity", "EntityPair", "ERDataset",
+    "load_csv", "save_csv",
+    "split_fractions", "supervised_split", "target_da_split",
+]

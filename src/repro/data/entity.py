@@ -1,0 +1,125 @@
+"""Core data abstractions: entities, labeled pairs, and ER datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..text import serialize_pair
+
+
+@dataclass(frozen=True)
+class Entity:
+    """A tuple from a relational table: an id plus attribute-value pairs.
+
+    ``attributes`` preserves insertion order (the schema order), which matters
+    because serialization walks attributes in order.
+    """
+
+    entity_id: str
+    attributes: Dict[str, Optional[str]]
+
+    def attribute_names(self) -> Tuple[str, ...]:
+        return tuple(self.attributes)
+
+    def text(self) -> str:
+        """All attribute values joined — used for vocabulary building."""
+        return " ".join(str(v) for v in self.attributes.values() if v is not None)
+
+
+@dataclass(frozen=True)
+class EntityPair:
+    """A candidate pair (a, b) with an optional 0/1 match label."""
+
+    left: Entity
+    right: Entity
+    label: Optional[int] = None
+
+    def tokens(self) -> List[str]:
+        """Serialized ``[CLS] S(a) [SEP] S(b) [SEP]`` token sequence."""
+        return serialize_pair(self.left.attributes, self.right.attributes)
+
+    def with_label(self, label: Optional[int]) -> "EntityPair":
+        return EntityPair(self.left, self.right, label)
+
+
+@dataclass
+class ERDataset:
+    """A labeled (or unlabeled) collection of entity pairs.
+
+    Mirrors one row of the paper's Table 2: a short name, a domain tag, and
+    the candidate pairs with labels.  When used as a DA *target*, call
+    :meth:`without_labels` so the training code cannot accidentally peek.
+    """
+
+    name: str
+    domain: str
+    pairs: List[EntityPair] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for pair in self.pairs:
+            if pair.label not in (None, 0, 1):
+                raise ValueError(f"bad label {pair.label!r} in {self.name}")
+
+    # -- statistics (Table 2 columns) ------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[EntityPair]:
+        return iter(self.pairs)
+
+    def __getitem__(self, index: int) -> EntityPair:
+        return self.pairs[index]
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def num_matches(self) -> int:
+        return sum(1 for p in self.pairs if p.label == 1)
+
+    @property
+    def num_attributes(self) -> int:
+        if not self.pairs:
+            return 0
+        return len(self.pairs[0].left.attribute_names())
+
+    @property
+    def is_labeled(self) -> bool:
+        return bool(self.pairs) and all(p.label is not None for p in self.pairs)
+
+    def labels(self) -> np.ndarray:
+        """Label vector; raises if any pair is unlabeled."""
+        if not self.is_labeled:
+            raise ValueError(f"dataset {self.name} is not fully labeled")
+        return np.array([p.label for p in self.pairs], dtype=np.int64)
+
+    # -- derivation -------------------------------------------------------- #
+    def subset(self, indices: Sequence[int], suffix: str = "subset") -> "ERDataset":
+        picked = [self.pairs[i] for i in indices]
+        return ERDataset(f"{self.name}-{suffix}", self.domain, picked)
+
+    def without_labels(self) -> "ERDataset":
+        """Strip labels — how targets enter unsupervised DA."""
+        stripped = [p.with_label(None) for p in self.pairs]
+        return ERDataset(self.name, self.domain, stripped)
+
+    def texts(self) -> List[str]:
+        """One text per pair, for vocabulary building."""
+        return [f"{p.left.text()} {p.right.text()}" for p in self.pairs]
+
+    def token_lists(self) -> List[List[str]]:
+        return [p.tokens() for p in self.pairs]
+
+    def describe(self) -> Dict[str, object]:
+        """Table 2 row for this dataset."""
+        return {
+            "name": self.name,
+            "domain": self.domain,
+            "pairs": self.num_pairs,
+            "matches": self.num_matches,
+            "attributes": self.num_attributes,
+        }

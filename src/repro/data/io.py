@@ -1,0 +1,70 @@
+"""CSV persistence for ER datasets.
+
+The on-disk layout mirrors the DeepMatcher benchmark distribution: one CSV of
+labeled pairs where left-table columns carry a ``left_`` prefix and
+right-table columns a ``right_`` prefix.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Union
+
+from .entity import Entity, EntityPair, ERDataset
+
+_NULL = ""
+
+
+def save_csv(dataset: ERDataset, path: Union[str, Path]) -> None:
+    """Write ``dataset`` to a DeepMatcher-style pair CSV."""
+    if not dataset.pairs:
+        raise ValueError("refusing to write an empty dataset")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    left_attrs = dataset.pairs[0].left.attribute_names()
+    right_attrs = dataset.pairs[0].right.attribute_names()
+    header = (["left_id"] + [f"left_{a}" for a in left_attrs]
+              + ["right_id"] + [f"right_{a}" for a in right_attrs]
+              + ["label"])
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for pair in dataset.pairs:
+            row: List[str] = [pair.left.entity_id]
+            row += [_NULL if pair.left.attributes[a] is None
+                    else str(pair.left.attributes[a]) for a in left_attrs]
+            row.append(pair.right.entity_id)
+            row += [_NULL if pair.right.attributes[a] is None
+                    else str(pair.right.attributes[a]) for a in right_attrs]
+            row.append(_NULL if pair.label is None else str(pair.label))
+            writer.writerow(row)
+
+
+def load_csv(path: Union[str, Path], name: str = "",
+             domain: str = "") -> ERDataset:
+    """Read a dataset written by :func:`save_csv`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        try:
+            right_id_col = header.index("right_id")
+            label_col = header.index("label")
+        except ValueError as exc:
+            raise ValueError(f"{path} is not a pair CSV: {exc}") from exc
+        left_attrs = [h[len("left_"):] for h in header[1:right_id_col]]
+        right_attrs = [h[len("right_"):] for h in header[right_id_col + 1:label_col]]
+        pairs = []
+        for row in reader:
+            left_vals = row[1:right_id_col]
+            right_vals = row[right_id_col + 1:label_col]
+            left = Entity(row[0], {a: (v if v != _NULL else None)
+                                   for a, v in zip(left_attrs, left_vals)})
+            right = Entity(row[right_id_col],
+                           {a: (v if v != _NULL else None)
+                            for a, v in zip(right_attrs, right_vals)})
+            raw_label = row[label_col]
+            label = None if raw_label == _NULL else int(raw_label)
+            pairs.append(EntityPair(left, right, label))
+    return ERDataset(name or path.stem, domain, pairs)

@@ -1,0 +1,60 @@
+"""Dataset splitting, stratified by label.
+
+Two protocols from §6.1:
+
+* **DA protocol** — the target splits into validation : test = 1 : 9; the
+  validation labels pick hyper-parameters and the snapshot epoch, test labels
+  are only ever used for final scoring.
+* **Supervised protocol** — DeepMatcher's train : valid : test = 3 : 1 : 1,
+  used for the comparison with some target labels (Figure 11).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .entity import ERDataset
+
+
+def split_fractions(dataset: ERDataset, fractions: Sequence[float],
+                    rng: np.random.Generator,
+                    names: Sequence[str]) -> List[ERDataset]:
+    """Split ``dataset`` into label-stratified parts of the given fractions."""
+    if len(fractions) != len(names):
+        raise ValueError("fractions and names must have equal length")
+    if abs(sum(fractions) - 1.0) > 1e-9:
+        raise ValueError(f"fractions must sum to 1, got {sum(fractions)}")
+    labels = dataset.labels()
+    parts: List[List[int]] = [[] for __ in fractions]
+    for value in (0, 1):
+        idx = np.flatnonzero(labels == value)
+        rng.shuffle(idx)
+        boundaries = np.floor(np.cumsum(fractions) * len(idx)).astype(int)
+        boundaries[-1] = len(idx)  # guard against floating-point floor
+        start = 0
+        for slot, stop in enumerate(boundaries):
+            parts[slot].extend(idx[start:stop].tolist())
+            start = stop
+    result = []
+    for name, indices in zip(names, parts):
+        indices.sort()
+        result.append(dataset.subset(indices, suffix=name))
+    return result
+
+
+def target_da_split(dataset: ERDataset,
+                    rng: np.random.Generator) -> Tuple[ERDataset, ERDataset]:
+    """Validation : test = 1 : 9 split of a DA target (§6.1)."""
+    valid, test = split_fractions(dataset, [0.1, 0.9], rng, ["valid", "test"])
+    return valid, test
+
+
+def supervised_split(
+        dataset: ERDataset,
+        rng: np.random.Generator) -> Tuple[ERDataset, ERDataset, ERDataset]:
+    """DeepMatcher's train : valid : test = 3 : 1 : 1 split."""
+    train, valid, test = split_fractions(
+        dataset, [0.6, 0.2, 0.2], rng, ["train", "valid", "test"])
+    return train, valid, test

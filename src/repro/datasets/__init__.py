@@ -1,0 +1,19 @@
+"""Synthetic versions of the thirteen benchmark ER datasets (Table 2)."""
+
+from .augment import Augmenter
+from .catalog import (ALIASES, CATALOG, dataset_names, load_dataset, spec_for,
+                      table2_rows)
+from .generator import DatasetSpec, generate_dataset, scaled_counts
+from .perturb import Perturber
+from .worlds import (BookWorld, CitationWorld, MovieWorld, MusicWorld,
+                     ProductWorld, RestaurantWorld, WdcWorld, World)
+
+__all__ = [
+    "Augmenter",
+    "ALIASES", "CATALOG", "dataset_names", "load_dataset", "spec_for",
+    "table2_rows",
+    "DatasetSpec", "generate_dataset", "scaled_counts",
+    "Perturber",
+    "BookWorld", "CitationWorld", "MovieWorld", "MusicWorld",
+    "ProductWorld", "RestaurantWorld", "WdcWorld", "World",
+]

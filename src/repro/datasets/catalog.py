@@ -1,0 +1,392 @@
+"""The thirteen benchmark datasets of Table 2, as synthetic generators.
+
+Each spec reproduces the paper's schema (attribute count), size, match rate
+and — crucially — the *style relationship* between its two tables (e.g.
+Scholar abbreviates author names that DBLP spells out; Zomato-Yelp is the
+dirty variant with values moved between columns; WDC categories share one
+title vocabulary).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..data import ERDataset
+from .generator import DatasetSpec, Renderer, generate_dataset, scaled_counts
+from .perturb import Perturber, abbreviate_first_name
+from .worlds import (BookWorld, CitationWorld, MovieWorld, MusicWorld,
+                     ProductWorld, Record, RestaurantWorld, WdcWorld)
+
+Attrs = Dict[str, Optional[str]]
+
+
+def _join(words) -> str:
+    return " ".join(str(w) for w in words)
+
+
+def _minutes(seconds: int) -> str:
+    return f"{seconds // 60}:{seconds % 60:02d}"
+
+
+# --------------------------------------------------------------------------- #
+# product renderers
+# --------------------------------------------------------------------------- #
+def _walmart(record: Record, rng: np.random.Generator) -> Attrs:
+    return {
+        "title": _join([record["brand"], record["line"], record["ptype"],
+                        *record["descriptors"][:2]]),
+        "category": str(record["category"]),
+        "brand": str(record["brand"]),
+        "modelno": str(record["model"]),
+        "price": f"{record['price']:.2f}",
+    }
+
+
+def _amazon_product(record: Record, rng: np.random.Generator) -> Attrs:
+    # Amazon buries the model number in the title and jitters the price.
+    price = record["price"] * (1.0 + rng.uniform(-0.08, 0.08))
+    return {
+        "title": _join([record["brand"], record["line"], record["ptype"],
+                        record["model"], *record["descriptors"][1:]]),
+        "category": str(record["category"]),
+        "brand": str(record["brand"]),
+        "modelno": str(record["model"]),
+        "price": f"{price:.2f}",
+    }
+
+
+def _abt(record: Record, rng: np.random.Generator) -> Attrs:
+    return {
+        "name": _join([record["brand"], record["line"], record["ptype"],
+                       record["model"]]),
+        "description": _join([record["brand"], record["line"], record["ptype"],
+                              *record["descriptors"], record["model"]]),
+        "price": None,  # Abt rarely lists prices (see paper Fig. 2)
+    }
+
+
+def _buy(record: Record, rng: np.random.Generator) -> Attrs:
+    price = record["price"] * (1.0 + rng.uniform(-0.05, 0.05))
+    return {
+        "name": _join([record["brand"], record["ptype"],
+                       *record["descriptors"][:2]]),
+        "description": _join([*record["descriptors"], record["ptype"]]),
+        "price": f"{price:.2f}",
+    }
+
+
+def _wdc_offer(record: Record, rng: np.random.Generator) -> Attrs:
+    price = record["price"] * (1.0 + rng.uniform(-0.06, 0.06))
+    return {
+        "title": _join([record["brand"], record["line"], record["ptype"],
+                        record["model"], *record["descriptors"]]),
+        "price": f"{price:.2f}",
+    }
+
+
+# --------------------------------------------------------------------------- #
+# citation renderers
+# --------------------------------------------------------------------------- #
+def _full_authors(record: Record) -> str:
+    return " , ".join(f"{first} {last}" for first, last in record["authors"])
+
+
+def _dblp(record: Record, rng: np.random.Generator) -> Attrs:
+    return {
+        "title": _join(record["title_words"]),
+        "authors": _full_authors(record),
+        "venue": str(record["venue"]),
+        "year": str(record["year"]),
+    }
+
+
+def _scholar(record: Record, rng: np.random.Generator) -> Attrs:
+    # Scholar style: "m stonebraker", venue with a "proc" prefix, noisy year.
+    authors = " , ".join(
+        abbreviate_first_name(f"{first} {last}")
+        for first, last in record["authors"])
+    venue = f"proc {record['venue']}" if rng.random() < 0.5 else str(
+        record["venue"])
+    return {
+        "title": _join(record["title_words"]),
+        "authors": authors,
+        "venue": venue,
+        "year": str(record["year"]),
+    }
+
+
+def _acm(record: Record, rng: np.random.Generator) -> Attrs:
+    return {
+        "title": _join(record["title_words"]),
+        "authors": _full_authors(record),
+        "venue": f"{record['venue']} conference",
+        "year": str(record["year"]),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# restaurant renderers
+# --------------------------------------------------------------------------- #
+def _fodors(record: Record, rng: np.random.Generator) -> Attrs:
+    return {
+        "name": _join(record["name_words"]),
+        "addr": f"{record['street_no']} {record['street']} st",
+        "city": str(record["city"]),
+        "phone": str(record["phone"]),
+        "type": str(record["cuisine"]),
+        "class": str(record["stars"]),
+    }
+
+
+def _zagats(record: Record, rng: np.random.Generator) -> Attrs:
+    phone = str(record["phone"]).replace("-", "/", 1)
+    return {
+        "name": _join(record["name_words"]),
+        "addr": f"{record['street_no']} {record['street']} street",
+        "city": str(record["city"]),
+        "phone": phone,
+        "type": str(record["cuisine"]),
+        "class": str(record["stars"]),
+    }
+
+
+def _zomato(record: Record, rng: np.random.Generator) -> Attrs:
+    return {
+        "name": _join(record["name_words"]),
+        "phone": str(record["phone"]),
+        "addr": f"{record['street_no']} {record['street']} st "
+                f"{record['city']}",
+    }
+
+
+def _yelp(record: Record, rng: np.random.Generator) -> Attrs:
+    return {
+        "name": _join([*record["name_words"], record["cuisine"]]),
+        "phone": str(record["phone"]).replace("-", " "),
+        "addr": f"{record['street_no']} {record['street']} street "
+                f"{record['city']}",
+    }
+
+
+# --------------------------------------------------------------------------- #
+# music renderers
+# --------------------------------------------------------------------------- #
+def _itunes(record: Record, rng: np.random.Generator) -> Attrs:
+    artist = _join(record["artist_words"])
+    return {
+        "song_name": _join(record["song_words"]),
+        "artist_name": artist,
+        "album_name": _join(record["album_words"]),
+        "genre": str(record["genre"]),
+        "price": f"$ {record['price']:.2f}",
+        "copyright": f"{record['year']} {artist} records",
+        "time": _minutes(record["seconds"]),
+        "released": str(record["year"]),
+    }
+
+
+def _amazon_music(record: Record, rng: np.random.Generator) -> Attrs:
+    artist = _join(record["artist_words"])
+    seconds = record["seconds"] + int(rng.integers(-1, 2))
+    return {
+        "song_name": _join([*record["song_words"], "explicit"]
+                           if rng.random() < 0.2 else record["song_words"]),
+        "artist_name": artist,
+        "album_name": _join(record["album_words"]),
+        "genre": str(record["genre"]),
+        "price": f"{record['price']:.2f}",
+        "copyright": f"( c ) {record['year']} {artist}",
+        "time": _minutes(seconds),
+        "released": str(record["year"]),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# movie renderers
+# --------------------------------------------------------------------------- #
+def _rotten_tomatoes(record: Record, rng: np.random.Generator) -> Attrs:
+    return {
+        "title": _join(record["title_words"]),
+        "director": str(record["director"]),
+        "year": str(record["year"]),
+    }
+
+
+def _imdb(record: Record, rng: np.random.Generator) -> Attrs:
+    title = _join(record["title_words"])
+    if rng.random() < 0.3:
+        title = f"{title} ( {record['year']} )"
+    return {
+        "title": title,
+        "director": abbreviate_first_name(str(record["director"])),
+        "year": str(record["year"]),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# book renderers
+# --------------------------------------------------------------------------- #
+def _book_left(record: Record, rng: np.random.Generator) -> Attrs:
+    return {
+        "title": _join(record["title_words"]),
+        "author": str(record["author"]),
+        "isbn": str(record["isbn"]),
+        "publisher": str(record["publisher"]),
+        "pages": str(record["pages"]),
+        "price": f"{record['price']:.2f}",
+        "format": str(record["format"]),
+        "year": str(record["year"]),
+        "language": str(record["language"]),
+    }
+
+
+def _book_right(record: Record, rng: np.random.Generator) -> Attrs:
+    attrs = _book_left(record, rng)
+    attrs["author"] = abbreviate_first_name(attrs["author"])
+    attrs["isbn"] = attrs["isbn"][3:]  # drop the 978 prefix, a common variant
+    attrs["price"] = f"$ {record['price']:.2f}"
+    return attrs
+
+
+# --------------------------------------------------------------------------- #
+# the catalog
+# --------------------------------------------------------------------------- #
+_PRODUCT_WORLD = ProductWorld()
+_CITATION_WORLD = CitationWorld()
+_RESTAURANT_WORLD = RestaurantWorld()
+_MUSIC_WORLD = MusicWorld()
+_MOVIE_WORLD = MovieWorld()
+_BOOK_WORLD = BookWorld()
+
+
+def _spec(key: str, full_name: str, domain: str, pairs: int, matches: int,
+          world, left: Renderer, right: Renderer,
+          dirt_left: float, dirt_right: float,
+          null_left: float = 0.0, null_right: float = 0.0,
+          dirty_left: float = 0.0, dirty_right: float = 0.0,
+          hard: float = 0.5, base_seed: int = 0) -> DatasetSpec:
+    return DatasetSpec(
+        key=key, full_name=full_name, domain=domain,
+        pairs=pairs, matches=matches, world=world,
+        render_left=left, render_right=right,
+        perturb_left=Perturber(dirt_left, null_left, dirty_left),
+        perturb_right=Perturber(dirt_right, null_right, dirty_right),
+        hard_negative_rate=hard, base_seed=base_seed)
+
+
+CATALOG: Dict[str, DatasetSpec] = {
+    "walmart_amazon": _spec(
+        "walmart_amazon", "Walmart-Amazon (WA)", "product", 10242, 962,
+        _PRODUCT_WORLD, _walmart, _amazon_product,
+        dirt_left=0.25, dirt_right=0.40, null_right=0.15,
+        hard=0.65, base_seed=1),
+    "abt_buy": _spec(
+        "abt_buy", "Abt-Buy (AB)", "product", 9575, 1028,
+        _PRODUCT_WORLD, _abt, _buy,
+        dirt_left=0.30, dirt_right=0.40, null_right=0.10,
+        hard=0.65, base_seed=2),
+    "dblp_scholar": _spec(
+        "dblp_scholar", "DBLP-Scholar (DS)", "citation", 28707, 5347,
+        _CITATION_WORLD, _dblp, _scholar,
+        dirt_left=0.05, dirt_right=0.30, null_right=0.10,
+        hard=0.5, base_seed=3),
+    "dblp_acm": _spec(
+        "dblp_acm", "DBLP-ACM (DA)", "citation", 12363, 2220,
+        _CITATION_WORLD, _dblp, _acm,
+        dirt_left=0.03, dirt_right=0.06,
+        hard=0.5, base_seed=4),
+    "fodors_zagats": _spec(
+        "fodors_zagats", "Fodors-Zagats (FZ)", "restaurant", 946, 110,
+        _RESTAURANT_WORLD, _fodors, _zagats,
+        dirt_left=0.05, dirt_right=0.10,
+        hard=0.35, base_seed=5),
+    "zomato_yelp": _spec(
+        "zomato_yelp", "Zomato-Yelp (ZY)", "restaurant", 894, 214,
+        _RESTAURANT_WORLD, _zomato, _yelp,
+        dirt_left=0.15, dirt_right=0.25,
+        dirty_left=0.25, dirty_right=0.35,  # the DeepMatcher dirty variant
+        hard=0.45, base_seed=6),
+    "itunes_amazon": _spec(
+        "itunes_amazon", "iTunes-Amazon (IA)", "music", 532, 132,
+        _MUSIC_WORLD, _itunes, _amazon_music,
+        dirt_left=0.10, dirt_right=0.20,
+        hard=0.7, base_seed=7),
+    "rotten_imdb": _spec(
+        "rotten_imdb", "RottenTomatoes-IMDB (RI)", "movies", 600, 190,
+        _MOVIE_WORLD, _rotten_tomatoes, _imdb,
+        dirt_left=0.10, dirt_right=0.20,
+        hard=0.5, base_seed=8),
+    "books2": _spec(
+        "books2", "Books2 (B2)", "books", 394, 92,
+        _BOOK_WORLD, _book_left, _book_right,
+        dirt_left=0.10, dirt_right=0.20, null_right=0.05,
+        hard=0.5, base_seed=9),
+    "wdc_computers": _spec(
+        "wdc_computers", "WDC-Computers (CO)", "product", 1100, 300,
+        WdcWorld("computers"), _wdc_offer, _wdc_offer,
+        dirt_left=0.25, dirt_right=0.30, hard=0.6, base_seed=10),
+    "wdc_cameras": _spec(
+        "wdc_cameras", "WDC-Cameras (CA)", "product", 1100, 300,
+        WdcWorld("cameras"), _wdc_offer, _wdc_offer,
+        dirt_left=0.25, dirt_right=0.30, hard=0.6, base_seed=11),
+    "wdc_watches": _spec(
+        "wdc_watches", "WDC-Watches (WT)", "product", 1100, 300,
+        WdcWorld("watches"), _wdc_offer, _wdc_offer,
+        dirt_left=0.25, dirt_right=0.30, hard=0.6, base_seed=12),
+    "wdc_shoes": _spec(
+        "wdc_shoes", "WDC-Shoes (SH)", "product", 1100, 300,
+        WdcWorld("shoes"), _wdc_offer, _wdc_offer,
+        dirt_left=0.25, dirt_right=0.30, hard=0.6, base_seed=13),
+}
+
+ALIASES: Dict[str, str] = {
+    "wa": "walmart_amazon", "ab": "abt_buy", "ds": "dblp_scholar",
+    "da": "dblp_acm", "fz": "fodors_zagats", "zy": "zomato_yelp",
+    "ia": "itunes_amazon", "ri": "rotten_imdb", "b2": "books2",
+    "co": "wdc_computers", "ca": "wdc_cameras", "wt": "wdc_watches",
+    "sh": "wdc_shoes",
+}
+
+
+def dataset_names() -> List[str]:
+    """Canonical keys of all thirteen datasets, in Table 2 order."""
+    return list(CATALOG)
+
+
+def spec_for(name: str) -> DatasetSpec:
+    """Resolve a dataset key or short alias to its spec."""
+    key = name.strip().lower().replace("-", "_")
+    key = ALIASES.get(key, key)
+    if key not in CATALOG:
+        raise KeyError(
+            f"unknown dataset {name!r}; known: {sorted(CATALOG)} "
+            f"or aliases {sorted(ALIASES)}")
+    return CATALOG[key]
+
+
+def load_dataset(name: str, scale: float = 0.1, seed: int = 0) -> ERDataset:
+    """Generate a benchmark dataset by name.
+
+    ``scale`` shrinks Table 2's sizes proportionally (1.0 = paper-size);
+    the default 0.1 keeps CPU experiments fast while preserving match rates.
+    """
+    return generate_dataset(spec_for(name), scale=scale, seed=seed)
+
+
+def table2_rows(scale: float = 1.0) -> List[Dict[str, object]]:
+    """The statistics Table 2 reports, for our generated datasets."""
+    rows = []
+    for key, spec in CATALOG.items():
+        counts = scaled_counts(spec, scale)
+        probe = generate_dataset(spec, scale=min(scale, 0.05), seed=0)
+        rows.append({
+            "name": spec.full_name,
+            "key": key,
+            "domain": spec.domain,
+            "pairs": counts["pairs"],
+            "matches": counts["matches"],
+            "attributes": probe.num_attributes,
+        })
+    return rows

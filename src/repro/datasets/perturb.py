@@ -1,0 +1,127 @@
+"""Perturbation operators that create realistic dirtiness and style shift.
+
+Matching pairs are two renderings of the same underlying record; these
+operators control *how differently* the two sides render it: typos, dropped
+tokens, abbreviations (the DBLP-Scholar "m stonebraker" style), missing
+values, numeric jitter, and the DeepMatcher "dirty" transformation that moves
+a value into the wrong column.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+_LETTERS = "abcdefghijklmnopqrstuvwxyz"
+
+
+def typo(word: str, rng: np.random.Generator) -> str:
+    """Apply one random character edit (swap, drop, or substitute)."""
+    if len(word) < 3:
+        return word
+    kind = int(rng.integers(3))
+    pos = int(rng.integers(len(word) - 1))
+    if kind == 0:  # swap adjacent
+        chars = list(word)
+        chars[pos], chars[pos + 1] = chars[pos + 1], chars[pos]
+        return "".join(chars)
+    if kind == 1:  # drop
+        return word[:pos] + word[pos + 1:]
+    replacement = _LETTERS[int(rng.integers(len(_LETTERS)))]
+    return word[:pos] + replacement + word[pos + 1:]
+
+
+def abbreviate_first_name(full_name: str) -> str:
+    """``michael stonebraker`` -> ``m stonebraker`` (Scholar style)."""
+    parts = full_name.split()
+    if len(parts) < 2:
+        return full_name
+    return " ".join([parts[0][0]] + parts[1:])
+
+
+def abbreviate_word(word: str, keep: int = 4) -> str:
+    """Truncate a long word: ``proceedings`` -> ``proc``."""
+    return word[:keep] if len(word) > keep else word
+
+
+def drop_tokens(text: str, rate: float, rng: np.random.Generator) -> str:
+    """Randomly remove tokens; always keeps at least one."""
+    tokens = text.split()
+    if len(tokens) <= 1:
+        return text
+    kept = [t for t in tokens if rng.random() >= rate]
+    if not kept:
+        kept = [tokens[0]]
+    return " ".join(kept)
+
+
+def jitter_number(value: float, relative: float,
+                  rng: np.random.Generator) -> float:
+    """Multiply by a factor in [1-relative, 1+relative]."""
+    factor = 1.0 + rng.uniform(-relative, relative)
+    return round(value * factor, 2)
+
+
+class Perturber:
+    """Bundle of perturbations applied to an attribute map with intensity.
+
+    ``intensity`` in [0, 1] scales every corruption probability, so a single
+    knob controls how dirty a dataset side is.
+    """
+
+    def __init__(self, intensity: float, null_rate: float = 0.0,
+                 dirty_rate: float = 0.0):
+        if not 0.0 <= intensity <= 1.0:
+            raise ValueError("intensity must be in [0, 1]")
+        self.intensity = intensity
+        self.null_rate = null_rate
+        self.dirty_rate = dirty_rate
+
+    def perturb_text(self, text: str, rng: np.random.Generator) -> str:
+        """Typos and token drops proportional to intensity."""
+        if self.intensity <= 0:
+            return text
+        text = drop_tokens(text, rate=0.12 * self.intensity, rng=rng)
+        words = text.split()
+        out: List[str] = []
+        for word in words:
+            if rng.random() < 0.10 * self.intensity:
+                word = typo(word, rng)
+            out.append(word)
+        return " ".join(out)
+
+    def apply(self, attributes: Dict[str, Optional[str]],
+              rng: np.random.Generator) -> Dict[str, Optional[str]]:
+        """Perturb every textual value; inject NULLs; optionally dirty-shift.
+
+        Returns a new dict; the input is never mutated.
+        """
+        result: Dict[str, Optional[str]] = {}
+        for attr, value in attributes.items():
+            if value is not None and rng.random() < self.null_rate:
+                result[attr] = None
+            elif value is None:
+                result[attr] = None
+            else:
+                result[attr] = self.perturb_text(str(value), rng)
+        if self.dirty_rate > 0:
+            result = self._dirty_shift(result, rng)
+        return result
+
+    def _dirty_shift(self, attributes: Dict[str, Optional[str]],
+                     rng: np.random.Generator) -> Dict[str, Optional[str]]:
+        """Move one value into another column (DeepMatcher 'dirty' datasets)."""
+        if rng.random() >= self.dirty_rate:
+            return attributes
+        names = [a for a, v in attributes.items() if v is not None]
+        if len(names) < 2:
+            return attributes
+        src, dst = (names[int(i)] for i in
+                    rng.choice(len(names), size=2, replace=False))
+        moved = dict(attributes)
+        value = moved[src]
+        moved[src] = None
+        existing = moved[dst]
+        moved[dst] = f"{existing} {value}" if existing else value
+        return moved

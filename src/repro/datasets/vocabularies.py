@@ -1,0 +1,251 @@
+"""Domain word pools for the synthetic benchmark generators.
+
+Each domain (product, citation, restaurant, music, movies, books) gets its
+own lexicon: a hand-written realistic core expanded deterministically with
+domain-specific pseudo-words.  Distinct syllable sets per domain keep the
+lexicons nearly disjoint, which is what creates the *different-domains*
+shift of Table 4; similar-domain datasets share a lexicon and differ only in
+schema and textual style, creating the milder shift of Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def expand_pool(seed_words: Sequence[str], syllables: Sequence[str],
+                count: int, seed: int) -> List[str]:
+    """Pad ``seed_words`` to ``count`` entries with pseudo-words.
+
+    Pseudo-words are 2-3 syllable concatenations drawn deterministically from
+    the domain's syllable set, so two calls with the same arguments agree.
+    """
+    rng = np.random.default_rng(seed)
+    pool = list(dict.fromkeys(seed_words))
+    seen = set(pool)
+    # 2-3 syllable combinations bound the reachable vocabulary; detect
+    # exhaustion instead of spinning when the syllable set is too small.
+    capacity = len(syllables) ** 2 + len(syllables) ** 3
+    attempts = 0
+    max_attempts = 50 * max(count, 1) + 100
+    while len(pool) < count:
+        if attempts > max_attempts:
+            raise ValueError(
+                f"cannot expand pool to {count} words from "
+                f"{len(syllables)} syllables (capacity ~{capacity})")
+        attempts += 1
+        n_parts = int(rng.integers(2, 4))
+        word = "".join(rng.choice(syllables) for __ in range(n_parts))
+        if word not in seen:
+            seen.add(word)
+            pool.append(word)
+    return pool[:count]
+
+
+@dataclass(frozen=True)
+class Lexicon:
+    """Named word pools for one domain."""
+
+    domain: str
+    pools: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def pool(self, name: str) -> Tuple[str, ...]:
+        if name not in self.pools:
+            raise KeyError(f"lexicon {self.domain!r} has no pool {name!r}")
+        return self.pools[name]
+
+    def sample(self, name: str, rng: np.random.Generator) -> str:
+        words = self.pool(name)
+        return words[int(rng.integers(len(words)))]
+
+    def sample_many(self, name: str, rng: np.random.Generator,
+                    count: int) -> List[str]:
+        words = self.pool(name)
+        idx = rng.choice(len(words), size=count, replace=count > len(words))
+        return [words[int(i)] for i in idx]
+
+
+def _pool(seeds: Sequence[str], syllables: Sequence[str], count: int,
+          seed: int) -> Tuple[str, ...]:
+    return tuple(expand_pool(seeds, syllables, count, seed))
+
+
+# --------------------------------------------------------------------------- #
+# product domain (Walmart-Amazon, Abt-Buy, WDC)
+# --------------------------------------------------------------------------- #
+_PRODUCT_SYL = ("tek", "tron", "vex", "lum", "zor", "pix", "vo", "dex",
+                "neo", "max", "pro", "go", "lite", "core")
+
+PRODUCT_BRANDS = _pool(
+    ["samsung", "sony", "hp", "kodak", "linksys", "canon", "nikon", "dell",
+     "lenovo", "asus", "acer", "panasonic", "toshiba", "epson", "logitech",
+     "philips", "sharp", "sandisk", "netgear", "belkin", "balt", "mayline"],
+    _PRODUCT_SYL, 60, seed=101)
+
+PRODUCT_TYPES = _pool(
+    ["tv", "router", "printer", "camera", "laptop", "monitor", "keyboard",
+     "speaker", "headphones", "projector", "scanner", "tablet", "drive",
+     "mouse", "charger", "adapter", "webcam", "microphone"],
+    _PRODUCT_SYL, 40, seed=102)
+
+PRODUCT_DESCRIPTORS = _pool(
+    ["black", "white", "silver", "wireless", "portable", "digital", "hd",
+     "compact", "dual", "premium", "ultra", "slim", "smart", "gaming",
+     "professional", "series", "edition", "flat", "panel", "lcd", "led",
+     "widescreen", "bluetooth", "usb", "hdmi", "rechargeable", "waterproof"],
+    _PRODUCT_SYL, 80, seed=103)
+
+PRODUCT_CATEGORIES = _pool(
+    ["electronics", "computers", "stationery", "printers", "accessories",
+     "networking", "storage", "audio", "video", "office"],
+    _PRODUCT_SYL, 16, seed=104)
+
+# WDC per-category noun pools — one shared descriptor vocabulary (the paper
+# notes WDC titles share one word vocabulary, so cross-category shift is small)
+WDC_CATEGORY_NOUNS: Dict[str, Tuple[str, ...]] = {
+    "computers": _pool(["laptop", "desktop", "notebook", "workstation",
+                        "chromebook", "ultrabook", "server", "mini", "pc"],
+                       _PRODUCT_SYL, 18, seed=105),
+    "cameras": _pool(["camera", "camcorder", "dslr", "mirrorless", "lens",
+                      "tripod", "flash", "zoom"],
+                     _PRODUCT_SYL, 18, seed=106),
+    "watches": _pool(["watch", "chronograph", "smartwatch", "band",
+                      "bracelet", "quartz", "automatic", "dial"],
+                     _PRODUCT_SYL, 18, seed=107),
+    "shoes": _pool(["sneaker", "boot", "sandal", "loafer", "trainer",
+                    "runner", "slipper", "cleat"],
+                   _PRODUCT_SYL, 18, seed=108),
+}
+
+# --------------------------------------------------------------------------- #
+# citation domain (DBLP-Scholar, DBLP-ACM)
+# --------------------------------------------------------------------------- #
+_CITATION_SYL = ("data", "quer", "ics", "net", "graph", "sys", "al", "tic",
+                 "form", "log", "sem", "stat", "min", "ing")
+
+CITATION_TOPIC_WORDS = _pool(
+    ["database", "query", "optimization", "indexing", "distributed",
+     "transaction", "stream", "parallel", "semantic", "integration",
+     "mining", "learning", "graph", "spatial", "temporal", "relational",
+     "schema", "join", "aggregation", "clustering", "classification",
+     "retrieval", "warehouse", "analytics", "scalable", "adaptive",
+     "efficient", "approximate", "incremental", "declarative"],
+    _CITATION_SYL, 90, seed=201)
+
+CITATION_VENUES = _pool(
+    ["sigmod", "vldb", "icde", "kdd", "cikm", "edbt", "icdt", "pods",
+     "www", "sigir", "icml", "nips", "aaai", "ijcai"],
+    _CITATION_SYL, 24, seed=202)
+
+FIRST_NAMES = _pool(
+    ["michael", "jennifer", "david", "maria", "james", "wei", "anna",
+     "juan", "yuki", "omar", "elena", "raj", "li", "sarah", "ahmed",
+     "sofia", "ivan", "mei", "carlos", "nina", "peter", "laura", "hassan",
+     "julia", "tomas", "grace", "pavel", "rosa", "ken", "dana"],
+    ("an", "el", "ko", "mi", "ra", "su", "ta", "vi"), 60, seed=203)
+
+LAST_NAMES = _pool(
+    ["stonebraker", "garcia", "chen", "smith", "kumar", "tanaka", "muller",
+     "ivanov", "rossi", "kim", "patel", "nguyen", "johnson", "lee", "wang",
+     "brown", "silva", "martin", "lopez", "zhang", "haas", "widom",
+     "abiteboul", "gray", "codd", "ullman", "dewitt", "bernstein"],
+    ("berg", "son", "va", "ish", "ez", "ano", "ski", "ara"), 80, seed=204)
+
+# --------------------------------------------------------------------------- #
+# restaurant domain (Fodors-Zagats, Zomato-Yelp)
+# --------------------------------------------------------------------------- #
+_RESTAURANT_SYL = ("bel", "la", "ros", "cas", "vin", "mar", "tra", "pan",
+                   "ore", "gril", "tav", "bis")
+
+RESTAURANT_NAME_WORDS = _pool(
+    ["golden", "dragon", "palace", "cafe", "bistro", "grill", "garden",
+     "house", "corner", "royal", "little", "blue", "olive", "spice",
+     "harbor", "sunset", "village", "brick", "oak", "river", "crown",
+     "lotus", "pearl", "amber", "cedar"],
+    _RESTAURANT_SYL, 70, seed=301)
+
+CUISINES = _pool(
+    ["italian", "chinese", "mexican", "french", "thai", "indian",
+     "japanese", "american", "mediterranean", "korean", "vietnamese",
+     "greek", "spanish", "seafood", "steakhouse", "barbecue"],
+    _RESTAURANT_SYL, 24, seed=302)
+
+STREET_NAMES = _pool(
+    ["main", "oak", "maple", "broadway", "sunset", "park", "hill",
+     "lake", "river", "market", "church", "union", "madison", "franklin"],
+    _RESTAURANT_SYL, 30, seed=303)
+
+CITIES = _pool(
+    ["los angeles", "new york", "san francisco", "chicago", "atlanta",
+     "boston", "seattle", "denver", "austin", "portland", "miami",
+     "houston", "phoenix", "dallas"],
+    _RESTAURANT_SYL, 20, seed=304)
+
+# --------------------------------------------------------------------------- #
+# music domain (iTunes-Amazon)
+# --------------------------------------------------------------------------- #
+_MUSIC_SYL = ("mel", "son", "riff", "lyr", "bea", "chor", "har", "tun",
+              "voc", "rhy", "dis", "trak")
+
+SONG_WORDS = _pool(
+    ["love", "night", "dream", "fire", "heart", "dance", "summer", "rain",
+     "light", "shadow", "river", "gold", "wild", "home", "stars", "blue",
+     "forever", "broken", "midnight", "electric", "paradise", "echo"],
+    _MUSIC_SYL, 70, seed=401)
+
+ARTIST_WORDS = _pool(
+    ["the", "crystal", "velvet", "neon", "silver", "royal", "lunar",
+     "sonic", "atomic", "cosmic", "electric", "golden", "midnight"],
+    _MUSIC_SYL, 40, seed=402)
+
+GENRES = _pool(
+    ["pop", "rock", "jazz", "blues", "country", "electronic", "hip-hop",
+     "classical", "folk", "soul", "reggae", "metal"],
+    _MUSIC_SYL, 18, seed=403)
+
+# --------------------------------------------------------------------------- #
+# movie domain (RottenTomatoes-IMDB)
+# --------------------------------------------------------------------------- #
+_MOVIE_SYL = ("cin", "dra", "sce", "act", "fli", "reel", "plo", "cast",
+              "vie", "show")
+
+MOVIE_TITLE_WORDS = _pool(
+    ["last", "dark", "return", "secret", "lost", "city", "king", "night",
+     "stone", "edge", "rising", "fallen", "silent", "iron", "crimson",
+     "storm", "legacy", "shadow", "empire", "final", "hidden", "eternal"],
+    _MOVIE_SYL, 70, seed=501)
+
+MOVIE_GENRES = _pool(
+    ["drama", "comedy", "thriller", "action", "horror", "romance",
+     "documentary", "animation", "mystery", "western"],
+    _MOVIE_SYL, 14, seed=502)
+
+# --------------------------------------------------------------------------- #
+# book domain (Books2)
+# --------------------------------------------------------------------------- #
+_BOOK_SYL = ("lib", "chap", "nov", "tome", "scrib", "pag", "fol", "vel",
+             "quil", "ink")
+
+BOOK_TITLE_WORDS = _pool(
+    ["history", "garden", "journey", "letters", "memory", "winter",
+     "daughter", "secrets", "island", "promise", "truth", "stories",
+     "shadows", "light", "kingdom", "voyage", "silence", "wonder"],
+    _BOOK_SYL, 70, seed=601)
+
+PUBLISHERS = _pool(
+    ["penguin", "harper", "random house", "scholastic", "macmillan",
+     "vintage", "anchor", "bantam", "doubleday"],
+    _BOOK_SYL, 14, seed=602)
+
+BOOK_FORMATS = ("hardcover", "paperback", "ebook", "audiobook")
+LANGUAGES = ("english", "spanish", "french", "german")
+
+
+def person_name(rng: np.random.Generator) -> Tuple[str, str]:
+    """Draw a (first, last) name pair from the shared name pools."""
+    first = FIRST_NAMES[int(rng.integers(len(FIRST_NAMES)))]
+    last = LAST_NAMES[int(rng.integers(len(LAST_NAMES)))]
+    return first, last

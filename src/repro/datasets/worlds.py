@@ -1,0 +1,260 @@
+"""Canonical-record factories ("worlds") per domain.
+
+A *world record* is the ground-truth entity; each benchmark table renders it
+through its own schema and style.  ``generate`` draws a fresh record and
+``similar`` draws a *hard negative*: a different entity that shares salient
+fields (same brand different model, same album different track, ...), which
+is what makes the matching task non-trivial.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from . import vocabularies as V
+
+Record = Dict[str, object]
+
+
+class World:
+    """Interface for canonical-record factories."""
+
+    domain: str = ""
+
+    def generate(self, rng: np.random.Generator) -> Record:
+        raise NotImplementedError
+
+    def similar(self, record: Record, rng: np.random.Generator) -> Record:
+        """A distinct record sharing salient fields with ``record``."""
+        raise NotImplementedError
+
+
+class ProductWorld(World):
+    """Consumer products: brand, line, model number, type, descriptors."""
+
+    domain = "product"
+
+    def generate(self, rng: np.random.Generator) -> Record:
+        brand = V.PRODUCT_BRANDS[int(rng.integers(len(V.PRODUCT_BRANDS)))]
+        ptype = V.PRODUCT_TYPES[int(rng.integers(len(V.PRODUCT_TYPES)))]
+        descriptors = list(dict.fromkeys(
+            V.PRODUCT_DESCRIPTORS[int(i)]
+            for i in rng.choice(len(V.PRODUCT_DESCRIPTORS), size=4,
+                                replace=False)))
+        model = self._model_number(brand, rng)
+        return {
+            "brand": brand,
+            "ptype": ptype,
+            "line": descriptors[0],
+            "descriptors": descriptors[1:],
+            "model": model,
+            "price": float(np.round(rng.uniform(20, 2500), 2)),
+            "category": V.PRODUCT_CATEGORIES[
+                int(rng.integers(len(V.PRODUCT_CATEGORIES)))],
+        }
+
+    def similar(self, record: Record, rng: np.random.Generator) -> Record:
+        sibling = self.generate(rng)
+        # Same brand and product type, different model/line: the classic
+        # hard negative in product matching.
+        sibling["brand"] = record["brand"]
+        sibling["ptype"] = record["ptype"]
+        sibling["category"] = record["category"]
+        return sibling
+
+    @staticmethod
+    def _model_number(brand: str, rng: np.random.Generator) -> str:
+        letters = brand[:2]
+        digits = "".join(str(int(d)) for d in rng.integers(0, 10, size=4))
+        suffix = "abcdex"[int(rng.integers(6))]
+        return f"{letters}{digits}{suffix}"
+
+
+class WdcWorld(ProductWorld):
+    """WDC product offers of one category; titles share one vocabulary.
+
+    All four categories use the same descriptor pool (only the category noun
+    differs), matching the paper's observation that WDC datasets follow the
+    same word vocabulary and therefore show little domain shift.
+    """
+
+    def __init__(self, category: str):
+        if category not in V.WDC_CATEGORY_NOUNS:
+            raise ValueError(f"unknown WDC category {category!r}")
+        self.category = category
+
+    def generate(self, rng: np.random.Generator) -> Record:
+        record = super().generate(rng)
+        nouns = V.WDC_CATEGORY_NOUNS[self.category]
+        record["ptype"] = nouns[int(rng.integers(len(nouns)))]
+        record["category"] = self.category
+        # Web offers carry longer, noisier titles.
+        extra = list(dict.fromkeys(
+            V.PRODUCT_DESCRIPTORS[int(i)]
+            for i in rng.choice(len(V.PRODUCT_DESCRIPTORS), size=4,
+                                replace=False)))
+        record["descriptors"] = list(record["descriptors"]) + extra
+        return record
+
+    def similar(self, record: Record, rng: np.random.Generator) -> Record:
+        sibling = self.generate(rng)
+        sibling["brand"] = record["brand"]
+        sibling["ptype"] = record["ptype"]
+        return sibling
+
+
+class CitationWorld(World):
+    """Bibliographic records: title, author list, venue, year."""
+
+    domain = "citation"
+
+    def generate(self, rng: np.random.Generator) -> Record:
+        n_title = int(rng.integers(4, 9))
+        title_words = [V.CITATION_TOPIC_WORDS[int(i)] for i in
+                       rng.choice(len(V.CITATION_TOPIC_WORDS), size=n_title,
+                                  replace=False)]
+        n_authors = int(rng.integers(2, 5))
+        authors = [V.person_name(rng) for __ in range(n_authors)]
+        return {
+            "title_words": title_words,
+            "authors": authors,
+            "venue": V.CITATION_VENUES[int(rng.integers(len(V.CITATION_VENUES)))],
+            "year": int(rng.integers(1990, 2021)),
+        }
+
+    def similar(self, record: Record, rng: np.random.Generator) -> Record:
+        sibling = self.generate(rng)
+        # Same first author and venue, overlapping title words: near-duplicate
+        # papers by the same group.
+        sibling["authors"] = [record["authors"][0]] + sibling["authors"][1:]
+        sibling["venue"] = record["venue"]
+        overlap = list(record["title_words"][:3])
+        sibling["title_words"] = overlap + list(sibling["title_words"][3:])
+        return sibling
+
+
+class RestaurantWorld(World):
+    """Restaurants: name, address, city, phone, cuisine."""
+
+    domain = "restaurant"
+
+    def generate(self, rng: np.random.Generator) -> Record:
+        n_name = int(rng.integers(2, 4))
+        name_words = [V.RESTAURANT_NAME_WORDS[int(i)] for i in
+                      rng.choice(len(V.RESTAURANT_NAME_WORDS), size=n_name,
+                                 replace=False)]
+        phone = "{}-{}-{}".format(
+            int(rng.integers(200, 999)), int(rng.integers(200, 999)),
+            int(rng.integers(1000, 9999)))
+        return {
+            "name_words": name_words,
+            "cuisine": V.CUISINES[int(rng.integers(len(V.CUISINES)))],
+            "street_no": int(rng.integers(1, 9999)),
+            "street": V.STREET_NAMES[int(rng.integers(len(V.STREET_NAMES)))],
+            "city": V.CITIES[int(rng.integers(len(V.CITIES)))],
+            "phone": phone,
+            "stars": int(rng.integers(1, 6)),
+        }
+
+    def similar(self, record: Record, rng: np.random.Generator) -> Record:
+        sibling = self.generate(rng)
+        # Same city and cuisine — e.g. two italian places in the same town —
+        # and share one name word (chains, "golden dragon" vs "golden lotus").
+        sibling["city"] = record["city"]
+        sibling["cuisine"] = record["cuisine"]
+        sibling["name_words"] = ([record["name_words"][0]]
+                                 + list(sibling["name_words"][1:]))
+        return sibling
+
+
+class MusicWorld(World):
+    """Songs: track, artist, album, genre, duration, price, year."""
+
+    domain = "music"
+
+    def generate(self, rng: np.random.Generator) -> Record:
+        def words(pool, low, high):
+            n = int(rng.integers(low, high))
+            return [pool[int(i)] for i in
+                    rng.choice(len(pool), size=n, replace=False)]
+
+        return {
+            "song_words": words(V.SONG_WORDS, 2, 5),
+            "artist_words": words(V.ARTIST_WORDS, 2, 3),
+            "album_words": words(V.SONG_WORDS, 2, 4),
+            "genre": V.GENRES[int(rng.integers(len(V.GENRES)))],
+            "seconds": int(rng.integers(120, 420)),
+            "price": float(rng.choice([0.99, 1.29])),
+            "year": int(rng.integers(1980, 2021)),
+        }
+
+    def similar(self, record: Record, rng: np.random.Generator) -> Record:
+        sibling = self.generate(rng)
+        # Another track on the same album: the canonical iTunes-Amazon trap.
+        sibling["artist_words"] = list(record["artist_words"])
+        sibling["album_words"] = list(record["album_words"])
+        sibling["genre"] = record["genre"]
+        sibling["year"] = record["year"]
+        return sibling
+
+
+class MovieWorld(World):
+    """Movies: title, director, year, genre."""
+
+    domain = "movies"
+
+    def generate(self, rng: np.random.Generator) -> Record:
+        n_title = int(rng.integers(2, 5))
+        title_words = [V.MOVIE_TITLE_WORDS[int(i)] for i in
+                       rng.choice(len(V.MOVIE_TITLE_WORDS), size=n_title,
+                                  replace=False)]
+        first, last = V.person_name(rng)
+        return {
+            "title_words": title_words,
+            "director": f"{first} {last}",
+            "year": int(rng.integers(1960, 2021)),
+            "genre": V.MOVIE_GENRES[int(rng.integers(len(V.MOVIE_GENRES)))],
+        }
+
+    def similar(self, record: Record, rng: np.random.Generator) -> Record:
+        sibling = self.generate(rng)
+        # Sequels: same director, one shared title word.
+        sibling["director"] = record["director"]
+        sibling["title_words"] = ([record["title_words"][0]]
+                                  + list(sibling["title_words"][1:]))
+        return sibling
+
+
+class BookWorld(World):
+    """Books: title, author, ISBN, publisher, pages, price, format."""
+
+    domain = "books"
+
+    def generate(self, rng: np.random.Generator) -> Record:
+        n_title = int(rng.integers(2, 5))
+        title_words = [V.BOOK_TITLE_WORDS[int(i)] for i in
+                       rng.choice(len(V.BOOK_TITLE_WORDS), size=n_title,
+                                  replace=False)]
+        first, last = V.person_name(rng)
+        isbn = "978" + "".join(str(int(d)) for d in rng.integers(0, 10, size=10))
+        return {
+            "title_words": title_words,
+            "author": f"{first} {last}",
+            "isbn": isbn,
+            "publisher": V.PUBLISHERS[int(rng.integers(len(V.PUBLISHERS)))],
+            "pages": int(rng.integers(80, 1200)),
+            "price": float(np.round(rng.uniform(5, 60), 2)),
+            "format": V.BOOK_FORMATS[int(rng.integers(len(V.BOOK_FORMATS)))],
+            "year": int(rng.integers(1950, 2021)),
+            "language": V.LANGUAGES[int(rng.integers(len(V.LANGUAGES)))],
+        }
+
+    def similar(self, record: Record, rng: np.random.Generator) -> Record:
+        sibling = self.generate(rng)
+        # Same author and publisher: different book, same shelf.
+        sibling["author"] = record["author"]
+        sibling["publisher"] = record["publisher"]
+        sibling["language"] = record["language"]
+        return sibling

@@ -1,0 +1,32 @@
+"""Experiment registry: one entry per evaluation table and figure."""
+
+from .profiles import FAST, FULL, PROFILES, STANDARD, Profile, bench_profile
+from .paper_numbers import PAPER_TABLES, paper_delta_f1
+from .report import compare_table, render_report, render_table_report, shape_checks
+from .results import ResultStore
+from .runner import (ALL_METHODS, EXTENSION_METHODS, MethodScore, PairTask,
+                     delta_f1, prepare_task, run_method, run_pair, shared_lm)
+from .tables import (TABLE3_PAIRS, TABLE4_PAIRS, TABLE5_PAIRS, format_table,
+                     format_table2, run_table)
+from .findings import (FindingVerdict, check_finding_1, check_finding_2,
+                       check_finding_3, check_finding_4, check_finding_5,
+                       check_finding_6, check_finding_7, curve_volatility)
+from .figures import (Figure5Result, Figure6Point, Figure7Result,
+                      Figure8Result, Figure11Series, figure5, figure6,
+                      figure7, figure8, figure9, figure10, figure11)
+
+__all__ = [
+    "FAST", "FULL", "PROFILES", "STANDARD", "Profile", "bench_profile",
+    "ResultStore", "PAPER_TABLES", "paper_delta_f1",
+    "compare_table", "render_report", "render_table_report", "shape_checks",
+    "ALL_METHODS", "EXTENSION_METHODS", "MethodScore", "PairTask",
+    "delta_f1", "prepare_task", "run_method", "run_pair", "shared_lm",
+    "TABLE3_PAIRS", "TABLE4_PAIRS", "TABLE5_PAIRS", "format_table",
+    "format_table2", "run_table",
+    "FindingVerdict", "check_finding_1", "check_finding_2",
+    "check_finding_3", "check_finding_4", "check_finding_5",
+    "check_finding_6", "check_finding_7", "curve_volatility",
+    "Figure5Result", "Figure6Point", "Figure7Result", "Figure8Result",
+    "Figure11Series", "figure5", "figure6", "figure7", "figure8", "figure9",
+    "figure10", "figure11",
+]

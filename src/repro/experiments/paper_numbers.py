@@ -1,0 +1,104 @@
+"""The paper's published results, as data.
+
+Transcribed from Tables 3-5 of Tu et al. (SIGMOD 2022) so the report
+generator can place measured numbers next to the originals.  Values are F1
+means; the paper also reports standard deviations, which we omit here (the
+shape comparisons use means).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# (source, target) -> {method: mean F1}
+PAPER_TABLE3: Dict[Tuple[str, str], Dict[str, float]] = {
+    ("walmart_amazon", "abt_buy"): {
+        "noda": 65.8, "mmd": 72.6, "k_order": 68.3, "grl": 68.4,
+        "invgan": 56.0, "invgan_kd": 69.6, "ed": 39.4},
+    ("abt_buy", "walmart_amazon"): {
+        "noda": 56.9, "mmd": 71.1, "k_order": 62.0, "grl": 66.3,
+        "invgan": 47.5, "invgan_kd": 63.5, "ed": 45.7},
+    ("dblp_scholar", "dblp_acm"): {
+        "noda": 97.2, "mmd": 97.2, "k_order": 96.2, "grl": 96.9,
+        "invgan": 97.1, "invgan_kd": 97.2, "ed": 96.8},
+    ("dblp_acm", "dblp_scholar"): {
+        "noda": 77.8, "mmd": 91.5, "k_order": 88.9, "grl": 84.2,
+        "invgan": 92.1, "invgan_kd": 92.3, "ed": 90.5},
+    ("zomato_yelp", "fodors_zagats"): {
+        "noda": 85.4, "mmd": 92.2, "k_order": 87.7, "grl": 89.1,
+        "invgan": 94.5, "invgan_kd": 93.5, "ed": 78.0},
+    ("fodors_zagats", "zomato_yelp"): {
+        "noda": 47.6, "mmd": 64.5, "k_order": 72.6, "grl": 49.6,
+        "invgan": 29.7, "invgan_kd": 75.0, "ed": 0.0},
+}
+
+PAPER_TABLE4: Dict[Tuple[str, str], Dict[str, float]] = {
+    ("rotten_imdb", "abt_buy"): {
+        "noda": 40.6, "mmd": 43.6, "k_order": 41.4, "grl": 42.7,
+        "invgan": 23.8, "invgan_kd": 53.9, "ed": 13.8},
+    ("rotten_imdb", "walmart_amazon"): {
+        "noda": 38.4, "mmd": 41.5, "k_order": 41.9, "grl": 49.0,
+        "invgan": 35.1, "invgan_kd": 49.4, "ed": 30.7},
+    ("itunes_amazon", "dblp_acm"): {
+        "noda": 80.3, "mmd": 94.5, "k_order": 86.9, "grl": 92.1,
+        "invgan": 57.7, "invgan_kd": 94.4, "ed": 77.5},
+    ("itunes_amazon", "dblp_scholar"): {
+        "noda": 68.2, "mmd": 86.9, "k_order": 80.4, "grl": 85.4,
+        "invgan": 59.6, "invgan_kd": 89.1, "ed": 42.8},
+    ("books2", "fodors_zagats"): {
+        "noda": 49.6, "mmd": 91.5, "k_order": 78.2, "grl": 84.2,
+        "invgan": 93.5, "invgan_kd": 93.4, "ed": 78.1},
+    ("books2", "zomato_yelp"): {
+        "noda": 67.4, "mmd": 73.0, "k_order": 68.0, "grl": 54.0,
+        "invgan": 63.3, "invgan_kd": 81.8, "ed": 19.7},
+}
+
+PAPER_TABLE5: Dict[Tuple[str, str], Dict[str, float]] = {
+    ("wdc_computers", "wdc_watches"): {
+        "noda": 88.6, "mmd": 83.2, "k_order": 87.1, "grl": 86.7,
+        "invgan": 86.2, "invgan_kd": 86.4, "ed": 76.5},
+    ("wdc_watches", "wdc_computers"): {
+        "noda": 82.1, "mmd": 85.6, "k_order": 82.9, "grl": 83.3,
+        "invgan": 80.6, "invgan_kd": 84.6, "ed": 64.9},
+    ("wdc_cameras", "wdc_watches"): {
+        "noda": 87.1, "mmd": 84.2, "k_order": 86.0, "grl": 84.3,
+        "invgan": 85.9, "invgan_kd": 88.3, "ed": 68.5},
+    ("wdc_watches", "wdc_cameras"): {
+        "noda": 86.1, "mmd": 86.0, "k_order": 85.4, "grl": 86.7,
+        "invgan": 85.2, "invgan_kd": 83.9, "ed": 71.3},
+    ("wdc_shoes", "wdc_watches"): {
+        "noda": 83.6, "mmd": 83.2, "k_order": 82.6, "grl": 84.2,
+        "invgan": 83.3, "invgan_kd": 83.5, "ed": 69.7},
+    ("wdc_watches", "wdc_shoes"): {
+        "noda": 76.3, "mmd": 74.7, "k_order": 76.9, "grl": 76.5,
+        "invgan": 74.0, "invgan_kd": 77.0, "ed": 65.7},
+    ("wdc_computers", "wdc_shoes"): {
+        "noda": 71.6, "mmd": 75.2, "k_order": 74.5, "grl": 76.3,
+        "invgan": 72.9, "invgan_kd": 76.5, "ed": 62.1},
+    ("wdc_shoes", "wdc_computers"): {
+        "noda": 83.3, "mmd": 85.8, "k_order": 83.7, "grl": 83.8,
+        "invgan": 85.0, "invgan_kd": 82.3, "ed": 58.7},
+    ("wdc_cameras", "wdc_shoes"): {
+        "noda": 74.0, "mmd": 65.5, "k_order": 77.6, "grl": 76.9,
+        "invgan": 74.7, "invgan_kd": 76.5, "ed": 58.6},
+    ("wdc_shoes", "wdc_cameras"): {
+        "noda": 79.4, "mmd": 81.9, "k_order": 82.0, "grl": 83.2,
+        "invgan": 85.0, "invgan_kd": 87.6, "ed": 69.5},
+    ("wdc_computers", "wdc_cameras"): {
+        "noda": 83.9, "mmd": 84.0, "k_order": 85.7, "grl": 84.3,
+        "invgan": 85.6, "invgan_kd": 86.7, "ed": 75.5},
+    ("wdc_cameras", "wdc_computers"): {
+        "noda": 87.0, "mmd": 88.0, "k_order": 87.1, "grl": 87.2,
+        "invgan": 86.4, "invgan_kd": 87.8, "ed": 71.9},
+}
+
+PAPER_TABLES = {"table3": PAPER_TABLE3, "table4": PAPER_TABLE4,
+                "table5": PAPER_TABLE5}
+
+
+def paper_delta_f1(table: Dict[Tuple[str, str], Dict[str, float]],
+                   pair: Tuple[str, str]) -> float:
+    """The paper's Δ F1 for one row: best DA method minus NoDA."""
+    row = table[pair]
+    best = max(v for k, v in row.items() if k != "noda")
+    return best - row["noda"]

@@ -1,0 +1,79 @@
+"""Experiment profiles: one knob bundle per compute budget.
+
+The paper ran on 4 RTX GPUs; this reproduction targets a single CPU, so the
+same harness runs at three sizes.  ``fast`` drives the test suite and the
+default benchmark run; ``standard`` regenerates the numbers recorded in
+EXPERIMENTS.md; ``full`` approaches paper-sized datasets (hours of CPU).
+Select at the bench level with ``REPRO_BENCH_PROFILE``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..train import TrainConfig
+
+
+@dataclass(frozen=True)
+class Profile:
+    """All scale knobs of one experiment run."""
+
+    name: str
+    data_scale: float
+    lm_dim: int
+    lm_layers: int
+    lm_heads: int
+    max_len: int
+    pretrain_steps: int
+    pretrain_corpus_scale: float
+    epochs: int
+    batch_size: int
+    iterations_per_epoch: Optional[int]
+    learning_rate: float
+    beta: float
+    repeats: int  # the paper repeats every run 3 times
+
+    def train_config(self, seed: int = 0, **overrides) -> TrainConfig:
+        config = TrainConfig(
+            epochs=self.epochs, batch_size=self.batch_size,
+            learning_rate=self.learning_rate, beta=self.beta,
+            iterations_per_epoch=self.iterations_per_epoch, seed=seed)
+        return replace(config, **overrides) if overrides else config
+
+    def lm_kwargs(self) -> dict:
+        return dict(dim=self.lm_dim, num_layers=self.lm_layers,
+                    num_heads=self.lm_heads, max_len=self.max_len,
+                    corpus_scale=self.pretrain_corpus_scale,
+                    steps=self.pretrain_steps)
+
+
+FAST = Profile(
+    name="fast", data_scale=0.15, lm_dim=32, lm_layers=1, lm_heads=2,
+    max_len=96, pretrain_steps=150, pretrain_corpus_scale=0.01,
+    epochs=5, batch_size=16, iterations_per_epoch=8, learning_rate=1e-3,
+    beta=0.1, repeats=1)
+
+STANDARD = Profile(
+    name="standard", data_scale=0.2, lm_dim=48, lm_layers=2, lm_heads=4,
+    max_len=112, pretrain_steps=500, pretrain_corpus_scale=0.03,
+    epochs=12, batch_size=16, iterations_per_epoch=None, learning_rate=1e-3,
+    beta=0.1, repeats=3)
+
+FULL = Profile(
+    name="full", data_scale=1.0, lm_dim=64, lm_layers=2, lm_heads=4,
+    max_len=112, pretrain_steps=2000, pretrain_corpus_scale=0.1,
+    epochs=40, batch_size=32, iterations_per_epoch=None, learning_rate=1e-3,
+    beta=0.1, repeats=3)
+
+PROFILES = {p.name: p for p in (FAST, STANDARD, FULL)}
+
+
+def bench_profile() -> Profile:
+    """Profile for benchmark runs, from ``REPRO_BENCH_PROFILE`` (default fast)."""
+    name = os.environ.get("REPRO_BENCH_PROFILE", "fast").lower()
+    if name not in PROFILES:
+        raise KeyError(f"unknown profile {name!r}; choose from "
+                       f"{sorted(PROFILES)}")
+    return PROFILES[name]

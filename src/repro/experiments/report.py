@@ -1,0 +1,110 @@
+"""Render paper-vs-measured comparison reports from stored results.
+
+``python -m repro report`` (or :func:`render_report`) reads the JSON rows
+the table benches persisted via :class:`ResultStore` and lays them next to
+the paper's published numbers, checking the qualitative *shape* claims the
+reproduction targets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .paper_numbers import PAPER_TABLES, paper_delta_f1
+from .results import ResultStore
+from .runner import MethodScore
+
+
+def _measured_delta(row: Dict[str, object]) -> Optional[float]:
+    value = row.get("delta_f1")
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def compare_table(table_name: str, rows: Sequence[Dict[str, object]]
+                  ) -> List[Dict[str, object]]:
+    """Join measured table rows with the paper's numbers, per pair."""
+    paper = PAPER_TABLES[table_name]
+    comparison = []
+    for row in rows:
+        pair = (str(row["source"]), str(row["target"]))
+        if pair not in paper:
+            continue
+        noda = row.get("noda")
+        measured_noda = noda.mean if isinstance(noda, MethodScore) else None
+        comparison.append({
+            "pair": pair,
+            "paper_noda": paper[pair]["noda"],
+            "measured_noda": measured_noda,
+            "paper_delta": paper_delta_f1(paper, pair),
+            "measured_delta": _measured_delta(row),
+        })
+    return comparison
+
+
+def shape_checks(table_name: str,
+                 comparison: Sequence[Dict[str, object]]) -> List[str]:
+    """Human-readable verdicts on the table's qualitative claims."""
+    verdicts = []
+    for entry in comparison:
+        pair = "->".join(entry["pair"])
+        paper_delta = entry["paper_delta"]
+        measured_delta = entry["measured_delta"]
+        if measured_delta is None:
+            continue
+        if paper_delta > 2.0:
+            ok = measured_delta > 0
+            verdicts.append(
+                f"{pair}: paper says DA helps (+{paper_delta:.1f}); "
+                f"measured {measured_delta:+.1f} -> "
+                f"{'REPRODUCED' if ok else 'NOT reproduced'}")
+        else:
+            ok = abs(measured_delta) < 15.0
+            verdicts.append(
+                f"{pair}: paper says little headroom "
+                f"({paper_delta:+.1f}); measured {measured_delta:+.1f} -> "
+                f"{'consistent' if ok else 'inconsistent'}")
+    return verdicts
+
+
+def render_table_report(table_name: str,
+                        rows: Sequence[Dict[str, object]]) -> str:
+    """Markdown block: measured vs paper for one table."""
+    comparison = compare_table(table_name, rows)
+    lines = [f"### {table_name} — paper vs measured", "",
+             "| pair | NoDA (paper) | NoDA (ours) | ΔF1 (paper) | "
+             "ΔF1 (ours) |", "|---|---|---|---|---|"]
+    for entry in comparison:
+        pair = "->".join(entry["pair"])
+        measured_noda = entry["measured_noda"]
+        measured_delta = entry["measured_delta"]
+        noda_cell = (f"{measured_noda:.1f}" if measured_noda is not None
+                     else "-")
+        delta_cell = (f"{measured_delta:+.1f}" if measured_delta is not None
+                      else "-")
+        lines.append(f"| {pair} | {entry['paper_noda']:.1f} | {noda_cell} | "
+                     f"{entry['paper_delta']:+.1f} | {delta_cell} |")
+    lines.append("")
+    for verdict in shape_checks(table_name, comparison):
+        lines.append(f"- {verdict}")
+    return "\n".join(lines)
+
+
+def render_report(store: Optional[ResultStore] = None,
+                  profile_name: str = "fast") -> str:
+    """Full markdown report over every stored table result."""
+    store = store or ResultStore()
+    sections = ["# Reproduction report", ""]
+    found = False
+    for table_name in ("table3", "table4", "table5"):
+        key = f"{table_name}_{profile_name}"
+        if not store.exists(key):
+            continue
+        found = True
+        rows = store.load(key)
+        sections.append(render_table_report(table_name, rows))
+        sections.append("")
+    if not found:
+        sections.append(
+            f"_No stored results for profile {profile_name!r}. Run "
+            f"`pytest benchmarks/ --benchmark-only` first._")
+    return "\n".join(sections)

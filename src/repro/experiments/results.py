@@ -1,0 +1,85 @@
+"""Persist experiment outputs as JSON.
+
+EXPERIMENTS.md records paper-vs-measured numbers; this store keeps the raw
+measured rows/series so the document can be regenerated (and so benchmark
+reruns can diff against previous runs).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from .runner import MethodScore
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert experiment objects to JSON-safe structures."""
+    if isinstance(value, MethodScore):
+        return {"__method_score__": True, "method": value.method,
+                "runs": list(value.runs)}
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in asdict(value).items()}
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def _revive(value: Any) -> Any:
+    if isinstance(value, dict):
+        if value.get("__method_score__"):
+            return MethodScore(value["method"], list(value["runs"]))
+        return {k: _revive(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_revive(v) for v in value]
+    return value
+
+
+class ResultStore:
+    """A directory of named JSON result documents."""
+
+    def __init__(self, root: Union[str, Path] = ".cache/results"):
+        self.root = Path(root)
+
+    def _path(self, name: str) -> Path:
+        if not name or "/" in name:
+            raise ValueError(f"bad result name {name!r}")
+        return self.root / f"{name}.json"
+
+    def save(self, name: str, payload: Any,
+             metadata: Optional[Dict[str, Any]] = None) -> Path:
+        """Write ``payload`` (rows, series, dataclasses...) under ``name``."""
+        path = self._path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {"name": name, "metadata": _jsonable(metadata or {}),
+                    "payload": _jsonable(payload)}
+        path.write_text(json.dumps(document, indent=2, sort_keys=True))
+        return path
+
+    def load(self, name: str) -> Any:
+        """Load a previously saved payload."""
+        path = self._path(name)
+        if not path.exists():
+            raise FileNotFoundError(f"no stored result named {name!r}")
+        document = json.loads(path.read_text())
+        return _revive(document["payload"])
+
+    def exists(self, name: str) -> bool:
+        return self._path(name).exists()
+
+    def names(self) -> list:
+        if not self.root.exists():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.json"))

@@ -1,0 +1,156 @@
+"""Shared experiment machinery: run one source→target adaptation task.
+
+Implements §6.1's protocol end to end: load datasets, 1:9 target
+valid/test split, fine-tune from the cached pre-trained mini-LM, train NoDA
+and/or any aligner, repeat over seeds, and report mean ± std F1 — the
+numbers each table cell of the paper carries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..aligners import make_aligner
+from ..data import ERDataset, target_da_split
+from ..datasets import load_dataset, spec_for
+from ..extractors import FeatureExtractor, RnnExtractor
+from ..matcher import MlpMatcher
+from ..pretrain import fresh_copy, pretrained_lm
+from ..text import Vocabulary
+from ..train import (AdaptationResult, TrainConfig, train_gan, train_joint,
+                     train_source_only)
+from .profiles import Profile
+
+GAN_METHODS = {"invgan", "invgan_kd"}
+ALL_METHODS = ("noda", "mmd", "k_order", "grl", "invgan", "invgan_kd", "ed")
+EXTENSION_METHODS = ("cmd", "pseudo_label")  # beyond the paper's Table 1
+
+
+@dataclass
+class MethodScore:
+    """Mean ± std F1 (in percent) over the repeat runs of one method."""
+
+    method: str
+    runs: List[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.runs)) if self.runs else 0.0
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.runs)) if len(self.runs) > 1 else 0.0
+
+    def formatted(self) -> str:
+        return f"{self.mean:.1f} ± {self.std:.1f}"
+
+
+@dataclass
+class PairTask:
+    """A prepared source→target adaptation task."""
+
+    source_name: str
+    target_name: str
+    source: ERDataset
+    target_train: ERDataset
+    target_valid: ERDataset
+    target_test: ERDataset
+
+    @property
+    def label(self) -> str:
+        return f"{self.source_name}->{self.target_name}"
+
+
+def prepare_task(source_name: str, target_name: str, profile: Profile,
+                 seed: int = 0) -> PairTask:
+    """Load datasets and apply the §6.1 target split."""
+    source = load_dataset(source_name, scale=profile.data_scale, seed=seed)
+    target = load_dataset(target_name, scale=profile.data_scale, seed=seed)
+    valid, test = target_da_split(target, np.random.default_rng(seed + 1))
+    return PairTask(spec_for(source_name).key, spec_for(target_name).key,
+                    source, target.without_labels(), valid, test)
+
+
+def shared_lm(profile: Profile, seed: int = 0):
+    """The cached pre-trained mini-LM for this profile."""
+    extractor, vocab = pretrained_lm(seed=seed, **profile.lm_kwargs())
+    return extractor, vocab
+
+
+def _rnn_extractor(task: PairTask, profile: Profile,
+                   seed: int) -> RnnExtractor:
+    vocab = Vocabulary.build(task.source.texts() + task.target_train.texts(),
+                             max_size=3000)
+    return RnnExtractor(vocab, np.random.default_rng(seed),
+                        max_len=profile.max_len)
+
+
+def run_method(method: str, task: PairTask, profile: Profile,
+               seed: int = 0, extractor_kind: str = "lm",
+               config: Optional[TrainConfig] = None) -> AdaptationResult:
+    """Train one method on one task and return its result.
+
+    ``extractor_kind`` switches between the pre-trained LM (default) and
+    the from-scratch RNN (Figure 9).
+    """
+    if method not in ALL_METHODS + EXTENSION_METHODS:
+        raise ValueError(f"unknown method {method!r}; choose from "
+                         f"{ALL_METHODS + EXTENSION_METHODS}")
+    if extractor_kind == "lm":
+        base, __ = shared_lm(profile)
+        extractor: FeatureExtractor = fresh_copy(base, seed=seed)
+    elif extractor_kind == "rnn":
+        extractor = _rnn_extractor(task, profile, seed)
+    else:
+        raise ValueError(f"unknown extractor kind {extractor_kind!r}")
+    matcher = MlpMatcher(extractor.feature_dim,
+                         np.random.default_rng(seed + 17))
+    config = config or profile.train_config(seed=seed)
+
+    if method == "noda":
+        return train_source_only(extractor, matcher, task.source,
+                                 task.target_valid, task.target_test, config)
+    if method == "pseudo_label":
+        from ..train import train_pseudo_label
+        return train_pseudo_label(extractor, matcher, task.source,
+                                  task.target_train, task.target_valid,
+                                  task.target_test, config)
+    aligner = make_aligner(method, extractor.feature_dim,
+                           np.random.default_rng(seed + 29),
+                           vocab=extractor.vocab if method == "ed" else None,
+                           max_len=extractor.max_len if method == "ed" else 64)
+    if method in GAN_METHODS:
+        return train_gan(extractor, matcher, aligner, task.source,
+                         task.target_train, task.target_valid,
+                         task.target_test, config)
+    return train_joint(extractor, matcher, aligner, task.source,
+                       task.target_train, task.target_valid,
+                       task.target_test, config)
+
+
+def run_pair(source_name: str, target_name: str, profile: Profile,
+             methods: Sequence[str] = ALL_METHODS,
+             extractor_kind: str = "lm") -> Dict[str, MethodScore]:
+    """All requested methods on one pair, repeated ``profile.repeats`` times."""
+    scores = {method: MethodScore(method) for method in methods}
+    for repeat in range(profile.repeats):
+        task = prepare_task(source_name, target_name, profile, seed=repeat)
+        for method in methods:
+            result = run_method(method, task, profile, seed=repeat,
+                                extractor_kind=extractor_kind)
+            scores[method].runs.append(result.best_f1)
+    return scores
+
+
+def delta_f1(scores: Dict[str, MethodScore]) -> float:
+    """The tables' Δ F1: best DA method minus NoDA."""
+    if "noda" not in scores:
+        raise KeyError("delta_f1 needs a NoDA column")
+    da_methods = [s for name, s in scores.items() if name != "noda"]
+    if not da_methods:
+        raise ValueError("no DA methods in scores")
+    best = max(s.mean for s in da_methods)
+    return best - scores["noda"].mean

@@ -1,0 +1,92 @@
+"""Tables 2-5: dataset statistics and the three overall-results tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..datasets import table2_rows
+from .profiles import Profile
+from .runner import ALL_METHODS, MethodScore, delta_f1, run_pair
+
+# §6.2.1 — similar domains (Table 3)
+TABLE3_PAIRS = (
+    ("walmart_amazon", "abt_buy"),
+    ("abt_buy", "walmart_amazon"),
+    ("dblp_scholar", "dblp_acm"),
+    ("dblp_acm", "dblp_scholar"),
+    ("zomato_yelp", "fodors_zagats"),
+    ("fodors_zagats", "zomato_yelp"),
+)
+
+# §6.2.1 — different domains (Table 4)
+TABLE4_PAIRS = (
+    ("rotten_imdb", "abt_buy"),
+    ("rotten_imdb", "walmart_amazon"),
+    ("itunes_amazon", "dblp_acm"),
+    ("itunes_amazon", "dblp_scholar"),
+    ("books2", "fodors_zagats"),
+    ("books2", "zomato_yelp"),
+)
+
+# Table 5 — WDC cross-category (12 ordered pairs, paper order)
+TABLE5_PAIRS = (
+    ("wdc_computers", "wdc_watches"),
+    ("wdc_watches", "wdc_computers"),
+    ("wdc_cameras", "wdc_watches"),
+    ("wdc_watches", "wdc_cameras"),
+    ("wdc_shoes", "wdc_watches"),
+    ("wdc_watches", "wdc_shoes"),
+    ("wdc_computers", "wdc_shoes"),
+    ("wdc_shoes", "wdc_computers"),
+    ("wdc_cameras", "wdc_shoes"),
+    ("wdc_shoes", "wdc_cameras"),
+    ("wdc_computers", "wdc_cameras"),
+    ("wdc_cameras", "wdc_computers"),
+)
+
+
+def run_table(pairs: Sequence, profile: Profile,
+              methods: Sequence[str] = ALL_METHODS
+              ) -> List[Dict[str, object]]:
+    """One row per source→target pair: per-method scores and Δ F1."""
+    rows = []
+    for source, target in pairs:
+        scores = run_pair(source, target, profile, methods)
+        row: Dict[str, object] = {"source": source, "target": target}
+        row.update({name: score for name, score in scores.items()})
+        if "noda" in scores and len(scores) > 1:
+            row["delta_f1"] = delta_f1(scores)
+        rows.append(row)
+    return rows
+
+
+def format_table(rows: Sequence[Dict[str, object]],
+                 methods: Sequence[str]) -> str:
+    """Paper-style text table: one line per pair, F1 mean ± std columns."""
+    header = (f"{'Source':18s} {'Target':18s} "
+              + " ".join(f"{m:>14s}" for m in methods) + f" {'dF1':>6s}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = []
+        for method in methods:
+            score = row.get(method)
+            cells.append(f"{score.formatted():>14s}"
+                         if isinstance(score, MethodScore) else f"{'-':>14s}")
+        delta = row.get("delta_f1")
+        delta_text = f"{delta:6.1f}" if isinstance(delta, float) else "     -"
+        lines.append(f"{row['source']:18s} {row['target']:18s} "
+                     + " ".join(cells) + f" {delta_text}")
+    return "\n".join(lines)
+
+
+def format_table2(scale: float = 1.0) -> str:
+    """Regenerate Table 2 (dataset statistics) as text."""
+    rows = table2_rows(scale=scale)
+    header = (f"{'Dataset':26s} {'Domain':12s} {'#Pairs':>8s} "
+              f"{'#Matches':>9s} {'#Attrs':>7s}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(f"{row['name']:26s} {row['domain']:12s} "
+                     f"{row['pairs']:8d} {row['matches']:9d} "
+                     f"{row['attributes']:7d}")
+    return "\n".join(lines)

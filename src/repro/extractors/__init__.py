@@ -1,0 +1,8 @@
+"""Feature extractors F: RNN and pre-trained-LM designs (Table 1)."""
+
+from .base import FeatureExtractor
+from .rnn import RnnExtractor
+from .transformer import MlmHead, TransformerExtractor
+
+__all__ = ["FeatureExtractor", "RnnExtractor", "TransformerExtractor",
+           "MlmHead"]

@@ -1,0 +1,55 @@
+"""RNN feature extractor (design choice I of Table 1).
+
+Follows the paper's §4.2: a *universal* bidirectional RNN over the serialized
+pair (one RNN shared by all attributes, as in DTAL, so source and target may
+have different schemas), summarized into one entity-pair similarity
+embedding.  The embedding is trained from scratch — no pre-training — which
+is exactly why its transferability is weak (Finding 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import BiGRU, Embedding, Linear, Tensor, masked_mean
+from ..nn.rnn import BiLSTM
+from ..text import Vocabulary
+from .base import FeatureExtractor
+
+
+class RnnExtractor(FeatureExtractor):
+    """Bidirectional RNN over the serialized entity pair.
+
+    Parameters
+    ----------
+    vocab:
+        Token vocabulary (typically built from source + target texts).
+    embedding_dim / hidden_dim:
+        Word-embedding width and per-direction RNN width.
+    feature_dim:
+        Output feature width ``d`` (a linear head maps 2*hidden -> d).
+    cell:
+        ``"gru"`` (default) or ``"lstm"`` — both backbones of
+        DeepMatcher's Hybrid design.
+    """
+
+    def __init__(self, vocab: Vocabulary, rng: np.random.Generator,
+                 embedding_dim: int = 48, hidden_dim: int = 48,
+                 feature_dim: int = 64, max_len: int = 64,
+                 cell: str = "gru"):
+        super().__init__(vocab, max_len, feature_dim)
+        self.embedding = Embedding(len(vocab), embedding_dim, rng,
+                                   padding_idx=vocab.pad_id)
+        if cell == "gru":
+            self.encoder = BiGRU(embedding_dim, hidden_dim, rng)
+        elif cell == "lstm":
+            self.encoder = BiLSTM(embedding_dim, hidden_dim, rng)
+        else:
+            raise ValueError(f"unknown cell {cell!r}; use 'gru' or 'lstm'")
+        self.head = Linear(self.encoder.output_dim, feature_dim, rng)
+
+    def encode(self, ids: np.ndarray, mask: np.ndarray) -> Tensor:
+        embedded = self.embedding(ids)
+        states = self.encoder(embedded, mask=mask)
+        summary = masked_mean(states, mask)
+        return self.head(summary).tanh()

@@ -1,0 +1,98 @@
+"""Transformer-LM feature extractor (design choice II of Table 1).
+
+A miniature BERT: token + position embeddings, a stack of pre-norm encoder
+blocks, and the [CLS] state as the pair feature — exactly the paper's
+Example 1, scaled to run on a CPU.  Transferability comes from masked-LM
+pre-training over a multi-domain corpus (see :mod:`repro.pretrain`), which
+plays the role of the public BERT checkpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import (Embedding, LayerNorm, Linear, Tensor,
+                  TransformerEncoderLayer, additive_mask)
+from ..nn.module import Parameter
+from ..nn import init
+from ..text import Vocabulary
+from .base import FeatureExtractor
+
+
+class TransformerExtractor(FeatureExtractor):
+    """Mini-BERT encoder producing [CLS] features for entity pairs.
+
+    Besides token and position embeddings, the input carries an *overlap
+    indicator* channel marking tokens that occur in both entity segments.
+    A web-scale BERT computes this cross-segment token matching internally
+    with pre-trained attention heads; at mini scale we provide the channel
+    explicitly (in the spirit of Ditto's span-highlighting optimizations)
+    so transferability depends on token *structure*, not token identity —
+    which is exactly the property Finding 5 attributes to pre-trained LMs.
+    """
+
+    def __init__(self, vocab: Vocabulary, rng: np.random.Generator,
+                 dim: int = 64, num_layers: int = 2, num_heads: int = 4,
+                 hidden: Optional[int] = None, max_len: int = 64,
+                 dropout: float = 0.0):
+        super().__init__(vocab, max_len, feature_dim=dim)
+        hidden = hidden or 2 * dim
+        self.dim = dim
+        self.token_embedding = Embedding(len(vocab), dim, rng,
+                                         padding_idx=vocab.pad_id)
+        self.position_embedding = Parameter(
+            init.normal(rng, (max_len, dim)))
+        self.overlap_embedding = Embedding(2, dim, rng)
+        self.layers = [TransformerEncoderLayer(dim, num_heads, hidden, rng,
+                                               dropout)
+                       for __ in range(num_layers)]
+        self.final_norm = LayerNorm(dim)
+
+    def overlap_indicators(self, ids: np.ndarray) -> np.ndarray:
+        """Per-position 0/1: does this (non-special) token occur on both
+        sides of the ``[SEP]`` boundary of its serialized pair?"""
+        n, t = ids.shape
+        sep = self.vocab.sep_id
+        special_limit = self.vocab.num_special
+        indicators = np.zeros((n, t), dtype=np.int64)
+        for row in range(n):
+            seps = np.flatnonzero(ids[row] == sep)
+            if len(seps) == 0:
+                continue
+            boundary = int(seps[0])
+            left = ids[row, :boundary]
+            right = ids[row, boundary + 1:]
+            shared = (set(left[left >= special_limit].tolist())
+                      & set(right[right >= special_limit].tolist()))
+            if shared:
+                member = np.isin(ids[row], list(shared))
+                indicators[row] = member & (ids[row] >= special_limit)
+        return indicators
+
+    def hidden_states(self, ids: np.ndarray, mask: np.ndarray) -> Tensor:
+        """Per-token states (N, T, dim) — used by MLM and the ED decoder."""
+        n, t = ids.shape
+        if t > self.max_len:
+            raise ValueError(f"sequence length {t} exceeds max_len "
+                             f"{self.max_len}")
+        overlap = self.overlap_indicators(ids)
+        x = (self.token_embedding(ids) + self.position_embedding[:t]
+             + self.overlap_embedding(overlap))
+        bias = additive_mask(mask)
+        for layer in self.layers:
+            x = layer(x, bias)
+        return self.final_norm(x)
+
+    def encode(self, ids: np.ndarray, mask: np.ndarray) -> Tensor:
+        states = self.hidden_states(ids, mask)
+        return states[:, 0, :]  # the [CLS] position
+
+
+class MlmHead(Linear):
+    """Masked-language-model head: hidden states -> vocabulary logits."""
+
+    def __init__(self, extractor: TransformerExtractor,
+                 rng: np.random.Generator):
+        super().__init__(extractor.dim, len(extractor.vocab), rng)

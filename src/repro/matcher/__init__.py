@@ -1,0 +1,5 @@
+"""Matcher M: the binary match/non-match classifier head (Table 1)."""
+
+from .mlp import MlpMatcher
+
+__all__ = ["MlpMatcher"]

@@ -1,0 +1,42 @@
+"""MLP Matcher: features -> match probability (design of §4.2).
+
+Following Ditto, the default head is one fully connected layer feeding a
+two-way softmax; a deeper variant is available for the DeepMatcher-style
+baseline which classifies RNN similarity embeddings.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..nn import Module, Tensor, functional as F, mlp
+
+
+class MlpMatcher(Module):
+    """Binary classifier over pair features.
+
+    ``hidden`` of () reproduces Ditto's single-FC head; DeepMatcher's Hybrid
+    uses a two-layer head, e.g. ``hidden=(64,)``.
+    """
+
+    def __init__(self, feature_dim: int, rng: np.random.Generator,
+                 hidden: Sequence[int] = ()):
+        super().__init__()
+        sizes = [feature_dim, *hidden, 2]
+        self.network = mlp(sizes, rng, activation="relu")
+        self.feature_dim = feature_dim
+
+    def forward(self, features: Tensor) -> Tensor:
+        """Raw logits (N, 2); column 1 is the matching class."""
+        return self.network(features)
+
+    def probabilities(self, features: Tensor) -> np.ndarray:
+        """Match probabilities P(y=1 | x), detached."""
+        logits = self.forward(features)
+        return F.softmax(logits, axis=-1).data[:, 1]
+
+    def predict(self, features: Tensor, threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 predictions."""
+        return (self.probabilities(features) >= threshold).astype(np.int64)

@@ -1,0 +1,33 @@
+"""A minimal reverse-mode autograd and neural-network toolkit on numpy.
+
+This subpackage replaces PyTorch for the reproduction: tensors with a
+gradient tape, standard layers (linear, embedding, layer norm, attention,
+GRU), optimizers, and the losses DADER's training algorithms require.
+"""
+
+from .tensor import Tensor, concatenate, stack, where, no_grad_params
+from .module import Module, Parameter
+from .layers import (Activation, Dropout, Embedding, LayerNorm, Linear,
+                     Sequential, mlp)
+from .attention import (MultiHeadAttention, FeedForward,
+                        TransformerEncoderLayer, TransformerDecoderLayer,
+                        additive_mask)
+from .rnn import GRU, BiGRU, GRUCell, LSTM, LSTMCell, masked_mean
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .serialize import load_state, save_state
+from .schedule import ConstantSchedule, ExponentialDecay, LinearWarmupDecay, Scheduler
+from . import functional, init
+
+__all__ = [
+    "Tensor", "concatenate", "stack", "where", "no_grad_params",
+    "Module", "Parameter",
+    "Activation", "Dropout", "Embedding", "LayerNorm", "Linear",
+    "Sequential", "mlp",
+    "MultiHeadAttention", "FeedForward", "TransformerEncoderLayer",
+    "TransformerDecoderLayer", "additive_mask",
+    "GRU", "BiGRU", "GRUCell", "LSTM", "LSTMCell", "masked_mean",
+    "SGD", "Adam", "Optimizer", "clip_grad_norm",
+    "load_state", "save_state",
+    "ConstantSchedule", "ExponentialDecay", "LinearWarmupDecay", "Scheduler",
+    "functional", "init",
+]

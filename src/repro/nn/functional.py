@@ -1,0 +1,164 @@
+"""Differentiable functions built on :mod:`repro.nn.tensor`.
+
+Includes the losses the paper's training algorithms need: cross entropy for
+the matching loss L_M (Eq. 4), binary cross entropy for the adversarial
+domain-classification losses (Eqs. 8-11, 13-14), the knowledge-distillation
+loss L_KD (Eq. 12), and the token-level reconstruction loss L_REC (Eq. 15).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable ``log(softmax(x))`` along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray,
+                  weights: Optional[np.ndarray] = None) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer ``labels`` (N,).
+
+    ``weights`` optionally reweights each example — this is how the Reweight
+    baseline emphasizes source pairs similar to the target.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"cross_entropy expects 2-D logits, got {logits.shape}")
+    if labels.shape[0] != logits.shape[0]:
+        raise ValueError("labels and logits disagree on batch size")
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(len(labels)), labels]
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("example weights must sum to a positive value")
+        return -(picked * Tensor(weights)).sum() / total
+    return -picked.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean BCE on raw logits; stable for large magnitudes.
+
+    Uses the identity ``BCE = max(z,0) - z*y + log(1+exp(-|z|))``.
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    zeros = Tensor(np.zeros_like(logits.data))
+    from .tensor import where
+    positive_part = where(logits.data > 0, logits, zeros)
+    softplus = (1.0 + (-logits.abs()).exp()).log()
+    return (positive_part - logits * Tensor(targets) + softplus).mean()
+
+
+def kl_divergence(log_p: Tensor, log_q: Tensor) -> Tensor:
+    """Mean KL(p || q) per row from log-probabilities (p is detached)."""
+    p = Tensor(np.exp(log_p.data))  # treat the reference distribution as fixed
+    return (p * (Tensor(log_p.data) - log_q)).sum(axis=-1).mean()
+
+
+def distillation_loss(teacher_logits: Tensor, student_logits: Tensor,
+                      temperature: float = 2.0) -> Tensor:
+    """Knowledge-distillation loss L_KD of Eq. (12).
+
+    The teacher distribution ``softmax(teacher/t)`` is treated as constant (the
+    paper fixes M(F(.)) during adaptation); the student is trained to match it.
+    The usual ``t^2`` factor keeps gradient magnitudes comparable across
+    temperatures.
+    """
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    teacher_probs = _stable_softmax(teacher_logits.data / temperature)
+    student_log = log_softmax(student_logits * (1.0 / temperature), axis=-1)
+    per_example = -(Tensor(teacher_probs) * student_log).sum(axis=-1)
+    return per_example.mean() * (temperature ** 2)
+
+
+def token_cross_entropy(logits: Tensor, targets: np.ndarray,
+                        mask: Optional[np.ndarray] = None) -> Tensor:
+    """Token-level CE for sequence models: logits (N, T, V), targets (N, T).
+
+    ``mask`` (N, T) selects which positions contribute (padding excluded).
+    Used for the ED aligner's reconstruction loss and MLM pre-training.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    n, t, v = logits.shape
+    flat_logits = logits.reshape(n * t, v)
+    flat_targets = targets.reshape(n * t)
+    log_probs = log_softmax(flat_logits, axis=-1)
+    picked = log_probs[np.arange(n * t), flat_targets]
+    if mask is None:
+        return -picked.mean()
+    flat_mask = np.asarray(mask, dtype=np.float64).reshape(n * t)
+    denom = max(flat_mask.sum(), 1.0)
+    return -(picked * Tensor(flat_mask)).sum() / denom
+
+
+def focal_loss(logits: Tensor, labels: np.ndarray, gamma: float = 2.0,
+               alpha: Optional[float] = None) -> Tensor:
+    """Focal loss (Lin et al.): CE down-weighted on easy examples.
+
+    ER training sets are heavily imbalanced (Table 2 match rates run
+    9-36%); the focal term ``(1-p_t)^gamma`` keeps abundant easy negatives
+    from drowning the rare positives.  ``alpha`` optionally reweights the
+    positive class.
+    """
+    if gamma < 0:
+        raise ValueError("gamma must be non-negative")
+    labels = np.asarray(labels, dtype=np.int64)
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(len(labels)), labels]
+    p_t = picked.exp()
+    # Small epsilon keeps (1-p)^gamma differentiable at p == 1 for gamma < 1.
+    modulator = (1.0 - p_t).clip(1e-12, 1.0) ** gamma
+    per_example = -(modulator * picked)
+    if alpha is not None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        weights = np.where(labels == 1, alpha, 1.0 - alpha)
+        return (per_example * Tensor(weights)).sum() / max(weights.sum(),
+                                                           1e-12)
+    return per_example.mean()
+
+
+def mse(prediction: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target."""
+    diff = prediction - Tensor(np.asarray(target, dtype=np.float64))
+    return (diff * diff).mean()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    inner = (x + x * x * x * 0.044715) * np.sqrt(2.0 / np.pi)
+    return x * 0.5 * (1.0 + inner.tanh())
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator,
+            training: bool) -> Tensor:
+    """Inverted dropout: identity when ``training`` is False or rate is 0."""
+    if not training or rate <= 0.0:
+        return x
+    if rate >= 1.0:
+        raise ValueError("dropout rate must be < 1")
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep) / keep
+    return x * Tensor(mask)
+
+
+def _stable_softmax(values: np.ndarray) -> np.ndarray:
+    shifted = values - values.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)

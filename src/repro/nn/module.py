@@ -1,0 +1,106 @@
+"""Module system: parameter registration, train/eval mode, state dicts."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Module:
+    """Base class for neural-network components.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; :meth:`parameters` and :meth:`state_dict` discover them by
+    walking ``__dict__`` (including lists of modules), mirroring the familiar
+    torch-style API the paper's reference implementation uses.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- mode ---------------------------------------------------------- #
+    def train(self) -> "Module":
+        for module in self._child_modules():
+            module.train()
+        self.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self._child_modules():
+            module.eval()
+        self.training = False
+        return self
+
+    # -- discovery ------------------------------------------------------ #
+    def _child_modules(self) -> Iterator["Module"]:
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield item
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        for name, value in self.__dict__.items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{full}.{i}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{full}.{i}", item
+
+    def parameters(self) -> List[Tensor]:
+        return [param for __, param in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- persistence ----------------------------------------------------- #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)} "
+                f"unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {value.shape} vs {param.shape}")
+            param.data[...] = value
+
+    def clone_from(self, other: "Module") -> None:
+        """Copy all parameter values from a structurally identical module."""
+        self.load_state_dict(other.state_dict())
+
+    # -- call protocol ----------------------------------------------------- #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable parameter."""
+
+    def __init__(self, data, name=None):
+        super().__init__(data, requires_grad=True, name=name)

@@ -1,0 +1,67 @@
+"""Learning-rate schedules.
+
+Ditto fine-tunes with linear warmup + decay; the paper's Figure 7 studies
+sensitivity to the learning rate directly.  Schedules wrap an optimizer and
+mutate its ``lr`` per step.
+"""
+
+from __future__ import annotations
+
+from .optim import Optimizer
+
+
+class Scheduler:
+    """Base: call :meth:`step` once per optimizer step."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self._steps = 0
+
+    def step(self) -> float:
+        self._steps += 1
+        lr = self.lr_at(self._steps)
+        self.optimizer.lr = lr
+        return lr
+
+    def lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantSchedule(Scheduler):
+    """No-op schedule: keeps the base learning rate."""
+
+    def lr_at(self, step: int) -> float:
+        return self.base_lr
+
+
+class LinearWarmupDecay(Scheduler):
+    """Linear ramp to ``base_lr`` over ``warmup`` steps, then linear decay
+    to zero at ``total`` steps (the BERT/Ditto fine-tuning schedule)."""
+
+    def __init__(self, optimizer: Optimizer, warmup: int, total: int):
+        super().__init__(optimizer)
+        if total <= 0 or warmup < 0 or warmup > total:
+            raise ValueError("need 0 <= warmup <= total and total > 0")
+        self.warmup = warmup
+        self.total = total
+
+    def lr_at(self, step: int) -> float:
+        if self.warmup and step <= self.warmup:
+            return self.base_lr * step / self.warmup
+        remaining = max(self.total - step, 0)
+        denominator = max(self.total - self.warmup, 1)
+        return self.base_lr * remaining / denominator
+
+
+class ExponentialDecay(Scheduler):
+    """``lr = base * gamma^step`` — the classic smooth decay."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float):
+        super().__init__(optimizer)
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.gamma = gamma
+
+    def lr_at(self, step: int) -> float:
+        return self.base_lr * self.gamma ** step

@@ -1,0 +1,28 @@
+"""Persist module state dicts as ``.npz`` archives.
+
+Used to cache the pre-trained mini-LM so experiments and tests can reuse one
+pre-training run, exactly as the paper reuses one public BERT checkpoint.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from .module import Module
+
+
+def save_state(module: Module, path: Union[str, Path]) -> None:
+    """Write ``module.state_dict()`` to ``path`` (npz, compressed)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **module.state_dict())
+
+
+def load_state(module: Module, path: Union[str, Path]) -> None:
+    """Load a state dict saved by :func:`save_state` into ``module``."""
+    with np.load(Path(path)) as archive:
+        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)

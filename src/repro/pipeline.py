@@ -1,0 +1,131 @@
+"""End-to-end ER pipeline: blocking + adapted matching + persistence.
+
+The deployment-facing API: once a matcher has been adapted to a target
+domain (via :func:`repro.adapt` or the trainers), an :class:`ERPipeline`
+bundles it with a blocker so two raw tables go in and matched id pairs come
+out — the full §2 pipeline.  Pipelines persist to a directory and reload
+without retraining.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .blocking import OverlapBlocker
+from .data import Entity, EntityPair
+from .extractors import TransformerExtractor
+from .matcher import MlpMatcher
+from .nn import load_state, save_state
+from .text import Vocabulary
+
+
+@dataclass(frozen=True)
+class MatchDecision:
+    """One scored candidate pair."""
+
+    left_id: str
+    right_id: str
+    probability: float
+
+    @property
+    def is_match(self) -> bool:
+        return self.probability >= 0.5
+
+
+class ERPipeline:
+    """Blocking + matching over raw entity tables.
+
+    Parameters
+    ----------
+    extractor / matcher:
+        A trained (usually domain-adapted) extractor-matcher pair.
+    blocker:
+        Candidate generator; defaults to token-overlap blocking.
+    threshold:
+        Match-probability cut-off for :meth:`match_tables`.
+    """
+
+    def __init__(self, extractor: TransformerExtractor, matcher: MlpMatcher,
+                 blocker: Optional[OverlapBlocker] = None,
+                 threshold: float = 0.5):
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        self.extractor = extractor
+        self.matcher = matcher
+        self.blocker = blocker or OverlapBlocker()
+        self.threshold = threshold
+
+    # -- scoring ---------------------------------------------------------- #
+    def score_pairs(self, pairs: Sequence[EntityPair],
+                    batch_size: int = 64) -> List[MatchDecision]:
+        """Match probability for every candidate pair."""
+        decisions: List[MatchDecision] = []
+        for start in range(0, len(pairs), batch_size):
+            batch = pairs[start:start + batch_size]
+            probabilities = self.matcher.probabilities(self.extractor(batch))
+            decisions.extend(
+                MatchDecision(pair.left.entity_id, pair.right.entity_id,
+                              float(p))
+                for pair, p in zip(batch, probabilities))
+        return decisions
+
+    def match_tables(self, left_table: Sequence[Entity],
+                     right_table: Sequence[Entity],
+                     batch_size: int = 64) -> List[Tuple[str, str]]:
+        """Blocked + matched id pairs above the threshold."""
+        candidates = self.blocker.candidates(left_table, right_table)
+        decisions = self.score_pairs(candidates, batch_size)
+        return [(d.left_id, d.right_id) for d in decisions
+                if d.probability >= self.threshold]
+
+    # -- persistence ------------------------------------------------------- #
+    def save(self, directory: Union[str, Path]) -> None:
+        """Persist weights, vocabulary, and configuration to a directory."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        save_state(self.extractor, directory / "extractor.npz")
+        save_state(self.matcher, directory / "matcher.npz")
+        tokens = [self.extractor.vocab.token_of(i)
+                  for i in range(len(self.extractor.vocab))]
+        (directory / "vocab.txt").write_text("\n".join(tokens))
+        config = {
+            "threshold": self.threshold,
+            "extractor": {
+                "dim": self.extractor.dim,
+                "num_layers": len(self.extractor.layers),
+                "num_heads": self.extractor.layers[0].attention.num_heads,
+                "max_len": self.extractor.max_len,
+            },
+            "matcher_feature_dim": self.matcher.feature_dim,
+            "blocker": {"min_overlap": self.blocker.min_overlap,
+                        "stop_fraction": self.blocker.stop_fraction},
+        }
+        (directory / "pipeline.json").write_text(json.dumps(config, indent=2))
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "ERPipeline":
+        """Reload a pipeline saved by :meth:`save`."""
+        directory = Path(directory)
+        config = json.loads((directory / "pipeline.json").read_text())
+        tokens = (directory / "vocab.txt").read_text().split("\n")
+        vocab = Vocabulary(tokens[Vocabulary().num_special:])
+        ext_cfg = config["extractor"]
+        extractor = TransformerExtractor(
+            vocab, np.random.default_rng(0), dim=ext_cfg["dim"],
+            num_layers=ext_cfg["num_layers"],
+            num_heads=ext_cfg["num_heads"], max_len=ext_cfg["max_len"])
+        load_state(extractor, directory / "extractor.npz")
+        matcher = MlpMatcher(config["matcher_feature_dim"],
+                             np.random.default_rng(0))
+        load_state(matcher, directory / "matcher.npz")
+        blocker = OverlapBlocker(**config["blocker"])
+        pipeline = cls(extractor, matcher, blocker,
+                       threshold=config["threshold"])
+        pipeline.extractor.eval()
+        pipeline.matcher.eval()
+        return pipeline

@@ -1,0 +1,11 @@
+"""Masked-LM pre-training — the mini-BERT checkpoint factory."""
+
+from .cache import cache_dir, fresh_copy, pretrained_lm
+from .mlm import (MlmConfig, build_corpus, build_shared_vocabulary,
+                  mask_tokens, pretrain_mlm)
+
+__all__ = [
+    "cache_dir", "fresh_copy", "pretrained_lm",
+    "MlmConfig", "build_corpus", "build_shared_vocabulary",
+    "mask_tokens", "pretrain_mlm",
+]

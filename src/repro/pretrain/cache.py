@@ -1,0 +1,89 @@
+"""Cached access to one shared pre-trained mini-LM checkpoint.
+
+Experiments (and the test suite) all fine-tune from the same checkpoint,
+mirroring how every run of the paper starts from the same public BERT
+weights.  The checkpoint is keyed by its architecture + pre-training
+configuration and stored under ``REPRO_CACHE`` (default: ``.cache/`` in the
+working directory).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..extractors import TransformerExtractor
+from ..nn import load_state, save_state
+from ..text import Vocabulary
+from .mlm import MlmConfig, build_corpus, build_shared_vocabulary, pretrain_mlm
+
+_VOCAB_SUFFIX = ".vocab.txt"
+
+
+def cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE", ".cache"))
+
+
+def _save_vocab(vocab: Vocabulary, path: Path) -> None:
+    tokens = [vocab.token_of(i) for i in range(len(vocab))]
+    path.write_text("\n".join(tokens))
+
+
+def _load_vocab(path: Path) -> Vocabulary:
+    tokens = path.read_text().split("\n")
+    vocab = Vocabulary(tokens[Vocabulary().num_special:])
+    if [vocab.token_of(i) for i in range(len(vocab))] != tokens:
+        raise ValueError(f"corrupt vocabulary file {path}")
+    return vocab
+
+
+def pretrained_lm(dim: int = 64, num_layers: int = 2, num_heads: int = 4,
+                  max_len: int = 64, corpus_scale: float = 0.05,
+                  steps: int = 300, seed: int = 0,
+                  refresh: bool = False
+                  ) -> Tuple[TransformerExtractor, Vocabulary]:
+    """Return (extractor, vocab), pre-training and caching on first use."""
+    key = (f"minilm_d{dim}_l{num_layers}_h{num_heads}_t{max_len}"
+           f"_c{corpus_scale}_s{steps}_r{seed}")
+    weights_path = cache_dir() / f"{key}.npz"
+    vocab_path = cache_dir() / f"{key}{_VOCAB_SUFFIX}"
+
+    if not refresh and weights_path.exists() and vocab_path.exists():
+        vocab = _load_vocab(vocab_path)
+        extractor = TransformerExtractor(
+            vocab, np.random.default_rng(seed), dim=dim,
+            num_layers=num_layers, num_heads=num_heads, max_len=max_len)
+        load_state(extractor, weights_path)
+        extractor.eval()
+        return extractor, vocab
+
+    corpus = build_corpus(scale=corpus_scale, seed=seed)
+    vocab = build_shared_vocabulary(corpus, max_size=3000)
+    extractor = TransformerExtractor(
+        vocab, np.random.default_rng(seed), dim=dim,
+        num_layers=num_layers, num_heads=num_heads, max_len=max_len)
+    pretrain_mlm(extractor, corpus,
+                 MlmConfig(steps=steps, seed=seed))
+    cache_dir().mkdir(parents=True, exist_ok=True)
+    save_state(extractor, weights_path)
+    _save_vocab(vocab, vocab_path)
+    return extractor, vocab
+
+
+def fresh_copy(extractor: TransformerExtractor,
+               seed: Optional[int] = None) -> TransformerExtractor:
+    """A new extractor instance with the same pre-trained weights.
+
+    Every experiment run fine-tunes its own copy so runs stay independent,
+    exactly as each paper experiment reloads the public checkpoint.
+    """
+    clone = TransformerExtractor(
+        extractor.vocab, np.random.default_rng(seed or 0),
+        dim=extractor.dim, num_layers=len(extractor.layers),
+        num_heads=extractor.layers[0].attention.num_heads,
+        max_len=extractor.max_len)
+    clone.load_state_dict(extractor.state_dict())
+    return clone

@@ -1,0 +1,107 @@
+"""Masked-language-model pre-training of the mini transformer LM.
+
+This is what makes the transformer extractor a *pre-trained* LM: the paper
+relies on a public BERT checkpoint whose transferability drives Finding 5;
+we reproduce that property by MLM-pre-training the mini encoder on a
+multi-domain corpus drawn from all thirteen benchmark generators (a stand-in
+for web-scale text), then fine-tuning per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datasets import dataset_names, load_dataset
+from ..extractors import MlmHead, TransformerExtractor
+from ..nn import Adam, clip_grad_norm, functional as F
+from ..text import Vocabulary, pad_sequences
+
+
+@dataclass(frozen=True)
+class MlmConfig:
+    """Pre-training hyper-parameters (BERT conventions at mini scale)."""
+
+    steps: int = 300
+    batch_size: int = 32
+    learning_rate: float = 1e-3
+    mask_rate: float = 0.15
+    seed: int = 0
+
+
+def build_corpus(scale: float = 0.05, seed: int = 0,
+                 names: Optional[Sequence[str]] = None) -> List[List[str]]:
+    """Serialized pair token lists from every benchmark domain."""
+    corpus: List[List[str]] = []
+    for name in names or dataset_names():
+        dataset = load_dataset(name, scale=scale, seed=seed)
+        corpus.extend(dataset.token_lists())
+    return corpus
+
+
+def build_shared_vocabulary(corpus: Sequence[Sequence[str]],
+                            max_size: Optional[int] = None) -> Vocabulary:
+    """One vocabulary over the multi-domain corpus (the LM's 'wordpiece')."""
+    texts = (" ".join(tokens) for tokens in corpus)
+    return Vocabulary.build(texts, max_size=max_size)
+
+
+def mask_tokens(ids: np.ndarray, mask: np.ndarray, vocab: Vocabulary,
+                rng: np.random.Generator,
+                mask_rate: float = 0.15) -> Tuple[np.ndarray, np.ndarray]:
+    """BERT masking: 15% of positions — 80% [MASK], 10% random, 10% kept.
+
+    Returns (corrupted ids, loss mask) where the loss mask marks exactly the
+    selected positions.
+    """
+    ids = ids.copy()
+    candidates = mask.astype(bool) & (ids >= vocab.num_special)
+    selection = candidates & (rng.random(ids.shape) < mask_rate)
+    action = rng.random(ids.shape)
+    to_mask = selection & (action < 0.8)
+    to_random = selection & (action >= 0.8) & (action < 0.9)
+    ids[to_mask] = vocab.mask_id
+    random_ids = rng.integers(vocab.num_special, len(vocab), size=ids.shape)
+    ids[to_random] = random_ids[to_random]
+    return ids, selection.astype(np.float64)
+
+
+def pretrain_mlm(extractor: TransformerExtractor,
+                 corpus: Sequence[Sequence[str]],
+                 config: MlmConfig = MlmConfig()) -> List[float]:
+    """Run MLM pre-training in place; returns the per-step loss trace."""
+    if not corpus:
+        raise ValueError("empty pre-training corpus")
+    vocab = extractor.vocab
+    rng = np.random.default_rng(config.seed)
+    head = MlmHead(extractor, rng)
+    encoded = [vocab.encode_tokens(tokens) for tokens in corpus]
+    params = extractor.parameters() + head.parameters()
+    optimizer = Adam(params, lr=config.learning_rate)
+    losses: List[float] = []
+    extractor.train()
+    for __ in range(config.steps):
+        idx = rng.choice(len(encoded), size=min(config.batch_size,
+                                                len(encoded)), replace=False)
+        batch = [encoded[int(i)] for i in idx]
+        ids, mask = pad_sequences(batch, extractor.max_len, vocab.pad_id)
+        corrupted, loss_mask = mask_tokens(ids, mask, vocab, rng,
+                                           config.mask_rate)
+        if loss_mask.sum() == 0:
+            continue
+        optimizer.zero_grad()
+        states = extractor.hidden_states(corrupted, mask)
+        # Score only the selected positions: the head over the full
+        # (batch, T, vocab) cube would dominate the step cost.
+        rows, cols = np.nonzero(loss_mask)
+        picked_states = states[rows, cols]
+        logits = head(picked_states)
+        loss = F.cross_entropy(logits, ids[rows, cols])
+        loss.backward()
+        clip_grad_norm(params, 5.0)
+        optimizer.step()
+        losses.append(loss.item())
+    extractor.eval()
+    return losses

@@ -1,0 +1,14 @@
+"""Text substrate: tokenization, serialization, batching."""
+
+from .tokenizer import (ATT, BOS, CLS, EOS, MASK, PAD, SEP, SPECIAL_TOKENS,
+                        UNK, VAL, Vocabulary, tokenize)
+from .serialization import (pair_text, serialize_entity, serialize_pair,
+                            split_serialized_pair)
+from .batching import InfiniteSampler, encode_batch, minibatches, pad_sequences
+
+__all__ = [
+    "ATT", "BOS", "CLS", "EOS", "MASK", "PAD", "SEP", "SPECIAL_TOKENS",
+    "UNK", "VAL", "Vocabulary", "tokenize",
+    "pair_text", "serialize_entity", "serialize_pair", "split_serialized_pair",
+    "InfiniteSampler", "encode_batch", "minibatches", "pad_sequences",
+]

@@ -1,0 +1,77 @@
+"""Padding and minibatching of encoded token sequences."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .tokenizer import Vocabulary
+
+
+def pad_sequences(sequences: Sequence[Sequence[int]], max_len: int,
+                  pad_id: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Pad/truncate id sequences to ``max_len``.
+
+    Returns ``(ids, mask)`` as int64/float64 arrays of shape (N, max_len);
+    ``mask`` is 1 on real tokens, 0 on padding.
+    """
+    if max_len <= 0:
+        raise ValueError("max_len must be positive")
+    n = len(sequences)
+    ids = np.full((n, max_len), pad_id, dtype=np.int64)
+    mask = np.zeros((n, max_len), dtype=np.float64)
+    for row, seq in enumerate(sequences):
+        length = min(len(seq), max_len)
+        ids[row, :length] = np.asarray(seq[:length], dtype=np.int64)
+        mask[row, :length] = 1.0
+    return ids, mask
+
+
+def encode_batch(token_lists: Sequence[Sequence[str]], vocab: Vocabulary,
+                 max_len: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Encode token lists and pad them in one step."""
+    encoded = [vocab.encode_tokens(tokens) for tokens in token_lists]
+    return pad_sequences(encoded, max_len, vocab.pad_id)
+
+
+def minibatches(count: int, batch_size: int,
+                rng: Optional[np.random.Generator] = None,
+                drop_last: bool = False) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(count)`` in (shuffled) batches."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(count)
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, count, batch_size):
+        batch = order[start:start + batch_size]
+        if drop_last and len(batch) < batch_size:
+            return
+        yield batch
+
+
+class InfiniteSampler:
+    """Cycle through a dataset forever in reshuffled epochs.
+
+    Algorithm 1 samples one source and one target minibatch per iteration even
+    though the two datasets have different sizes; this sampler provides that
+    stream for each side independently.
+    """
+
+    def __init__(self, count: int, batch_size: int, rng: np.random.Generator):
+        if count <= 0:
+            raise ValueError("cannot sample from an empty dataset")
+        self._count = count
+        self._batch_size = min(batch_size, count)
+        self._rng = rng
+        self._order = np.arange(count)
+        self._cursor = count  # force a shuffle on first use
+
+    def next_batch(self) -> np.ndarray:
+        if self._cursor + self._batch_size > self._count:
+            self._rng.shuffle(self._order)
+            self._cursor = 0
+        batch = self._order[self._cursor:self._cursor + self._batch_size]
+        self._cursor += self._batch_size
+        return batch.copy()

@@ -1,0 +1,51 @@
+"""Serialize entities and entity pairs to token sequences (paper Example 1).
+
+Works on any mapping of attribute name -> value so it is independent of the
+data layer; :mod:`repro.data` passes ``Entity.attributes`` through here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Tuple
+
+from .tokenizer import ATT, CLS, SEP, VAL, tokenize
+
+AttributeMap = Mapping[str, Optional[str]]
+
+
+def serialize_entity(attributes: AttributeMap) -> List[str]:
+    """``S(a) = [ATT] attr_1 [VAL] val_1 ... [ATT] attr_k [VAL] val_k``.
+
+    Missing (None) values serialize as an empty value slot, matching how the
+    benchmarks represent NULLs.
+    """
+    tokens: List[str] = []
+    for attr, value in attributes.items():
+        tokens.append(ATT)
+        tokens.extend(tokenize(str(attr)))
+        tokens.append(VAL)
+        if value is not None:
+            tokens.extend(tokenize(str(value)))
+    return tokens
+
+
+def serialize_pair(left: AttributeMap, right: AttributeMap) -> List[str]:
+    """``S(a, b) = [CLS] S(a) [SEP] S(b) [SEP]``."""
+    return [CLS, *serialize_entity(left), SEP, *serialize_entity(right), SEP]
+
+
+def pair_text(left: AttributeMap, right: AttributeMap) -> str:
+    """Human-readable single-string form of a serialized pair."""
+    return " ".join(serialize_pair(left, right))
+
+
+def split_serialized_pair(tokens: List[str]) -> Tuple[List[str], List[str]]:
+    """Invert :func:`serialize_pair` into the two entity token spans."""
+    if not tokens or tokens[0] != CLS or tokens[-1] != SEP:
+        raise ValueError("not a serialized pair (missing [CLS]/[SEP] frame)")
+    body = tokens[1:-1]
+    try:
+        boundary = body.index(SEP)
+    except ValueError as exc:
+        raise ValueError("serialized pair has no entity separator") from exc
+    return body[:boundary], body[boundary + 1:]

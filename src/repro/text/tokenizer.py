@@ -1,0 +1,128 @@
+"""Word-level tokenization and vocabularies with the special tokens of §2.
+
+The paper serializes an entity as ``[ATT] attr_1 [VAL] val_1 ...`` and a pair
+as ``[CLS] S(a) [SEP] S(b) [SEP]`` (Example 1).  The vocabulary reserves those
+markers plus the usual LM controls ([PAD], [UNK], [MASK]) and the decoder
+controls the ED aligner needs ([BOS], [EOS]).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence
+
+PAD, UNK, CLS, SEP, MASK, ATT, VAL, BOS, EOS = (
+    "[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]", "[ATT]", "[VAL]",
+    "[BOS]", "[EOS]")
+
+SPECIAL_TOKENS = (PAD, UNK, CLS, SEP, MASK, ATT, VAL, BOS, EOS)
+
+_TOKEN_PATTERN = re.compile(r"\[[a-z]+\]|[a-z0-9]+(?:\.[0-9]+)?|[^\sa-z0-9]")
+_LOWER_SPECIALS = {token.lower(): token for token in SPECIAL_TOKENS}
+
+
+def tokenize(text: str) -> List[str]:
+    """Split lowercase text into word, number and punctuation tokens.
+
+    Bracketed specials like ``[SEP]`` survive as single (uppercase) tokens,
+    so serialized entity pairs round-trip through the tokenizer.
+    """
+    tokens = _TOKEN_PATTERN.findall(text.lower())
+    return [_LOWER_SPECIALS.get(token, token) for token in tokens]
+
+
+class Vocabulary:
+    """Bidirectional token <-> id map with reserved special tokens."""
+
+    def __init__(self, tokens: Optional[Iterable[str]] = None):
+        self._token_to_id: Dict[str, int] = {}
+        self._id_to_token: List[str] = []
+        for token in SPECIAL_TOKENS:
+            self._add(token)
+        if tokens is not None:
+            for token in tokens:
+                self._add(token)
+
+    def _add(self, token: str) -> int:
+        if token not in self._token_to_id:
+            self._token_to_id[token] = len(self._id_to_token)
+            self._id_to_token.append(token)
+        return self._token_to_id[token]
+
+    # -- construction ----------------------------------------------------- #
+    @classmethod
+    def build(cls, texts: Iterable[str], min_freq: int = 1,
+              max_size: Optional[int] = None) -> "Vocabulary":
+        """Build a vocabulary from raw texts, most frequent tokens first."""
+        counts: Counter = Counter()
+        for text in texts:
+            counts.update(tokenize(text))
+        for token in SPECIAL_TOKENS:
+            counts.pop(token, None)
+        ranked = [tok for tok, freq in counts.most_common() if freq >= min_freq]
+        if max_size is not None:
+            budget = max_size - len(SPECIAL_TOKENS)
+            if budget < 0:
+                raise ValueError("max_size smaller than the special-token set")
+            ranked = ranked[:budget]
+        return cls(ranked)
+
+    # -- lookup ----------------------------------------------------------- #
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def id_of(self, token: str) -> int:
+        return self._token_to_id.get(token, self._token_to_id[UNK])
+
+    def token_of(self, index: int) -> str:
+        return self._id_to_token[index]
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK]
+
+    @property
+    def cls_id(self) -> int:
+        return self._token_to_id[CLS]
+
+    @property
+    def sep_id(self) -> int:
+        return self._token_to_id[SEP]
+
+    @property
+    def mask_id(self) -> int:
+        return self._token_to_id[MASK]
+
+    @property
+    def bos_id(self) -> int:
+        return self._token_to_id[BOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self._token_to_id[EOS]
+
+    @property
+    def num_special(self) -> int:
+        return len(SPECIAL_TOKENS)
+
+    # -- encoding ----------------------------------------------------------- #
+    def encode_tokens(self, tokens: Sequence[str]) -> List[int]:
+        return [self.id_of(token) for token in tokens]
+
+    def encode(self, text: str) -> List[int]:
+        return self.encode_tokens(tokenize(text))
+
+    def decode(self, ids: Sequence[int], skip_special: bool = True) -> List[str]:
+        tokens = [self.token_of(i) for i in ids]
+        if skip_special:
+            specials = set(SPECIAL_TOKENS)
+            tokens = [t for t in tokens if t not in specials]
+        return tokens

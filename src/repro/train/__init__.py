@@ -1,0 +1,17 @@
+"""Trainers (Algorithms 1 and 2), configuration, and evaluation metrics."""
+
+from .config import AdaptationResult, EpochRecord, TrainConfig
+from .loops import combine_datasets, train_gan, train_joint, train_source_only
+from .metrics import (MatchMetrics, best_threshold, evaluate,
+                      match_metrics, predict_dataset)
+from .multisource import nearest_source, pool_sources, train_multi_source
+from .pseudo import confident_pseudo_labels, train_pseudo_label
+
+__all__ = [
+    "AdaptationResult", "EpochRecord", "TrainConfig",
+    "combine_datasets", "train_gan", "train_joint", "train_source_only",
+    "MatchMetrics", "best_threshold", "evaluate", "match_metrics",
+    "predict_dataset",
+    "nearest_source", "pool_sources", "train_multi_source",
+    "confident_pseudo_labels", "train_pseudo_label",
+]

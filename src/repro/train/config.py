@@ -1,0 +1,81 @@
+"""Training configuration and result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .metrics import MatchMetrics
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters shared by every trainer.
+
+    Defaults mirror §6.1 scaled to our substrate: 40 training epochs with
+    the snapshot chosen on the target validation set, batch size 32, and
+    beta selected from {0.001, 0.01, 0.1, 1, 5} on validation.  The paper's
+    BERT learning rates (1e-5/1e-6) correspond to ~1e-3 for our from-scratch
+    mini-LM trained with Adam.
+    """
+
+    epochs: int = 40
+    batch_size: int = 32
+    learning_rate: float = 1e-3
+    beta: float = 0.1
+    clip_norm: float = 5.0
+    pretrain_epochs: int = 5
+    iterations_per_epoch: Optional[int] = None
+    seed: int = 0
+    track_sets: bool = False  # record per-epoch source/target-test F1 (Fig. 7-8)
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.beta < 0:
+            raise ValueError("beta must be non-negative")
+
+    BETA_GRID = (0.001, 0.01, 0.1, 1.0, 5.0)
+
+
+@dataclass
+class EpochRecord:
+    """Per-epoch trace used by the convergence figures (7 and 8)."""
+
+    epoch: int
+    matching_loss: float
+    alignment_loss: float
+    valid_f1: float
+    source_f1: Optional[float] = None
+    target_f1: Optional[float] = None
+
+
+@dataclass
+class AdaptationResult:
+    """Outcome of one training run, with the best-snapshot models loaded.
+
+    ``extractor``/``matcher`` reference the trained modules (for Algorithm 2
+    the *adapted clone* F', not the frozen teacher) with the best-validation
+    snapshot restored, ready for prediction or feature analysis.
+    """
+
+    method: str
+    best_epoch: int
+    best_valid_f1: float
+    test_metrics: MatchMetrics
+    history: List[EpochRecord] = field(default_factory=list)
+    extractor: object = None
+    matcher: object = None
+
+    @property
+    def best_f1(self) -> float:
+        """Target-test F1 of the selected snapshot, in percent."""
+        return self.test_metrics.f1 * 100.0
+
+    def curve(self, which: str = "valid") -> List[float]:
+        """Per-epoch F1 series: 'valid', 'source', or 'target'."""
+        key = {"valid": "valid_f1", "source": "source_f1",
+               "target": "target_f1"}[which]
+        return [getattr(r, key) for r in self.history]

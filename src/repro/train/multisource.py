@@ -1,0 +1,66 @@
+"""Multi-source domain adaptation — the paper's closing open question.
+
+§8 asks: "whether DA using multiple labeled source data can further help
+ER? If so, shall we use them all or a subset?"  This module provides both
+strategies under the §6.1 protocol:
+
+* ``all``     — pool every source and align the pooled cloud to the target;
+* ``nearest`` — use Finding 2's distance heuristic to keep only the source
+  closest to the target in pre-trained-feature MMD.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..aligners import FeatureAligner
+from ..data import ERDataset
+from ..extractors import FeatureExtractor
+from ..matcher import MlpMatcher
+from .config import AdaptationResult, TrainConfig
+from .loops import combine_datasets, train_joint
+
+
+def pool_sources(sources: Sequence[ERDataset]) -> ERDataset:
+    """Concatenate several labeled sources into one."""
+    if not sources:
+        raise ValueError("need at least one source")
+    pooled = sources[0]
+    for extra in sources[1:]:
+        pooled = combine_datasets(pooled, extra)
+    return pooled
+
+
+def nearest_source(extractor: FeatureExtractor,
+                   sources: Sequence[ERDataset], target: ERDataset,
+                   sample: int = 96) -> Tuple[ERDataset, List[float]]:
+    """The source with the smallest MMD distance to the target (Finding 2)."""
+    from ..analysis import dataset_mmd  # local import: analysis -> aligners
+    distances = [dataset_mmd(extractor, source, target, sample=sample)
+                 for source in sources]
+    best = min(range(len(sources)), key=lambda i: distances[i])
+    return sources[best], distances
+
+
+def train_multi_source(extractor: FeatureExtractor, matcher: MlpMatcher,
+                       aligner: FeatureAligner,
+                       sources: Sequence[ERDataset],
+                       target_train: ERDataset, target_valid: ERDataset,
+                       target_test: ERDataset, config: TrainConfig,
+                       strategy: str = "all") -> AdaptationResult:
+    """Algorithm 1 with multiple sources.
+
+    ``strategy='all'`` pools every source; ``strategy='nearest'`` selects
+    the closest one under the (current, pre-adaptation) extractor.
+    """
+    if strategy == "all":
+        source = pool_sources(sources)
+    elif strategy == "nearest":
+        source, __ = nearest_source(extractor, sources, target_train)
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}; "
+                         "use 'all' or 'nearest'")
+    result = train_joint(extractor, matcher, aligner, source, target_train,
+                         target_valid, target_test, config)
+    result.method = f"{aligner.name}+multi[{strategy}]"
+    return result

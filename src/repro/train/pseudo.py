@@ -1,0 +1,78 @@
+"""Pseudo-labeling (self-training) — an *instance-level* DA extension.
+
+The paper's §3 remarks explicitly leave pseudo-label methods [26] outside
+its feature-level design space; we implement the classic self-training loop
+as an extension so the two families can be compared under one protocol:
+
+  1. train (F, M) on the labeled source;
+  2. predict the unlabeled target; keep predictions above a confidence
+     threshold as pseudo-labels;
+  3. retrain on source + pseudo-labeled target; repeat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List
+
+import numpy as np
+
+from ..data import ERDataset
+from ..extractors import FeatureExtractor
+from ..matcher import MlpMatcher
+from .config import AdaptationResult, TrainConfig
+from .loops import combine_datasets, train_source_only
+
+
+def confident_pseudo_labels(extractor: FeatureExtractor,
+                            matcher: MlpMatcher, target: ERDataset,
+                            threshold: float = 0.9,
+                            batch_size: int = 64) -> ERDataset:
+    """Target pairs whose predicted class probability exceeds ``threshold``.
+
+    Returns a *labeled* dataset carrying the model's own predictions.
+    """
+    if not 0.5 <= threshold < 1.0:
+        raise ValueError("threshold must be in [0.5, 1)")
+    selected = []
+    for start in range(0, len(target), batch_size):
+        batch = target.pairs[start:start + batch_size]
+        probabilities = matcher.probabilities(extractor(batch))
+        for pair, p in zip(batch, probabilities):
+            if p >= threshold:
+                selected.append(pair.with_label(1))
+            elif p <= 1.0 - threshold:
+                selected.append(pair.with_label(0))
+    return ERDataset(f"{target.name}-pseudo", target.domain, selected)
+
+
+def train_pseudo_label(extractor: FeatureExtractor, matcher: MlpMatcher,
+                       source: ERDataset, target_train: ERDataset,
+                       target_valid: ERDataset, target_test: ERDataset,
+                       config: TrainConfig, threshold: float = 0.9,
+                       rounds: int = 2) -> AdaptationResult:
+    """Self-training DA under the §6.1 evaluation protocol.
+
+    Each round trains under a share of the epoch budget, harvests confident
+    target predictions, and augments the training set.  Snapshot selection
+    still uses the target validation set only.
+    """
+    if rounds < 1:
+        raise ValueError("need at least one round")
+    per_round = replace(config, epochs=max(1, config.epochs // (rounds + 1)))
+    result = train_source_only(extractor, matcher, source, target_valid,
+                               target_test, per_round)
+    history = list(result.history)
+    training_set = source
+    for __ in range(rounds):
+        pseudo = confident_pseudo_labels(extractor, matcher, target_train,
+                                         threshold)
+        if len(pseudo):
+            training_set = combine_datasets(source, pseudo,
+                                            name=f"{source.name}+pseudo")
+        result = train_source_only(extractor, matcher, training_set,
+                                   target_valid, target_test, per_round)
+        history.extend(result.history)
+    result.history = history
+    result.method = "pseudo_label"
+    return result

@@ -1,0 +1,53 @@
+"""Shared fixtures: tiny datasets and a session-cached mini pre-trained LM.
+
+All integration tests fine-tune from one tiny MLM checkpoint (cached under
+``.cache/``), exactly as the paper's runs all start from one public BERT.
+Keep scales small: this reproduction targets single-CPU runtimes.
+"""
+
+import os
+
+# Single-CPU box: stop OpenBLAS from spawning contention threads.
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+os.environ.setdefault("OMP_NUM_THREADS", "1")
+
+import numpy as np
+import pytest
+
+from repro.data import target_da_split
+from repro.datasets import load_dataset
+from repro.matcher import MlpMatcher
+from repro.pretrain import fresh_copy, pretrained_lm
+
+TINY_LM = dict(dim=32, num_layers=1, num_heads=2, max_len=96,
+               corpus_scale=0.01, steps=80, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_lm():
+    """A small pre-trained transformer shared by the whole test session."""
+    extractor, vocab = pretrained_lm(**TINY_LM)
+    return extractor, vocab
+
+
+@pytest.fixture()
+def lm_copy(tiny_lm):
+    """A fresh fine-tunable copy of the session checkpoint."""
+    extractor, __ = tiny_lm
+    return fresh_copy(extractor, seed=0)
+
+
+@pytest.fixture()
+def matcher_factory():
+    def make(feature_dim, seed=0):
+        return MlpMatcher(feature_dim, np.random.default_rng(seed))
+    return make
+
+
+@pytest.fixture(scope="session")
+def books_restaurants():
+    """A tiny different-domain DA task: Books2 -> Fodors-Zagats."""
+    source = load_dataset("b2", scale=0.2, seed=0)
+    target = load_dataset("fz", scale=0.2, seed=0)
+    valid, test = target_da_split(target, np.random.default_rng(1))
+    return source, target.without_labels(), valid, test

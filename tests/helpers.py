@@ -1,0 +1,41 @@
+"""Shared test utilities: finite-difference gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numerical_gradient(func: Callable[[], Tensor], param: Tensor,
+                       eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of scalar ``func()`` wrt ``param``."""
+    grad = np.zeros_like(param.data)
+    flat = param.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = func().item()
+        flat[i] = original - eps
+        lower = func().item()
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2 * eps)
+    return grad
+
+
+def check_gradients(func: Callable[[], Tensor], params: Sequence[Tensor],
+                    atol: float = 1e-5, rtol: float = 1e-4) -> None:
+    """Assert autograd gradients of ``func`` match finite differences."""
+    for param in params:
+        param.zero_grad()
+    loss = func()
+    loss.backward()
+    for i, param in enumerate(params):
+        assert param.grad is not None, f"param {i} received no gradient"
+        expected = numerical_gradient(func, param)
+        np.testing.assert_allclose(
+            param.grad, expected, atol=atol, rtol=rtol,
+            err_msg=f"gradient mismatch for parameter index {i}")

@@ -1,0 +1,332 @@
+"""Tests for the six feature aligners, including property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aligners import (AlignmentBatch, EdAligner, GrlAligner,
+                            InvGanAligner, InvGanKdAligner, KOrderAligner,
+                            MmdAligner, coral, grad_reverse, make_aligner,
+                            mmd2, pairwise_squared_distances)
+from repro.nn import Tensor
+from repro.text import Vocabulary
+
+from .helpers import check_gradients
+
+RNG = np.random.default_rng(21)
+
+
+def _features(n=16, d=8, shift=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=(n, d)) + shift, requires_grad=True)
+
+
+def _batch(xs, xt, extractor=None):
+    n_s, n_t = xs.shape[0], xt.shape[0]
+    return AlignmentBatch(
+        source_features=xs, target_features=xt,
+        source_ids=np.zeros((n_s, 4), dtype=np.int64),
+        source_mask=np.ones((n_s, 4)),
+        target_ids=np.zeros((n_t, 4), dtype=np.int64),
+        target_mask=np.ones((n_t, 4)),
+        extractor=extractor)
+
+
+class TestPairwiseDistances:
+    def test_matches_numpy(self):
+        x, y = _features(5, 3, seed=1), _features(7, 3, seed=2)
+        d2 = pairwise_squared_distances(x, y).data
+        expected = ((x.data[:, None, :] - y.data[None, :, :]) ** 2).sum(-1)
+        np.testing.assert_allclose(d2, expected, atol=1e-10)
+
+    def test_self_distance_zero_diagonal(self):
+        x = _features(6, 4, seed=3)
+        d2 = pairwise_squared_distances(x, x).data
+        np.testing.assert_allclose(np.diag(d2), np.zeros(6), atol=1e-9)
+
+    def test_never_negative(self):
+        x = _features(10, 5, seed=4)
+        assert (pairwise_squared_distances(x, x).data >= 0).all()
+
+    def test_gradients(self):
+        x, y = _features(3, 2, seed=5), _features(4, 2, seed=6)
+        check_gradients(lambda: pairwise_squared_distances(x, y).sum(),
+                        [x, y], atol=1e-4)
+
+
+class TestMmd:
+    def test_zero_for_identical_samples(self):
+        x = _features(12, 6, seed=0)
+        value = mmd2(x, Tensor(x.data.copy())).item()
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_shifted_distributions(self):
+        x = _features(20, 6, shift=0.0, seed=1)
+        y = _features(20, 6, shift=3.0, seed=2)
+        assert mmd2(x, y).item() > 0.1
+
+    def test_grows_with_shift(self):
+        x = _features(24, 4, seed=3)
+        small = mmd2(x, _features(24, 4, shift=0.5, seed=4)).item()
+        large = mmd2(x, _features(24, 4, shift=4.0, seed=4)).item()
+        assert large > small
+
+    def test_symmetry(self):
+        x, y = _features(10, 4, seed=5), _features(14, 4, shift=1.0, seed=6)
+        assert mmd2(x, y).item() == pytest.approx(mmd2(y, x).item(), rel=1e-9)
+
+    def test_gradient_pulls_distributions_together(self):
+        x = _features(16, 4, seed=7)
+        y = _features(16, 4, shift=2.0, seed=8)
+        mmd2(x, y).backward()
+        # Moving x along -grad must reduce the shift: gradient should point
+        # away from y's mean on average.
+        direction = (y.data.mean(0) - x.data.mean(0))
+        descent = -x.grad.mean(0)
+        assert np.dot(direction, descent) > 0
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mmd2(_features(4, 3), _features(4, 5))
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_nonnegative_up_to_estimator_noise(self, seed):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=(12, 5)))
+        y = Tensor(rng.normal(size=(12, 5)))
+        assert mmd2(x, y).item() > -1e-6
+
+
+class TestCoral:
+    def test_zero_for_identical(self):
+        x = _features(15, 6, seed=0)
+        assert coral(x, Tensor(x.data.copy())).item() == pytest.approx(0.0)
+
+    def test_mean_shift_invisible_without_first_order(self):
+        # CORAL is second-order only: a pure mean shift leaves it ~0.
+        x = _features(2000, 4, seed=1)
+        y = Tensor(x.data + 5.0)
+        assert coral(x, y).item() == pytest.approx(0.0, abs=1e-9)
+        assert coral(x, y, include_means=True).item() > 1.0
+
+    def test_scale_shift_detected(self):
+        x = _features(50, 4, seed=2)
+        y = Tensor(x.data * 3.0)
+        assert coral(x, y).item() > 0.01
+
+    def test_symmetry(self):
+        x, y = _features(20, 5, seed=3), _features(20, 5, shift=1.0, seed=4)
+        assert coral(x, y).item() == pytest.approx(coral(y, x).item())
+
+    def test_gradients(self):
+        x = _features(6, 3, seed=5)
+        y = _features(6, 3, shift=1.0, seed=6)
+        check_gradients(lambda: coral(x, y), [x, y], atol=1e-5)
+
+
+class TestJointAligners:
+    def test_mmd_aligner_loss(self):
+        aligner = MmdAligner()
+        loss = aligner.alignment_loss(_batch(_features(8, 4, seed=0),
+                                             _features(8, 4, shift=2, seed=1)))
+        assert loss.item() > 0
+        assert aligner.parameters() == []  # non-parametric (Fig. 4a)
+
+    def test_korder_aligner_nonparametric(self):
+        aligner = KOrderAligner()
+        assert aligner.parameters() == []
+        loss = aligner.alignment_loss(_batch(_features(8, 4, seed=0),
+                                             _features(8, 4, shift=2, seed=1)))
+        assert loss.item() >= 0
+
+    def test_grl_aligner_has_classifier(self):
+        aligner = GrlAligner(4, np.random.default_rng(0))
+        assert len(aligner.parameters()) == 2  # one FC layer (§6.1)
+
+    def test_grl_reverses_extractor_gradient(self):
+        aligner = GrlAligner(4, np.random.default_rng(0))
+        xs = _features(8, 4, seed=1)
+        xt = _features(8, 4, shift=1.0, seed=2)
+        loss = aligner.alignment_loss(_batch(xs, xt))
+        loss.backward()
+        # Compare with the unreversed gradient: compute domain loss directly.
+        xs2 = Tensor(xs.data.copy(), requires_grad=True)
+        xt2 = Tensor(xt.data.copy(), requires_grad=True)
+        from repro.aligners.adversarial import _domain_bce
+        direct = (_domain_bce(aligner.domain_logits(xs2), True)
+                  + _domain_bce(aligner.domain_logits(xt2), False)) * 0.5
+        direct.backward()
+        np.testing.assert_allclose(xs.grad, -xs2.grad, atol=1e-10)
+        np.testing.assert_allclose(xt.grad, -xt2.grad, atol=1e-10)
+
+    def test_grl_classifier_gradient_not_reversed(self):
+        aligner = GrlAligner(4, np.random.default_rng(0))
+        loss = aligner.alignment_loss(_batch(_features(8, 4, seed=1),
+                                             _features(8, 4, seed=2)))
+        loss.backward()
+        weight = aligner.classifier.layers[0].weight
+        assert weight.grad is not None
+        # Descending this gradient must *reduce* the domain loss (classifier
+        # learns), unlike the feature gradient which is reversed.
+        before = loss.item()
+        weight.data -= 0.01 * weight.grad
+        after = aligner.alignment_loss(
+            _batch(_features(8, 4, seed=1), _features(8, 4, seed=2))).item()
+        assert after <= before + 1e-6
+
+
+class TestGanAligners:
+    def test_kinds(self):
+        assert InvGanAligner(4, np.random.default_rng(0)).kind == "gan"
+        assert InvGanKdAligner(4, np.random.default_rng(0)).kind == "gan"
+        assert MmdAligner().kind == "joint"
+
+    def test_discriminator_loss_decreases_when_separable(self):
+        rng = np.random.default_rng(0)
+        aligner = InvGanAligner(4, rng, hidden=(16,))
+        real = Tensor(rng.normal(size=(32, 4)) + 3.0)
+        fake = Tensor(rng.normal(size=(32, 4)) - 3.0)
+        from repro.nn import Adam
+        opt = Adam(aligner.parameters(), lr=0.01)
+        first = aligner.discriminator_loss(real, fake).item()
+        for __ in range(60):
+            opt.zero_grad()
+            loss = aligner.discriminator_loss(real, fake)
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.5
+
+    def test_generator_loss_inverted_labels(self):
+        # Generator loss must be the BCE of calling fakes "source": it is
+        # low when the discriminator is fooled (logits positive).
+        rng = np.random.default_rng(1)
+        aligner = InvGanAligner(2, rng, hidden=())
+        layer = aligner.classifier.layers[0]
+        layer.weight.data[...] = np.array([[10.0], [0.0]])
+        layer.bias.data[...] = 0.0
+        fooled = Tensor(np.array([[5.0, 0.0]]))      # logit = 50 -> "source"
+        detected = Tensor(np.array([[-5.0, 0.0]]))   # logit = -50 -> "target"
+        assert aligner.generator_loss(fooled).item() < 1e-6
+        assert aligner.generator_loss(detected).item() > 10
+
+    def test_domain_accuracy_diagnostic(self):
+        rng = np.random.default_rng(2)
+        aligner = InvGanAligner(2, rng, hidden=())
+        layer = aligner.classifier.layers[0]
+        layer.weight.data[...] = np.array([[1.0], [0.0]])
+        layer.bias.data[...] = 0.0
+        source = np.full((10, 2), 2.0)
+        target = np.full((10, 2), -2.0)
+        assert aligner.domain_accuracy(source, target) == 1.0
+        assert aligner.domain_accuracy(target, source) == 0.0
+
+    def test_kd_loss_anchors_student(self):
+        aligner = InvGanKdAligner(4, np.random.default_rng(0),
+                                  temperature=2.0)
+        teacher = Tensor(np.array([[3.0, -3.0]]))
+        student = Tensor(np.array([[3.0, -3.0]]), requires_grad=True)
+        aligner.kd_loss(teacher, student).backward()
+        np.testing.assert_allclose(student.grad, np.zeros((1, 2)), atol=1e-10)
+
+    def test_kd_temperature_validated(self):
+        with pytest.raises(ValueError):
+            InvGanKdAligner(4, np.random.default_rng(0), temperature=-1.0)
+
+
+class TestEdAligner:
+    def _setup(self):
+        vocab = Vocabulary.build(["alpha beta gamma delta epsilon"])
+        aligner = EdAligner(vocab, feature_dim=16, rng=np.random.default_rng(0),
+                            num_layers=1, num_heads=2, max_len=12)
+        return vocab, aligner
+
+    def test_reconstruction_loss_finite_and_positive(self):
+        vocab, aligner = self._setup()
+        ids = np.array([[vocab.id_of("alpha"), vocab.id_of("beta"),
+                         vocab.pad_id, vocab.pad_id]])
+        mask = np.array([[1.0, 1.0, 0.0, 0.0]])
+        features = Tensor(np.random.default_rng(1).normal(size=(1, 16)))
+        loss = aligner.reconstruction_loss(features, ids, mask)
+        assert np.isfinite(loss.item())
+        assert loss.item() > 0
+
+    def test_alignment_loss_averages_domains(self):
+        vocab, aligner = self._setup()
+        xs = Tensor(np.random.default_rng(2).normal(size=(2, 16)))
+        xt = Tensor(np.random.default_rng(3).normal(size=(2, 16)))
+        ids = np.full((2, 4), vocab.id_of("alpha"), dtype=np.int64)
+        mask = np.ones((2, 4))
+        batch = AlignmentBatch(xs, xt, ids, mask, ids, mask, extractor=None)
+        combined = aligner.alignment_loss(batch).item()
+        source_only = aligner.reconstruction_loss(xs, ids, mask).item()
+        target_only = aligner.reconstruction_loss(xt, ids, mask).item()
+        assert combined == pytest.approx((source_only + target_only) / 2)
+
+    def test_learns_to_reconstruct_constant_sequence(self):
+        from repro.nn import Adam
+        vocab, aligner = self._setup()
+        token = vocab.id_of("gamma")
+        ids = np.full((4, 6), token, dtype=np.int64)
+        mask = np.ones((4, 6))
+        features = Tensor(np.random.default_rng(4).normal(size=(4, 16)))
+        opt = Adam(aligner.parameters(), lr=0.01)
+        for __ in range(40):
+            opt.zero_grad()
+            loss = aligner.reconstruction_loss(features, ids, mask)
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.5
+        decoded = aligner.greedy_decode(features, length=6)
+        assert (decoded == token).mean() > 0.9
+
+    def test_rejects_overlong_sequences(self):
+        vocab, aligner = self._setup()
+        with pytest.raises(ValueError):
+            aligner.reconstruction_loss(
+                Tensor(np.zeros((1, 16))),
+                np.zeros((1, 20), dtype=np.int64), np.ones((1, 20)))
+
+
+class TestGradReverse:
+    def test_identity_forward(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        np.testing.assert_array_equal(grad_reverse(x).data, x.data)
+
+    def test_negates_gradient(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        (grad_reverse(x) * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [-3.0, -3.0])
+
+    def test_scale(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        grad_reverse(x, scale=0.5).sum().backward()
+        np.testing.assert_allclose(x.grad, [-0.5])
+
+    def test_no_grad_passthrough(self):
+        out = grad_reverse(Tensor([1.0]))
+        assert not out.requires_grad
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("mmd", MmdAligner), ("k_order", KOrderAligner),
+        ("grl", GrlAligner), ("invgan", InvGanAligner),
+        ("invgan_kd", InvGanKdAligner), ("coral", KOrderAligner),
+        ("InvGAN+KD", InvGanKdAligner),
+    ])
+    def test_builds_by_name(self, name, cls):
+        aligner = make_aligner(name, 8, np.random.default_rng(0))
+        assert isinstance(aligner, cls)
+
+    def test_ed_needs_vocab(self):
+        with pytest.raises(ValueError):
+            make_aligner("ed", 8, np.random.default_rng(0))
+        vocab = Vocabulary.build(["a b c"])
+        aligner = make_aligner("ed", 8, np.random.default_rng(0), vocab=vocab)
+        assert isinstance(aligner, EdAligner)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_aligner("quantum", 8, np.random.default_rng(0))

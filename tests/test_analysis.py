@@ -1,0 +1,99 @@
+"""Tests for t-SNE, the mixing score, and dataset MMD distance."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import dataset_mmd, mixing_score, rank_sources_by_distance, tsne
+from repro.datasets import load_dataset
+
+
+class TestTsne:
+    def test_output_shape(self):
+        rng = np.random.default_rng(0)
+        emb = tsne(rng.normal(size=(30, 8)), iterations=60, seed=0)
+        assert emb.shape == (30, 2)
+        assert np.isfinite(emb).all()
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(20, 5))
+        a = tsne(x, iterations=50, seed=3)
+        b = tsne(x, iterations=50, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_separates_well_separated_clusters(self):
+        rng = np.random.default_rng(2)
+        cluster_a = rng.normal(size=(20, 6))
+        cluster_b = rng.normal(size=(20, 6)) + 25.0
+        emb = tsne(np.concatenate([cluster_a, cluster_b]), iterations=200,
+                   seed=0)
+        center_a = emb[:20].mean(axis=0)
+        center_b = emb[20:].mean(axis=0)
+        spread_a = np.linalg.norm(emb[:20] - center_a, axis=1).mean()
+        gap = np.linalg.norm(center_a - center_b)
+        assert gap > 2 * spread_a
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros((3, 4)))
+
+
+class TestMixingScore:
+    def test_separated_clouds_score_low(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(30, 4))
+        b = rng.normal(size=(30, 4)) + 50.0
+        assert mixing_score(a, b) < 0.05
+
+    def test_identical_distributions_score_high(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(60, 4))
+        b = rng.normal(size=(60, 4))
+        assert mixing_score(a, b) > 0.7
+
+    def test_bounded_unit_interval(self):
+        rng = np.random.default_rng(2)
+        for shift in (0.0, 1.0, 3.0):
+            score = mixing_score(rng.normal(size=(25, 3)),
+                                 rng.normal(size=(25, 3)) + shift)
+            assert 0.0 <= score <= 1.0
+
+    def test_monotone_in_separation(self):
+        rng = np.random.default_rng(3)
+        base = rng.normal(size=(40, 4))
+        near = mixing_score(base, rng.normal(size=(40, 4)) + 0.5)
+        far = mixing_score(base, rng.normal(size=(40, 4)) + 6.0)
+        assert near > far
+
+    def test_needs_enough_points(self):
+        with pytest.raises(ValueError):
+            mixing_score(np.zeros((3, 2)), np.zeros((3, 2)), k=5)
+
+
+class TestDatasetMmd:
+    def test_same_dataset_near_zero(self, tiny_lm):
+        # Two independent samples of one dataset: MMD small but non-zero.
+        extractor, __ = tiny_lm
+        ds = load_dataset("fz", scale=0.1, seed=0)
+        distance = dataset_mmd(extractor, ds, ds, sample=48)
+        assert distance < 0.05
+
+    def test_cross_domain_larger_than_same_domain(self, tiny_lm):
+        extractor, __ = tiny_lm
+        restaurants_a = load_dataset("fz", scale=0.15, seed=0)
+        restaurants_b = load_dataset("zy", scale=0.15, seed=0)
+        books = load_dataset("b2", scale=0.3, seed=0)
+        similar = dataset_mmd(extractor, restaurants_a, restaurants_b,
+                              sample=48)
+        different = dataset_mmd(extractor, books, restaurants_a, sample=48)
+        assert different > similar
+
+    def test_rank_sources(self, tiny_lm):
+        extractor, __ = tiny_lm
+        target = load_dataset("fz", scale=0.15, seed=0)
+        candidates = [load_dataset("zy", scale=0.15, seed=0),
+                      load_dataset("b2", scale=0.3, seed=0)]
+        ranked = rank_sources_by_distance(extractor, target, candidates,
+                                          sample=48)
+        assert ranked[0][0] <= ranked[1][0]
+        assert ranked[0][1].name == "zomato_yelp"

@@ -1,0 +1,217 @@
+"""Tests for augmentation, attribute occlusion, focal loss, and findings."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (attribute_reliance, occlude_attribute,
+                            shared_attribute_share)
+from repro.data import Entity, EntityPair, ERDataset
+from repro.datasets import load_dataset
+from repro.datasets.augment import (Augmenter, attribute_deletion,
+                                    attribute_shuffle, entity_swap,
+                                    span_deletion)
+from repro.experiments import (FindingVerdict, MethodScore, check_finding_1,
+                               check_finding_2, check_finding_6,
+                               check_finding_7, curve_volatility)
+from repro.experiments.figures import Figure6Point
+from repro.nn import Tensor, functional as F
+
+from .helpers import check_gradients
+
+
+def _pair(label=1):
+    left = Entity("a", {"title": "samsung galaxy phone black edition",
+                        "price": "100"})
+    right = Entity("b", {"title": "samsung galaxy phone", "price": "101"})
+    return EntityPair(left, right, label)
+
+
+class TestAugmentOperators:
+    def test_span_deletion_removes_tokens(self):
+        rng = np.random.default_rng(0)
+        out = span_deletion(_pair(), rng)
+        total_before = sum(len(str(v).split())
+                           for e in (_pair().left, _pair().right)
+                           for v in e.attributes.values() if v)
+        total_after = sum(len(str(v).split())
+                          for e in (out.left, out.right)
+                          for v in e.attributes.values() if v)
+        assert total_after < total_before
+
+    def test_span_deletion_preserves_label(self):
+        out = span_deletion(_pair(1), np.random.default_rng(0))
+        assert out.label == 1
+
+    def test_attribute_deletion_nulls_one(self):
+        out = attribute_deletion(_pair(), np.random.default_rng(1))
+        nulls = sum(v is None for e in (out.left, out.right)
+                    for v in e.attributes.values())
+        assert nulls == 1
+
+    def test_attribute_deletion_keeps_one_value(self):
+        pair = EntityPair(Entity("a", {"t": "x"}), Entity("b", {"t": "y"}), 0)
+        out = attribute_deletion(pair, np.random.default_rng(0))
+        assert out.left.attributes == {"t": "x"}  # refused: only one value
+
+    def test_entity_swap(self):
+        out = entity_swap(_pair(), np.random.default_rng(0))
+        assert out.left.entity_id == "b"
+        assert out.right.entity_id == "a"
+        assert out.label == 1
+
+    def test_attribute_shuffle_preserves_values(self):
+        out = attribute_shuffle(_pair(), np.random.default_rng(3))
+        for side_in, side_out in ((_pair().left, out.left),
+                                  (_pair().right, out.right)):
+            assert dict(side_in.attributes) == dict(side_out.attributes)
+
+
+class TestAugmenter:
+    def test_rate_zero_is_identity(self):
+        augmenter = Augmenter(rate=0.0, seed=0)
+        pair = _pair()
+        assert augmenter.augment_pair(pair) is pair
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            Augmenter(rate=1.5)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Augmenter(operators=["teleport"])
+
+    def test_augment_dataset_grows(self):
+        ds = load_dataset("fz", scale=0.1, seed=0)
+        out = Augmenter(rate=1.0, seed=0).augment_dataset(ds, copies=2)
+        assert len(out) == 3 * len(ds)
+        assert out.num_matches == 3 * ds.num_matches
+
+    def test_copies_validated(self):
+        ds = load_dataset("fz", scale=0.1, seed=0)
+        with pytest.raises(ValueError):
+            Augmenter().augment_dataset(ds, copies=0)
+
+    def test_batch_length_preserved(self):
+        ds = load_dataset("fz", scale=0.1, seed=0)
+        out = Augmenter(rate=1.0, seed=1).augment_batch(ds.pairs[:7])
+        assert len(out) == 7
+
+
+class TestOcclusion:
+    def test_occlude_nulls_everywhere(self):
+        ds = load_dataset("fz", scale=0.1, seed=0)
+        out = occlude_attribute(ds, "name")
+        assert all(p.left.attributes["name"] is None for p in out)
+        assert all(p.right.attributes["name"] is None for p in out)
+
+    def test_occlude_missing_attribute_is_noop(self):
+        ds = load_dataset("fz", scale=0.1, seed=0)
+        out = occlude_attribute(ds, "nonexistent")
+        assert out.pairs[0].left.attributes == ds.pairs[0].left.attributes
+
+    def test_reliance_requires_labels(self, lm_copy, matcher_factory):
+        ds = load_dataset("fz", scale=0.1, seed=0).without_labels()
+        with pytest.raises(ValueError):
+            attribute_reliance(lm_copy, matcher_factory(lm_copy.feature_dim),
+                               ds)
+
+    def test_reliance_returns_all_attributes(self, lm_copy, matcher_factory):
+        ds = load_dataset("zy", scale=0.1, seed=0)
+        reliance = attribute_reliance(
+            lm_copy, matcher_factory(lm_copy.feature_dim), ds)
+        assert set(reliance) == {"name", "phone", "addr"}
+
+    def test_shared_share_bounds(self):
+        reliance = {"title": 0.3, "brand": 0.1, "isbn": -0.05}
+        share = shared_attribute_share(reliance, shared=["title"])
+        assert share == pytest.approx(0.3 / 0.4)
+        assert shared_attribute_share({"a": -1.0}, ["a"]) == 0.0
+
+
+class TestFocalLoss:
+    def test_reduces_to_ce_at_gamma_zero(self):
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.normal(size=(6, 2)))
+        labels = np.array([0, 1, 0, 1, 1, 0])
+        focal = F.focal_loss(logits, labels, gamma=0.0).item()
+        ce = F.cross_entropy(logits, labels).item()
+        assert focal == pytest.approx(ce)
+
+    def test_down_weights_easy_examples(self):
+        easy = Tensor(np.array([[8.0, -8.0]]))
+        hard = Tensor(np.array([[0.2, -0.2]]))
+        labels = np.array([0])
+        ratio_focal = (F.focal_loss(hard, labels).item()
+                       / max(F.focal_loss(easy, labels).item(), 1e-30))
+        ratio_ce = (F.cross_entropy(hard, labels).item()
+                    / F.cross_entropy(easy, labels).item())
+        assert ratio_focal > ratio_ce
+
+    def test_alpha_reweights_positive_class(self):
+        logits = Tensor(np.zeros((2, 2)))
+        labels = np.array([1, 0])
+        heavy_pos = F.focal_loss(logits, labels, gamma=0.0,
+                                 alpha=0.9).item()
+        light_pos = F.focal_loss(logits, labels, gamma=0.0,
+                                 alpha=0.1).item()
+        assert heavy_pos == pytest.approx(light_pos)  # symmetric logits
+
+    def test_gradients(self):
+        rng = np.random.default_rng(1)
+        logits = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        labels = np.array([0, 1, 1, 0])
+        check_gradients(lambda: F.focal_loss(logits, labels, gamma=2.0),
+                        [logits], atol=1e-4)
+
+    def test_validates_params(self):
+        logits = Tensor(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            F.focal_loss(logits, np.array([0]), gamma=-1.0)
+        with pytest.raises(ValueError):
+            F.focal_loss(logits, np.array([0]), alpha=1.5)
+
+
+class TestFindings:
+    def _row(self, noda, best):
+        return {"source": "s", "target": "t",
+                "noda": MethodScore("noda", [noda]),
+                "mmd": MethodScore("mmd", [best])}
+
+    def test_finding_1_supported(self):
+        verdict = check_finding_1([self._row(40, 55), self._row(60, 70)])
+        assert verdict.supported
+        assert "2/2" in verdict.evidence
+
+    def test_finding_1_unsupported(self):
+        verdict = check_finding_1([self._row(70, 30), self._row(80, 20)],
+                                  tolerance=5.0)
+        assert not verdict.supported
+
+    def test_finding_2(self):
+        points = [Figure6Point("a", "t", 0.1, 80.0, 50.0),
+                  Figure6Point("b", "t", 0.9, 60.0, 40.0)]
+        assert check_finding_2(points).supported
+        points_bad = [Figure6Point("a", "t", 0.1, 50.0, 50.0),
+                      Figure6Point("b", "t", 0.9, 80.0, 40.0)]
+        assert not check_finding_2(points_bad).supported
+
+    def test_finding_6(self):
+        rows = [{"pair": "x", "reweight_f1": 40.0, "dader_f1": 70.0}]
+        assert check_finding_6(rows).supported
+
+    def test_finding_7(self):
+        series = {"invgan_kd": [70.0, 75.0], "ditto": [50.0, 74.0],
+                  "deepmatcher": [20.0, 60.0], "noda": [55.0, 60.0]}
+        assert check_finding_7(series).supported
+        series["invgan_kd"] = [30.0, 75.0]
+        assert not check_finding_7(series).supported
+
+    def test_volatility(self):
+        assert curve_volatility([50, 50, 50]) == 0.0
+        assert curve_volatility([0, 100, 0]) == pytest.approx(100.0)
+        assert curve_volatility([5.0]) == 0.0
+
+    def test_verdict_str(self):
+        verdict = FindingVerdict(9, "claim", True, "evidence")
+        assert "SUPPORTED" in str(verdict)
+        assert "Finding 9" in str(verdict)

@@ -1,0 +1,67 @@
+"""Tests for the top-level API and the example scripts' integrity."""
+
+import py_compile
+from pathlib import Path
+
+import pytest
+
+from repro import adapt, load_dataset, no_da
+from repro.train import TrainConfig
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+TINY_LM = dict(dim=32, num_layers=1, num_heads=2, max_len=96,
+               corpus_scale=0.01, steps=80, seed=0)
+TINY_CONFIG = TrainConfig(epochs=2, batch_size=8, iterations_per_epoch=3,
+                          pretrain_epochs=1, seed=0)
+
+
+class TestTopLevelApi:
+    def test_no_da_runs(self):
+        source = load_dataset("fz", scale=0.15, seed=0)
+        target = load_dataset("zy", scale=0.15, seed=0)
+        result = no_da(source, target, config=TINY_CONFIG, lm_kwargs=TINY_LM)
+        assert result.method == "noda"
+        assert 0.0 <= result.best_f1 <= 100.0
+
+    def test_adapt_joint_aligner(self):
+        source = load_dataset("fz", scale=0.15, seed=0)
+        target = load_dataset("zy", scale=0.15, seed=0)
+        result = adapt(source, target, aligner="mmd", config=TINY_CONFIG,
+                       lm_kwargs=TINY_LM)
+        assert result.method == "mmd"
+
+    def test_adapt_gan_aligner(self):
+        source = load_dataset("fz", scale=0.15, seed=0)
+        target = load_dataset("zy", scale=0.15, seed=0)
+        result = adapt(source, target, aligner="InvGAN+KD",
+                       config=TINY_CONFIG, lm_kwargs=TINY_LM)
+        assert result.method == "invgan_kd"
+
+    def test_adapt_rejects_unlabeled_source(self):
+        source = load_dataset("fz", scale=0.15, seed=0).without_labels()
+        target = load_dataset("zy", scale=0.15, seed=0)
+        with pytest.raises(ValueError):
+            adapt(source, target, config=TINY_CONFIG, lm_kwargs=TINY_LM)
+
+    def test_adapt_requires_labeled_target_for_protocol(self):
+        source = load_dataset("fz", scale=0.15, seed=0)
+        target = load_dataset("zy", scale=0.15, seed=0).without_labels()
+        with pytest.raises(ValueError):
+            adapt(source, target, config=TINY_CONFIG, lm_kwargs=TINY_LM)
+
+
+class TestExamples:
+    @pytest.mark.parametrize("script", sorted(EXAMPLES.glob("*.py")),
+                             ids=lambda p: p.name)
+    def test_example_compiles(self, script):
+        py_compile.compile(str(script), doraise=True)
+
+    def test_at_least_three_examples(self):
+        assert len(list(EXAMPLES.glob("*.py"))) >= 3
+
+    def test_examples_have_main_and_docstring(self):
+        for script in EXAMPLES.glob("*.py"):
+            text = script.read_text()
+            assert '"""' in text.split("\n", 1)[0] + text, script
+            assert "__main__" in text, script

@@ -1,0 +1,152 @@
+"""Tests for Reweight, supervised baselines, and active selection."""
+
+import numpy as np
+import pytest
+
+from repro.active import (entropy_of_probabilities, max_entropy_rounds,
+                          select_max_entropy)
+from repro.baselines import (embed_dataset, hashed_pair_embedding,
+                             source_weights, train_reweight,
+                             train_deepmatcher, train_ditto)
+from repro.data import supervised_split
+from repro.datasets import load_dataset
+from repro.train import TrainConfig
+
+
+class TestHashedEmbedding:
+    def test_deterministic(self):
+        ds = load_dataset("fz", scale=0.05, seed=0)
+        a = hashed_pair_embedding(ds.pairs[0])
+        b = hashed_pair_embedding(ds.pairs[0])
+        np.testing.assert_array_equal(a, b)
+
+    def test_dimension(self):
+        ds = load_dataset("fz", scale=0.05, seed=0)
+        assert hashed_pair_embedding(ds.pairs[0], dim=64).shape == (64,)
+
+    def test_overlap_slot_higher_for_matches(self):
+        ds = load_dataset("dblp_acm", scale=0.03, seed=0)
+        match_overlap = np.mean([hashed_pair_embedding(p)[-1]
+                                 for p in ds if p.label == 1])
+        other_overlap = np.mean([hashed_pair_embedding(p)[-1]
+                                 for p in ds if p.label == 0])
+        assert match_overlap > other_overlap
+
+    def test_embed_dataset_shape(self):
+        ds = load_dataset("fz", scale=0.05, seed=0)
+        matrix = embed_dataset(ds, dim=32)
+        assert matrix.shape == (len(ds), 32)
+
+
+class TestSourceWeights:
+    def test_mean_one(self):
+        rng = np.random.default_rng(0)
+        weights = source_weights(rng.normal(size=(30, 8)),
+                                 rng.normal(size=(20, 8)))
+        assert weights.mean() == pytest.approx(1.0)
+
+    def test_similar_instances_weighted_up(self):
+        rng = np.random.default_rng(1)
+        target = rng.normal(size=(40, 4))
+        near = target[:10] + 0.01
+        far = rng.normal(size=(10, 4)) + 8.0
+        weights = source_weights(np.concatenate([near, far]), target)
+        assert weights[:10].mean() > weights[10:].mean() * 2
+
+    def test_all_far_degrades_gracefully(self):
+        source = np.full((5, 3), 1000.0)
+        target = np.zeros((5, 3))
+        weights = source_weights(source, target, bandwidth=1.0)
+        assert np.isfinite(weights).all()
+
+
+class TestReweight:
+    def test_end_to_end(self):
+        source = load_dataset("fz", scale=0.2, seed=0)
+        target = load_dataset("zy", scale=0.2, seed=0)
+        result = train_reweight(source, target.without_labels(), target,
+                                epochs=30, seed=0)
+        assert 0.0 <= result.best_f1 <= 100.0
+        assert len(result.weights) == len(source)
+
+    def test_rejects_unlabeled_source(self):
+        source = load_dataset("fz", scale=0.05, seed=0).without_labels()
+        target = load_dataset("zy", scale=0.05, seed=0)
+        with pytest.raises(ValueError):
+            train_reweight(source, target, target)
+
+    def test_same_domain_learns_signal(self):
+        # Train and test on the same distribution: the hashed-overlap
+        # features are informative, so F1 must clearly beat zero.
+        data = load_dataset("dblp_acm", scale=0.1, seed=0)
+        result = train_reweight(data, data.without_labels(), data,
+                                epochs=80, seed=0)
+        assert result.best_f1 > 50.0
+
+
+class TestSupervisedBaselines:
+    def test_deepmatcher_runs(self):
+        data = load_dataset("fz", scale=0.3, seed=0)
+        train, valid, test = supervised_split(data,
+                                              np.random.default_rng(0))
+        cfg = TrainConfig(epochs=2, batch_size=16, iterations_per_epoch=4,
+                          seed=0)
+        result = train_deepmatcher(train, valid, test, cfg, max_len=80)
+        assert result.method == "deepmatcher"
+        assert len(result.history) == 2
+
+    def test_ditto_runs(self, tiny_lm):
+        base, __ = tiny_lm
+        data = load_dataset("fz", scale=0.3, seed=0)
+        train, valid, test = supervised_split(data,
+                                              np.random.default_rng(0))
+        cfg = TrainConfig(epochs=2, batch_size=16, iterations_per_epoch=4,
+                          seed=0)
+        result = train_ditto(base, train, valid, test, cfg)
+        assert result.method == "ditto"
+
+
+class TestActiveSelection:
+    def test_entropy_peaks_at_half(self):
+        entropy = entropy_of_probabilities(np.array([0.01, 0.5, 0.99]))
+        assert entropy[1] > entropy[0]
+        assert entropy[1] > entropy[2]
+        assert entropy[1] == pytest.approx(np.log(2))
+
+    def test_entropy_handles_extremes(self):
+        entropy = entropy_of_probabilities(np.array([0.0, 1.0]))
+        assert np.isfinite(entropy).all()
+
+    def test_select_max_entropy(self, lm_copy, matcher_factory):
+        pool = load_dataset("fz", scale=0.2, seed=0)
+        matcher = matcher_factory(lm_copy.feature_dim)
+        picked = select_max_entropy(lm_copy, matcher, pool, budget=5)
+        assert len(picked) == 5
+        assert len(set(picked)) == 5
+
+    def test_select_respects_exclusions(self, lm_copy, matcher_factory):
+        pool = load_dataset("fz", scale=0.2, seed=0)
+        matcher = matcher_factory(lm_copy.feature_dim)
+        first = select_max_entropy(lm_copy, matcher, pool, budget=3)
+        second = select_max_entropy(lm_copy, matcher, pool, budget=3,
+                                    exclude=first)
+        assert not set(first) & set(second)
+
+    def test_select_validates_budget(self, lm_copy, matcher_factory):
+        pool = load_dataset("fz", scale=0.1, seed=0)
+        matcher = matcher_factory(lm_copy.feature_dim)
+        with pytest.raises(ValueError):
+            select_max_entropy(lm_copy, matcher, pool, budget=0)
+
+    def test_random_rounds_cumulative(self):
+        pool = load_dataset("fz", scale=0.3, seed=0)
+        rounds = max_entropy_rounds(pool, per_round=10, rounds=3,
+                                    rng=np.random.default_rng(0))
+        assert [len(r) for r in rounds] == [10, 20, 30]
+        assert set(rounds[0]) <= set(rounds[1]) <= set(rounds[2])
+
+    def test_rounds_validate_pool_size(self):
+        pool = load_dataset("fz", scale=0.05, seed=0)
+        with pytest.raises(ValueError):
+            max_entropy_rounds(pool, per_round=1000, rounds=5,
+                               rng=np.random.default_rng(0))

@@ -1,0 +1,235 @@
+"""Tests for entities, datasets, splits, CSV I/O, and blocking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking import OverlapBlocker, blocking_recall
+from repro.data import (Entity, EntityPair, ERDataset, load_csv, save_csv,
+                        split_fractions, supervised_split, target_da_split)
+
+
+def _entity(i, **attrs):
+    return Entity(f"e{i}", attrs or {"title": f"thing {i}", "price": str(i)})
+
+
+def _dataset(n=20, match_every=4):
+    pairs = []
+    for i in range(n):
+        label = 1 if i % match_every == 0 else 0
+        pairs.append(EntityPair(_entity(i), _entity(i + 1000), label))
+    return ERDataset("toy", "testing", pairs)
+
+
+class TestEntity:
+    def test_attribute_order_preserved(self):
+        e = Entity("x", {"b": "1", "a": "2"})
+        assert e.attribute_names() == ("b", "a")
+
+    def test_text_skips_none(self):
+        e = Entity("x", {"a": "hello", "b": None})
+        assert e.text() == "hello"
+
+    def test_pair_tokens_framed(self):
+        p = EntityPair(_entity(1), _entity(2), 1)
+        tokens = p.tokens()
+        assert tokens[0] == "[CLS]"
+        assert tokens[-1] == "[SEP]"
+
+    def test_with_label(self):
+        p = EntityPair(_entity(1), _entity(2), 1)
+        assert p.with_label(None).label is None
+        assert p.label == 1
+
+
+class TestERDataset:
+    def test_statistics(self):
+        ds = _dataset(20, 4)
+        assert ds.num_pairs == 20
+        assert ds.num_matches == 5
+        assert ds.num_attributes == 2
+        assert ds.is_labeled
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ValueError):
+            ERDataset("bad", "d", [EntityPair(_entity(0), _entity(1), 2)])
+
+    def test_without_labels(self):
+        ds = _dataset().without_labels()
+        assert not ds.is_labeled
+        with pytest.raises(ValueError):
+            ds.labels()
+
+    def test_labels_vector(self):
+        labels = _dataset(8, 2).labels()
+        np.testing.assert_array_equal(labels, [1, 0, 1, 0, 1, 0, 1, 0])
+
+    def test_subset(self):
+        sub = _dataset().subset([0, 4], suffix="mini")
+        assert len(sub) == 2
+        assert sub.num_matches == 2
+        assert sub.name == "toy-mini"
+
+    def test_iteration_and_indexing(self):
+        ds = _dataset(5, 2)
+        assert ds[0].label == 1
+        assert len(list(ds)) == 5
+
+    def test_describe_matches_properties(self):
+        ds = _dataset()
+        info = ds.describe()
+        assert info["pairs"] == ds.num_pairs
+        assert info["matches"] == ds.num_matches
+
+    def test_texts_one_per_pair(self):
+        ds = _dataset(6)
+        assert len(ds.texts()) == 6
+        assert "thing" in ds.texts()[0]
+
+
+class TestSplits:
+    def test_fractions_partition_everything(self):
+        ds = _dataset(40, 4)
+        parts = split_fractions(ds, [0.5, 0.25, 0.25],
+                                np.random.default_rng(0), ["a", "b", "c"])
+        assert sum(len(p) for p in parts) == 40
+
+    def test_stratification_keeps_matches_everywhere(self):
+        ds = _dataset(100, 4)  # 25 matches
+        parts = split_fractions(ds, [0.6, 0.2, 0.2],
+                                np.random.default_rng(0), ["a", "b", "c"])
+        for part in parts:
+            assert part.num_matches > 0
+            rate = part.num_matches / len(part)
+            assert 0.15 < rate < 0.35
+
+    def test_target_da_split_is_one_to_nine(self):
+        valid, test = target_da_split(_dataset(100, 4),
+                                      np.random.default_rng(1))
+        assert len(valid) + len(test) == 100
+        assert len(valid) == pytest.approx(10, abs=2)
+
+    def test_supervised_split_is_three_one_one(self):
+        train, valid, test = supervised_split(_dataset(100, 4),
+                                              np.random.default_rng(1))
+        assert len(train) == pytest.approx(60, abs=2)
+        assert len(valid) == pytest.approx(20, abs=2)
+        assert len(test) == pytest.approx(20, abs=2)
+
+    def test_rejects_fractions_not_summing_to_one(self):
+        with pytest.raises(ValueError):
+            split_fractions(_dataset(), [0.5, 0.4],
+                            np.random.default_rng(0), ["a", "b"])
+
+    def test_rejects_mismatched_names(self):
+        with pytest.raises(ValueError):
+            split_fractions(_dataset(), [0.5, 0.5],
+                            np.random.default_rng(0), ["a"])
+
+    def test_disjoint_parts(self):
+        ds = _dataset(30, 3)
+        parts = split_fractions(ds, [0.5, 0.5], np.random.default_rng(2),
+                                ["x", "y"])
+        ids_x = {p.left.entity_id for p in parts[0]}
+        ids_y = {p.left.entity_id for p in parts[1]}
+        assert not ids_x & ids_y
+
+    @given(st.integers(20, 120), st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_split_never_loses_pairs(self, n, match_every):
+        ds = _dataset(n, match_every)
+        parts = split_fractions(ds, [0.3, 0.3, 0.4],
+                                np.random.default_rng(0), ["a", "b", "c"])
+        assert sum(len(p) for p in parts) == n
+        assert sum(p.num_matches for p in parts) == ds.num_matches
+
+
+class TestCsvIO:
+    def test_roundtrip(self, tmp_path):
+        ds = _dataset(10, 3)
+        path = tmp_path / "pairs.csv"
+        save_csv(ds, path)
+        loaded = load_csv(path, name="toy", domain="testing")
+        assert len(loaded) == 10
+        for a, b in zip(ds.pairs, loaded.pairs):
+            assert a.label == b.label
+            assert a.left.attributes == b.left.attributes
+            assert a.right.entity_id == b.right.entity_id
+
+    def test_null_roundtrip(self, tmp_path):
+        pair = EntityPair(Entity("a", {"x": None, "y": "v"}),
+                          Entity("b", {"x": "w", "y": None}), 0)
+        ds = ERDataset("nulls", "t", [pair])
+        path = tmp_path / "nulls.csv"
+        save_csv(ds, path)
+        loaded = load_csv(path)
+        assert loaded.pairs[0].left.attributes["x"] is None
+        assert loaded.pairs[0].right.attributes["y"] is None
+
+    def test_unlabeled_roundtrip(self, tmp_path):
+        ds = _dataset(4).without_labels()
+        path = tmp_path / "unlabeled.csv"
+        save_csv(ds, path)
+        assert load_csv(path).pairs[0].label is None
+
+    def test_empty_dataset_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_csv(ERDataset("empty", "t", []), tmp_path / "x.csv")
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("foo,bar\n1,2\n")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+
+class TestBlocking:
+    def _tables(self):
+        left = [Entity("l1", {"t": "samsung galaxy phone black"}),
+                Entity("l2", {"t": "sony bravia tv led"}),
+                Entity("l3", {"t": "hp laserjet printer compact"})]
+        right = [Entity("r1", {"t": "samsung galaxy phone 64gb"}),
+                 Entity("r2", {"t": "sony bravia television"}),
+                 Entity("r3", {"t": "canon pixma scanner"})]
+        return left, right
+
+    def test_finds_true_matches(self):
+        left, right = self._tables()
+        pairs = OverlapBlocker(min_overlap=2).candidates(left, right)
+        found = {(p.left.entity_id, p.right.entity_id) for p in pairs}
+        assert ("l1", "r1") in found
+        assert ("l2", "r2") in found
+
+    def test_prunes_unrelated(self):
+        left, right = self._tables()
+        pairs = OverlapBlocker(min_overlap=2).candidates(left, right)
+        found = {(p.left.entity_id, p.right.entity_id) for p in pairs}
+        assert ("l3", "r3") not in found
+        assert ("l1", "r2") not in found
+
+    def test_stop_words_ignored(self):
+        left = [Entity(f"l{i}", {"t": f"common item {i}"}) for i in range(10)]
+        right = [Entity("r0", {"t": "common item elsewhere"})]
+        pairs = OverlapBlocker(min_overlap=2,
+                               stop_fraction=0.5).candidates(left, right)
+        # 'common' and 'item' appear everywhere -> stop words -> no overlap.
+        assert pairs == []
+
+    def test_recall_metric(self):
+        left, right = self._tables()
+        pairs = OverlapBlocker(min_overlap=2).candidates(left, right)
+        recall = blocking_recall(pairs, [("l1", "r1"), ("l2", "r2")])
+        assert recall == 1.0
+        partial = blocking_recall(pairs, [("l1", "r1"), ("l3", "r3")])
+        assert partial == 0.5
+
+    def test_recall_requires_truth(self):
+        with pytest.raises(ValueError):
+            blocking_recall([], [])
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            OverlapBlocker(min_overlap=0)
+        with pytest.raises(ValueError):
+            OverlapBlocker(stop_fraction=0.0)

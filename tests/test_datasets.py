@@ -1,0 +1,248 @@
+"""Tests for the synthetic benchmark generators (Table 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (CATALOG, Perturber, dataset_names, load_dataset,
+                            scaled_counts, spec_for, table2_rows)
+from repro.datasets.perturb import (abbreviate_first_name, abbreviate_word,
+                                    drop_tokens, jitter_number, typo)
+from repro.datasets.vocabularies import expand_pool
+from repro.text import tokenize
+
+# Paper Table 2: (pairs, matches, attributes) per dataset key.
+TABLE2 = {
+    "walmart_amazon": (10242, 962, 5),
+    "abt_buy": (9575, 1028, 3),
+    "dblp_scholar": (28707, 5347, 4),
+    "dblp_acm": (12363, 2220, 4),
+    "fodors_zagats": (946, 110, 6),
+    "zomato_yelp": (894, 214, 3),
+    "itunes_amazon": (532, 132, 8),
+    "rotten_imdb": (600, 190, 3),
+    "books2": (394, 92, 9),
+    "wdc_computers": (1100, 300, 2),
+    "wdc_cameras": (1100, 300, 2),
+    "wdc_watches": (1100, 300, 2),
+    "wdc_shoes": (1100, 300, 2),
+}
+
+
+class TestCatalog:
+    def test_all_thirteen_datasets_present(self):
+        assert set(dataset_names()) == set(TABLE2)
+
+    def test_full_scale_counts_match_table2(self):
+        for key, (pairs, matches, __) in TABLE2.items():
+            counts = scaled_counts(CATALOG[key], scale=1.0)
+            assert counts["pairs"] == pairs, key
+            assert counts["matches"] == matches, key
+
+    @pytest.mark.parametrize("key", sorted(TABLE2))
+    def test_attribute_counts_match_table2(self, key):
+        ds = load_dataset(key, scale=0.01, seed=0)
+        assert ds.num_attributes == TABLE2[key][2]
+
+    def test_aliases_resolve(self):
+        assert spec_for("WA").key == "walmart_amazon"
+        assert spec_for("dblp-scholar").key == "dblp_scholar"
+        assert spec_for("b2").key == "books2"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            spec_for("imaginary")
+
+    def test_table2_rows_structure(self):
+        rows = table2_rows(scale=1.0)
+        assert len(rows) == 13
+        by_key = {r["key"]: r for r in rows}
+        assert by_key["dblp_scholar"]["pairs"] == 28707
+        assert by_key["books2"]["attributes"] == 9
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        a = load_dataset("fz", scale=0.2, seed=5)
+        b = load_dataset("fz", scale=0.2, seed=5)
+        for pa, pb in zip(a.pairs, b.pairs):
+            assert pa.left.attributes == pb.left.attributes
+            assert pa.label == pb.label
+
+    def test_different_seeds_differ(self):
+        a = load_dataset("fz", scale=0.2, seed=5)
+        b = load_dataset("fz", scale=0.2, seed=6)
+        assert any(pa.left.attributes != pb.left.attributes
+                   for pa, pb in zip(a.pairs, b.pairs))
+
+    def test_match_rate_preserved_at_scale(self):
+        ds = load_dataset("dblp_acm", scale=0.05, seed=0)
+        paper_rate = TABLE2["dblp_acm"][1] / TABLE2["dblp_acm"][0]
+        assert ds.num_matches / ds.num_pairs == pytest.approx(paper_rate,
+                                                              rel=0.2)
+
+    def test_minimum_floor_at_tiny_scale(self):
+        ds = load_dataset("books2", scale=0.001, seed=0)
+        assert ds.num_matches >= 12
+        assert ds.num_pairs >= 40
+
+    def test_scale_out_of_range(self):
+        with pytest.raises(ValueError):
+            load_dataset("fz", scale=0.0)
+        with pytest.raises(ValueError):
+            load_dataset("fz", scale=1.5)
+
+    def test_matches_share_more_tokens_than_nonmatches(self):
+        ds = load_dataset("dblp_acm", scale=0.03, seed=1)
+
+        def overlap(pair):
+            a = set(tokenize(pair.left.text()))
+            b = set(tokenize(pair.right.text()))
+            return len(a & b) / max(len(a | b), 1)
+
+        match_overlap = np.mean([overlap(p) for p in ds if p.label == 1])
+        other_overlap = np.mean([overlap(p) for p in ds if p.label == 0])
+        assert match_overlap > other_overlap + 0.1
+
+    def test_scholar_side_abbreviates_authors(self):
+        ds = load_dataset("dblp_scholar", scale=0.01, seed=0)
+        match = next(p for p in ds if p.label == 1
+                     and p.right.attributes["authors"])
+        first_author = match.right.attributes["authors"].split(",")[0].strip()
+        assert len(first_author.split()[0]) == 1  # "m stonebraker" style
+
+    def test_zomato_yelp_is_dirty(self):
+        ds = load_dataset("zy", scale=1.0, seed=0)
+        nulls = sum(1 for p in ds
+                    for v in p.left.attributes.values() if v is None)
+        assert nulls > 0  # dirty shift moved values out of columns
+
+    def test_wdc_has_two_attributes_and_long_titles(self):
+        ds = load_dataset("wdc_shoes", scale=0.1, seed=0)
+        assert ds.num_attributes == 2
+        lengths = [len(tokenize(p.left.attributes["title"] or ""))
+                   for p in ds.pairs[:50]]
+        assert np.mean(lengths) > 6
+
+    def test_cross_domain_vocabularies_nearly_disjoint(self):
+        products = load_dataset("ab", scale=0.01, seed=0)
+        citations = load_dataset("da", scale=0.01, seed=0)
+
+        def vocab(ds):
+            tokens = set()
+            for text in ds.texts():
+                tokens.update(tokenize(text))
+            return {t for t in tokens if t.isalpha()}
+
+        va, vb = vocab(products), vocab(citations)
+        jaccard = len(va & vb) / len(va | vb)
+        assert jaccard < 0.15
+
+    def test_wdc_categories_share_vocabulary(self):
+        a = load_dataset("wdc_computers", scale=0.2, seed=0)
+        b = load_dataset("wdc_cameras", scale=0.2, seed=0)
+
+        def vocab(ds):
+            tokens = set()
+            for text in ds.texts():
+                tokens.update(t for t in tokenize(text) if t.isalpha())
+            return tokens
+
+        va, vb = vocab(a), vocab(b)
+        jaccard = len(va & vb) / len(va | vb)
+        # Far above the cross-domain level (< 0.15): shared title vocabulary.
+        assert jaccard > 0.3
+
+    @given(st.sampled_from(sorted(TABLE2)), st.integers(0, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_every_dataset_generates_clean_labels(self, key, seed):
+        ds = load_dataset(key, scale=0.01, seed=seed)
+        assert ds.is_labeled
+        assert 0 < ds.num_matches < ds.num_pairs
+
+
+class TestPerturbations:
+    def test_typo_changes_long_words(self):
+        rng = np.random.default_rng(0)
+        changed = sum(typo("keyboard", rng) != "keyboard" for __ in range(20))
+        assert changed >= 15
+
+    def test_typo_leaves_short_words(self):
+        rng = np.random.default_rng(0)
+        assert typo("ab", rng) == "ab"
+
+    def test_abbreviate_first_name(self):
+        assert abbreviate_first_name("michael stonebraker") == "m stonebraker"
+        assert abbreviate_first_name("cher") == "cher"
+
+    def test_abbreviate_word(self):
+        assert abbreviate_word("proceedings") == "proc"
+        assert abbreviate_word("acm") == "acm"
+
+    def test_drop_tokens_keeps_at_least_one(self):
+        rng = np.random.default_rng(0)
+        out = drop_tokens("a b c", rate=1.0, rng=rng)
+        assert len(out.split()) >= 1
+
+    def test_jitter_number_bounded(self):
+        rng = np.random.default_rng(0)
+        for __ in range(50):
+            assert 90 <= jitter_number(100.0, 0.1, rng) <= 110
+
+    def test_perturber_intensity_zero_is_identity_text(self):
+        p = Perturber(0.0)
+        rng = np.random.default_rng(0)
+        assert p.perturb_text("hello world", rng) == "hello world"
+
+    def test_perturber_null_rate_one_nulls_everything(self):
+        p = Perturber(0.0, null_rate=1.0)
+        rng = np.random.default_rng(0)
+        out = p.apply({"a": "x", "b": "y"}, rng)
+        assert out == {"a": None, "b": None}
+
+    def test_perturber_does_not_mutate_input(self):
+        attrs = {"a": "hello there", "b": "world"}
+        Perturber(1.0, null_rate=0.5, dirty_rate=1.0).apply(
+            attrs, np.random.default_rng(0))
+        assert attrs == {"a": "hello there", "b": "world"}
+
+    def test_dirty_shift_conserves_values(self):
+        p = Perturber(0.0, dirty_rate=1.0)
+        rng = np.random.default_rng(3)
+        out = p.apply({"a": "x", "b": "y", "c": "z"}, rng)
+        joined = " ".join(v for v in out.values() if v)
+        assert sorted(joined.split()) == ["x", "y", "z"]
+        assert sum(v is None for v in out.values()) == 1
+
+    def test_perturber_rejects_bad_intensity(self):
+        with pytest.raises(ValueError):
+            Perturber(1.5)
+
+    @given(st.floats(0.0, 1.0), st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_perturb_text_never_empty(self, intensity, seed):
+        p = Perturber(intensity)
+        rng = np.random.default_rng(seed)
+        assert p.perturb_text("alpha beta gamma delta", rng).strip()
+
+
+class TestVocabularies:
+    def test_expand_pool_deterministic(self):
+        a = expand_pool(["x"], ["ab", "cd"], 10, seed=3)
+        b = expand_pool(["x"], ["ab", "cd"], 10, seed=3)
+        assert a == b
+
+    def test_expand_pool_unique(self):
+        pool = expand_pool(["x", "x"], ["ab", "cd", "ef"], 20, seed=1)
+        assert len(set(pool)) == 20
+
+    def test_seeds_come_first(self):
+        pool = expand_pool(["alpha", "beta"], ["ab", "cd", "ef"], 5, seed=0)
+        assert pool[:2] == ["alpha", "beta"]
+
+    def test_exhausted_syllables_raise(self):
+        # One syllable yields only "abab"/"ababab": asking for more unique
+        # words must fail loudly instead of looping forever.
+        with pytest.raises(ValueError):
+            expand_pool(["alpha"], ["ab"], 5, seed=0)

@@ -1,0 +1,146 @@
+"""Tests for the experiment registry (profiles, runner, tables, figures).
+
+Heavy experiments run in benchmarks/; these tests exercise the machinery
+at micro scale so regressions in the harness surface quickly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (ALL_METHODS, FAST, PROFILES, MethodScore,
+                               Profile, TABLE3_PAIRS, TABLE4_PAIRS,
+                               TABLE5_PAIRS, bench_profile, delta_f1,
+                               format_table, format_table2, prepare_task,
+                               run_method, run_pair, run_table)
+
+MICRO = Profile(
+    name="micro", data_scale=0.05, lm_dim=32, lm_layers=1, lm_heads=2,
+    max_len=96, pretrain_steps=80, pretrain_corpus_scale=0.01,
+    epochs=2, batch_size=8, iterations_per_epoch=2, learning_rate=1e-3,
+    beta=0.1, repeats=1)
+
+
+class TestProfiles:
+    def test_registry(self):
+        assert set(PROFILES) == {"fast", "standard", "full"}
+        assert PROFILES["full"].data_scale == 1.0
+
+    def test_bench_profile_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "standard")
+        assert bench_profile().name == "standard"
+        monkeypatch.delenv("REPRO_BENCH_PROFILE")
+        assert bench_profile().name == "fast"
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "huge")
+        with pytest.raises(KeyError):
+            bench_profile()
+
+    def test_train_config_overrides(self):
+        config = FAST.train_config(seed=3, beta=5.0)
+        assert config.beta == 5.0
+        assert config.seed == 3
+        assert config.epochs == FAST.epochs
+
+
+class TestPairGrids:
+    def test_table_pair_counts_match_paper(self):
+        assert len(TABLE3_PAIRS) == 6
+        assert len(TABLE4_PAIRS) == 6
+        assert len(TABLE5_PAIRS) == 12
+
+    def test_table4_crosses_domains(self):
+        from repro.datasets import spec_for
+        for source, target in TABLE4_PAIRS:
+            assert spec_for(source).domain != spec_for(target).domain
+
+    def test_table3_shares_domains(self):
+        from repro.datasets import spec_for
+        for source, target in TABLE3_PAIRS:
+            assert spec_for(source).domain == spec_for(target).domain
+
+
+class TestRunner:
+    def test_prepare_task_protocol(self):
+        task = prepare_task("fz", "zy", MICRO, seed=0)
+        assert task.source.is_labeled
+        assert not task.target_train.is_labeled
+        assert task.target_valid.is_labeled
+        assert len(task.target_valid) < len(task.target_test)
+        assert task.label == "fodors_zagats->zomato_yelp"
+
+    def test_run_method_unknown(self):
+        task = prepare_task("fz", "zy", MICRO, seed=0)
+        with pytest.raises(ValueError):
+            run_method("magic", task, MICRO)
+
+    def test_run_method_bad_extractor_kind(self):
+        task = prepare_task("fz", "zy", MICRO, seed=0)
+        with pytest.raises(ValueError):
+            run_method("noda", task, MICRO, extractor_kind="cnn")
+
+    @pytest.mark.parametrize("method", ["noda", "mmd", "grl"])
+    def test_run_method_lm(self, method):
+        task = prepare_task("fz", "zy", MICRO, seed=0)
+        result = run_method(method, task, MICRO, seed=0)
+        assert 0.0 <= result.best_f1 <= 100.0
+        assert len(result.history) == MICRO.epochs
+
+    def test_run_method_rnn_extractor(self):
+        task = prepare_task("fz", "zy", MICRO, seed=0)
+        result = run_method("noda", task, MICRO, seed=0,
+                            extractor_kind="rnn")
+        assert 0.0 <= result.best_f1 <= 100.0
+
+    def test_run_pair_collects_scores(self):
+        scores = run_pair("fz", "zy", MICRO, methods=("noda", "mmd"))
+        assert set(scores) == {"noda", "mmd"}
+        assert len(scores["noda"].runs) == MICRO.repeats
+
+
+class TestScores:
+    def test_method_score_stats(self):
+        score = MethodScore("mmd", runs=[50.0, 60.0, 70.0])
+        assert score.mean == pytest.approx(60.0)
+        assert score.std == pytest.approx(np.std([50.0, 60.0, 70.0]))
+        assert "60.0" in score.formatted()
+
+    def test_single_run_zero_std(self):
+        assert MethodScore("x", runs=[42.0]).std == 0.0
+
+    def test_delta_f1(self):
+        scores = {"noda": MethodScore("noda", [40.0]),
+                  "mmd": MethodScore("mmd", [55.0]),
+                  "grl": MethodScore("grl", [50.0])}
+        assert delta_f1(scores) == pytest.approx(15.0)
+
+    def test_delta_f1_requires_noda(self):
+        with pytest.raises(KeyError):
+            delta_f1({"mmd": MethodScore("mmd", [55.0])})
+
+
+class TestFormatting:
+    def test_format_table2_contains_all_rows(self):
+        text = format_table2(scale=1.0)
+        assert "28707" in text  # DBLP-Scholar pairs
+        assert "Books2" in text
+
+    def test_format_table(self):
+        rows = [{"source": "a", "target": "b",
+                 "noda": MethodScore("noda", [40.0]),
+                 "mmd": MethodScore("mmd", [50.0]),
+                 "delta_f1": 10.0}]
+        text = format_table(rows, methods=("noda", "mmd"))
+        assert "40.0" in text
+        assert "10.0" in text
+
+    def test_format_table_missing_method_dash(self):
+        rows = [{"source": "a", "target": "b",
+                 "noda": MethodScore("noda", [40.0])}]
+        text = format_table(rows, methods=("noda", "mmd"))
+        assert "-" in text.splitlines()[-1]
+
+
+class TestRunTable:
+    def test_micro_table(self):
+        rows = run_table([("fz", "zy")], MICRO, methods=("noda", "mmd"))
+        assert len(rows) == 1
+        assert "delta_f1" in rows[0]

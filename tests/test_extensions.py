@@ -1,0 +1,240 @@
+"""Tests for extension features: CMD aligner, pseudo-labeling,
+multi-source DA, LR schedulers, q-gram blocking, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.aligners import CmdAligner, cmd, make_aligner
+from repro.blocking import QGramBlocker, qgrams
+from repro.data import Entity
+from repro.datasets import load_dataset
+from repro.nn import Adam, Parameter, Tensor
+from repro.nn.schedule import (ConstantSchedule, ExponentialDecay,
+                               LinearWarmupDecay)
+from repro.train import (TrainConfig, combine_datasets,
+                         confident_pseudo_labels, nearest_source,
+                         pool_sources, train_multi_source,
+                         train_pseudo_label)
+
+from .helpers import check_gradients
+
+
+class TestCmd:
+    def test_zero_for_identical(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(20, 4)))
+        assert cmd(x, Tensor(x.data.copy())).item() == pytest.approx(0.0)
+
+    def test_detects_mean_shift(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.normal(size=(50, 4)))
+        y = Tensor(x.data + 1.0)
+        assert cmd(x, y).item() > 0.1
+
+    def test_detects_skew_with_higher_moments(self):
+        rng = np.random.default_rng(2)
+        symmetric = rng.normal(size=(4000, 1))
+        skewed = rng.exponential(size=(4000, 1)) - 1.0  # same mean, skewed
+        low = cmd(Tensor(symmetric), Tensor(skewed), num_moments=2).item()
+        high = cmd(Tensor(symmetric), Tensor(skewed), num_moments=3).item()
+        assert high > low
+
+    def test_gradients(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.normal(size=(6, 3)), requires_grad=True)
+        y = Tensor(rng.normal(size=(6, 3)) + 0.5, requires_grad=True)
+        check_gradients(lambda: cmd(x, y), [x, y], atol=1e-4)
+
+    def test_aligner_factory(self):
+        aligner = make_aligner("cmd", 8, np.random.default_rng(0))
+        assert isinstance(aligner, CmdAligner)
+        assert aligner.kind == "joint"
+        assert aligner.parameters() == []
+
+    def test_validates_moments(self):
+        with pytest.raises(ValueError):
+            CmdAligner(num_moments=0)
+        with pytest.raises(ValueError):
+            cmd(Tensor(np.zeros((2, 2))), Tensor(np.zeros((2, 2))),
+                num_moments=0)
+
+
+class TestSchedulers:
+    def _optimizer(self, lr=0.1):
+        return Adam([Parameter(np.zeros(1))], lr=lr)
+
+    def test_constant(self):
+        schedule = ConstantSchedule(self._optimizer())
+        assert schedule.step() == pytest.approx(0.1)
+        assert schedule.step() == pytest.approx(0.1)
+
+    def test_warmup_then_decay(self):
+        schedule = LinearWarmupDecay(self._optimizer(), warmup=5, total=10)
+        ramp = [schedule.step() for __ in range(5)]
+        assert ramp == sorted(ramp)
+        assert ramp[-1] == pytest.approx(0.1)
+        decay = [schedule.step() for __ in range(5)]
+        assert decay == sorted(decay, reverse=True)
+        assert decay[-1] == pytest.approx(0.0)
+
+    def test_warmup_updates_optimizer(self):
+        optimizer = self._optimizer()
+        schedule = LinearWarmupDecay(optimizer, warmup=2, total=4)
+        schedule.step()
+        assert optimizer.lr == pytest.approx(0.05)
+
+    def test_warmup_validation(self):
+        with pytest.raises(ValueError):
+            LinearWarmupDecay(self._optimizer(), warmup=5, total=3)
+
+    def test_exponential(self):
+        schedule = ExponentialDecay(self._optimizer(), gamma=0.5)
+        assert schedule.step() == pytest.approx(0.05)
+        assert schedule.step() == pytest.approx(0.025)
+
+    def test_exponential_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(self._optimizer(), gamma=0.0)
+
+
+class TestPseudoLabeling:
+    def test_confident_labels_respect_threshold(self, lm_copy,
+                                                matcher_factory):
+        target = load_dataset("fz", scale=0.15, seed=0).without_labels()
+        matcher = matcher_factory(lm_copy.feature_dim)
+        pseudo = confident_pseudo_labels(lm_copy, matcher, target,
+                                         threshold=0.5)
+        # At threshold 0.5 everything qualifies one way or the other.
+        assert len(pseudo) == len(target)
+        strict = confident_pseudo_labels(lm_copy, matcher, target,
+                                         threshold=0.99)
+        assert len(strict) <= len(pseudo)
+
+    def test_threshold_validated(self, lm_copy, matcher_factory):
+        target = load_dataset("fz", scale=0.1, seed=0).without_labels()
+        matcher = matcher_factory(lm_copy.feature_dim)
+        with pytest.raises(ValueError):
+            confident_pseudo_labels(lm_copy, matcher, target, threshold=0.3)
+
+    def test_train_pseudo_label_runs(self, lm_copy, matcher_factory,
+                                     books_restaurants):
+        source, target, valid, test = books_restaurants
+        matcher = matcher_factory(lm_copy.feature_dim)
+        config = TrainConfig(epochs=3, batch_size=8, iterations_per_epoch=2,
+                             seed=0)
+        result = train_pseudo_label(lm_copy, matcher, source, target, valid,
+                                    test, config, rounds=2)
+        assert result.method == "pseudo_label"
+        assert len(result.history) >= 3
+
+    def test_rounds_validated(self, lm_copy, matcher_factory,
+                              books_restaurants):
+        source, target, valid, test = books_restaurants
+        matcher = matcher_factory(lm_copy.feature_dim)
+        with pytest.raises(ValueError):
+            train_pseudo_label(lm_copy, matcher, source, target, valid,
+                               test, TrainConfig(), rounds=0)
+
+
+class TestMultiSource:
+    def test_pool_sources(self):
+        a = load_dataset("fz", scale=0.1, seed=0)
+        b = load_dataset("zy", scale=0.1, seed=0)
+        pooled = pool_sources([a, b])
+        assert len(pooled) == len(a) + len(b)
+
+    def test_pool_requires_sources(self):
+        with pytest.raises(ValueError):
+            pool_sources([])
+
+    def test_nearest_source_prefers_same_domain(self, tiny_lm):
+        extractor, __ = tiny_lm
+        target = load_dataset("fz", scale=0.15, seed=0)
+        same_domain = load_dataset("zy", scale=0.15, seed=0)
+        far_domain = load_dataset("b2", scale=0.3, seed=0)
+        best, distances = nearest_source(extractor,
+                                         [far_domain, same_domain], target)
+        assert best.name == "zomato_yelp"
+        assert len(distances) == 2
+
+    def test_train_multi_source_all(self, lm_copy, matcher_factory,
+                                    books_restaurants):
+        source, target, valid, test = books_restaurants
+        second = load_dataset("ri", scale=0.2, seed=0)
+        matcher = matcher_factory(lm_copy.feature_dim)
+        aligner = make_aligner("mmd", lm_copy.feature_dim,
+                               np.random.default_rng(0))
+        config = TrainConfig(epochs=1, batch_size=8, iterations_per_epoch=2,
+                             seed=0)
+        result = train_multi_source(lm_copy, matcher, aligner,
+                                    [source, second], target, valid, test,
+                                    config, strategy="all")
+        assert "multi[all]" in result.method
+
+    def test_train_multi_source_bad_strategy(self, lm_copy, matcher_factory,
+                                             books_restaurants):
+        source, target, valid, test = books_restaurants
+        matcher = matcher_factory(lm_copy.feature_dim)
+        aligner = make_aligner("mmd", lm_copy.feature_dim,
+                               np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            train_multi_source(lm_copy, matcher, aligner, [source], target,
+                               valid, test, TrainConfig(), strategy="best")
+
+
+class TestQGramBlocking:
+    def test_qgrams_padded(self):
+        grams = qgrams("cat")
+        assert "#ca" in grams
+        assert "at#" in grams
+
+    def test_qgrams_validation(self):
+        with pytest.raises(ValueError):
+            qgrams("cat", q=1)
+
+    def test_robust_to_typos(self):
+        left = [Entity("l1", {"t": "kodak easyshare camera"})]
+        right = [Entity("r1", {"t": "kodka easyshare camera"})]  # typo
+        blocker = QGramBlocker(threshold=0.4)
+        assert len(blocker.candidates(left, right)) == 1
+
+    def test_prunes_unrelated(self):
+        left = [Entity("l1", {"t": "kodak easyshare camera"})]
+        right = [Entity("r1", {"t": "wooden dining table"})]
+        assert QGramBlocker(threshold=0.3).candidates(left, right) == []
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            QGramBlocker(threshold=0.0)
+
+
+class TestCli:
+    def test_datasets_command(self, capsys):
+        from repro.cli import main
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "walmart_amazon" in out
+        assert "books2" in out
+
+    def test_table2_command(self, capsys):
+        from repro.cli import main
+        assert main(["table2", "--scale", "1.0"]) == 0
+        assert "28707" in capsys.readouterr().out
+
+    def test_generate_command(self, tmp_path, capsys):
+        from repro.cli import main
+        out_file = tmp_path / "fz.csv"
+        assert main(["generate", "fz", str(out_file), "--scale", "0.1"]) == 0
+        assert out_file.exists()
+        from repro.data import load_csv
+        assert len(load_csv(out_file)) > 0
+
+    def test_requires_command(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_dataset_errors(self, tmp_path):
+        from repro.cli import main
+        with pytest.raises(KeyError):
+            main(["generate", "nope", str(tmp_path / "x.csv")])

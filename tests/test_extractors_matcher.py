@@ -1,0 +1,160 @@
+"""Tests for feature extractors and the MLP matcher."""
+
+import numpy as np
+import pytest
+
+from repro.data import Entity, EntityPair
+from repro.extractors import MlmHead, RnnExtractor, TransformerExtractor
+from repro.matcher import MlpMatcher
+from repro.nn import Tensor
+from repro.text import Vocabulary
+
+
+def _vocab():
+    return Vocabulary.build(
+        ["samsung sony tv router title brand price black wireless "
+         "digital compact kodak esp printer hp laserjet"])
+
+
+def _pairs(n=6):
+    pairs = []
+    for i in range(n):
+        left = Entity(f"a{i}", {"title": f"samsung tv black {i}",
+                                "price": str(100 + i)})
+        right = Entity(f"b{i}", {"title": f"sony router wireless {i}",
+                                 "price": str(200 + i)})
+        pairs.append(EntityPair(left, right, i % 2))
+    return pairs
+
+
+class TestRnnExtractor:
+    def _extractor(self, **kwargs):
+        return RnnExtractor(_vocab(), np.random.default_rng(0),
+                            embedding_dim=12, hidden_dim=10,
+                            feature_dim=16, max_len=24, **kwargs)
+
+    def test_feature_shape(self):
+        ext = self._extractor()
+        feats = ext(_pairs(4))
+        assert feats.shape == (4, 16)
+
+    def test_features_bounded_by_tanh(self):
+        feats = self._extractor()(_pairs(4)).data
+        assert np.all(np.abs(feats) <= 1.0)
+
+    def test_batch_ids_shapes(self):
+        ext = self._extractor()
+        ids, mask = ext.batch_ids(_pairs(3))
+        assert ids.shape == (3, 24)
+        assert mask.shape == (3, 24)
+
+    def test_features_helper_matches_forward(self):
+        ext = self._extractor()
+        pairs = _pairs(5)
+        batched = ext.features(pairs, batch_size=2)
+        direct = ext(pairs).data
+        np.testing.assert_allclose(batched, direct, atol=1e-12)
+
+    def test_gradients_reach_embeddings(self):
+        ext = self._extractor()
+        loss = (ext(_pairs(2)) ** 2).sum()
+        loss.backward()
+        assert ext.embedding.weight.grad is not None
+        assert np.abs(ext.embedding.weight.grad).sum() > 0
+
+    def test_rejects_tiny_max_len(self):
+        with pytest.raises(ValueError):
+            RnnExtractor(_vocab(), np.random.default_rng(0), max_len=2)
+
+
+class TestTransformerExtractor:
+    def _extractor(self):
+        return TransformerExtractor(_vocab(), np.random.default_rng(0),
+                                    dim=16, num_layers=1, num_heads=2,
+                                    max_len=24)
+
+    def test_feature_is_cls_state(self):
+        ext = self._extractor()
+        ids, mask = ext.batch_ids(_pairs(3))
+        states = ext.hidden_states(ids, mask)
+        cls = ext.encode(ids, mask)
+        np.testing.assert_allclose(cls.data, states.data[:, 0, :])
+
+    def test_padding_invariance(self):
+        # Features must not depend on how much padding follows the pair.
+        ext = self._extractor()
+        pair = _pairs(1)
+        ids, mask = ext.batch_ids(pair)
+        feats_full = ext.encode(ids, mask).data
+        length = int(mask[0].sum())
+        ids2 = ids.copy()
+        ids2[0, length:] = ext.vocab.unk_id  # garbage in padded region
+        feats_garbage = ext.encode(ids2, mask).data
+        np.testing.assert_allclose(feats_full, feats_garbage, atol=1e-10)
+
+    def test_rejects_overlong_sequence(self):
+        ext = self._extractor()
+        with pytest.raises(ValueError):
+            ext.hidden_states(np.zeros((1, 99), dtype=np.int64),
+                              np.ones((1, 99)))
+
+    def test_mlm_head_shape(self):
+        ext = self._extractor()
+        head = MlmHead(ext, np.random.default_rng(1))
+        ids, mask = ext.batch_ids(_pairs(2))
+        logits = head(ext.hidden_states(ids, mask))
+        assert logits.shape == (2, 24, len(ext.vocab))
+
+    def test_gradients_flow_through_layers(self):
+        ext = self._extractor()
+        ids, mask = ext.batch_ids(_pairs(2))
+        (ext.encode(ids, mask) ** 2).sum().backward()
+        for name, param in ext.named_parameters():
+            assert param.grad is not None, name
+
+    def test_state_dict_roundtrip_preserves_output(self):
+        a = self._extractor()
+        b = self._extractor()
+        ids, mask = a.batch_ids(_pairs(2))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.encode(ids, mask).data,
+                                   b.encode(ids, mask).data)
+
+
+class TestMlpMatcher:
+    def test_logit_shape(self):
+        matcher = MlpMatcher(8, np.random.default_rng(0))
+        logits = matcher(Tensor(np.zeros((5, 8))))
+        assert logits.shape == (5, 2)
+
+    def test_probabilities_in_unit_interval(self):
+        matcher = MlpMatcher(8, np.random.default_rng(0))
+        probs = matcher.probabilities(Tensor(np.random.randn(10, 8)))
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_predict_thresholds(self):
+        matcher = MlpMatcher(4, np.random.default_rng(0))
+        features = Tensor(np.random.default_rng(1).normal(size=(20, 4)))
+        probs = matcher.probabilities(features)
+        preds = matcher.predict(features, threshold=0.5)
+        np.testing.assert_array_equal(preds, (probs >= 0.5).astype(int))
+
+    def test_hidden_layers_add_parameters(self):
+        shallow = MlpMatcher(8, np.random.default_rng(0))
+        deep = MlpMatcher(8, np.random.default_rng(0), hidden=(16,))
+        assert deep.num_parameters() > shallow.num_parameters()
+
+    def test_learns_linearly_separable_toy(self):
+        from repro.nn import Adam, functional as F
+        rng = np.random.default_rng(0)
+        matcher = MlpMatcher(2, rng)
+        x = rng.normal(size=(200, 2))
+        y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+        opt = Adam(matcher.parameters(), lr=0.05)
+        for __ in range(100):
+            opt.zero_grad()
+            loss = F.cross_entropy(matcher(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        accuracy = (matcher.predict(Tensor(x)) == y).mean()
+        assert accuracy > 0.95

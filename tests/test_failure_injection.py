@@ -1,0 +1,95 @@
+"""Failure-injection tests: corrupt caches, malformed inputs, edge shapes.
+
+A library that trains for minutes must fail *fast and loud* on bad inputs;
+these tests pin the error behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import Entity, EntityPair, ERDataset, load_csv
+from repro.datasets import load_dataset
+from repro.matcher import MlpMatcher
+from repro.nn import Tensor, save_state
+from repro.pretrain.cache import _load_vocab, pretrained_lm
+from repro.text import Vocabulary, pad_sequences
+from repro.train import TrainConfig, evaluate, match_metrics, train_source_only
+
+
+class TestCorruptCache:
+    def test_corrupt_vocab_file_rejected(self, tmp_path):
+        bad = tmp_path / "bad.vocab.txt"
+        bad.write_text("[PAD]\nnot-the-right-specials\n")
+        with pytest.raises(ValueError):
+            _load_vocab(bad)
+
+    def test_wrong_shape_checkpoint_rejected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        kwargs = dict(dim=16, num_layers=1, num_heads=2, max_len=48,
+                      corpus_scale=0.01, steps=2, seed=0)
+        extractor, vocab = pretrained_lm(**kwargs)
+        # Overwrite the cached weights with a mismatched architecture.
+        from repro.extractors import TransformerExtractor
+        other = TransformerExtractor(vocab, np.random.default_rng(0),
+                                     dim=8, num_layers=1, num_heads=2,
+                                     max_len=48)
+        npz = next(tmp_path.glob("*.npz"))
+        save_state(other, npz)
+        with pytest.raises((ValueError, KeyError)):
+            pretrained_lm(**kwargs)
+
+
+class TestMalformedData:
+    def test_csv_with_ragged_rows(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("left_id,left_t,right_id,right_t,label\n"
+                        "a,x,b\n")  # missing columns
+        with pytest.raises((ValueError, IndexError)):
+            load_csv(path)
+
+    def test_dataset_with_single_class_split_fails_cleanly(self):
+        pairs = [EntityPair(Entity(f"a{i}", {"t": "x"}),
+                            Entity(f"b{i}", {"t": "y"}), 0)
+                 for i in range(10)]
+        ds = ERDataset("allneg", "t", pairs)
+        # Metrics still work: zero matches means F1 = 0 with no crash.
+        labels = ds.labels()
+        assert match_metrics(labels, np.zeros(10, dtype=int)).f1 == 0.0
+
+    def test_evaluate_on_unlabeled_raises(self, lm_copy, matcher_factory):
+        target = load_dataset("fz", scale=0.1, seed=0).without_labels()
+        matcher = matcher_factory(lm_copy.feature_dim)
+        with pytest.raises(ValueError):
+            evaluate(lm_copy, matcher, target)
+
+
+class TestEdgeShapes:
+    def test_single_pair_batch(self, lm_copy, matcher_factory):
+        ds = load_dataset("fz", scale=0.1, seed=0)
+        matcher = matcher_factory(lm_copy.feature_dim)
+        features = lm_copy(ds.pairs[:1])
+        assert features.shape == (1, lm_copy.feature_dim)
+        assert matcher.predict(features).shape == (1,)
+
+    def test_empty_pad_batch(self):
+        ids, mask = pad_sequences([], max_len=4, pad_id=0)
+        assert ids.shape == (0, 4)
+
+    def test_matcher_on_zero_rows(self):
+        matcher = MlpMatcher(4, np.random.default_rng(0))
+        out = matcher(Tensor(np.zeros((0, 4))))
+        assert out.shape == (0, 2)
+
+    def test_training_with_batch_larger_than_source(self, lm_copy,
+                                                    matcher_factory):
+        source = load_dataset("fz", scale=0.1, seed=0)
+        sub = source.subset(range(6), suffix="tiny")
+        target = load_dataset("zy", scale=0.1, seed=0)
+        from repro.data import target_da_split
+        valid, test = target_da_split(target, np.random.default_rng(0))
+        matcher = matcher_factory(lm_copy.feature_dim)
+        config = TrainConfig(epochs=1, batch_size=64,
+                             iterations_per_epoch=2, seed=0)
+        result = train_source_only(lm_copy, matcher, sub, valid, test,
+                                   config)
+        assert len(result.history) == 1

@@ -1,0 +1,79 @@
+"""Micro-scale tests of the figure experiment harness.
+
+These verify the figure pipelines end to end (shapes, bookkeeping, data
+flow); the benchmark suite runs them at meaningful scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import Profile, figure5, figure6, figure7, figure8, figure10, figure11
+from repro.experiments.figures import Figure5Result
+
+MICRO = Profile(
+    name="micro", data_scale=0.08, lm_dim=32, lm_layers=1, lm_heads=2,
+    max_len=96, pretrain_steps=80, pretrain_corpus_scale=0.01,
+    epochs=2, batch_size=8, iterations_per_epoch=2, learning_rate=1e-3,
+    beta=0.1, repeats=1)
+
+
+class TestFigure5:
+    def test_shapes_and_scores(self):
+        result = figure5(MICRO, source_name="fodors_zagats",
+                         target_name="zomato_yelp", sample=20, seed=0)
+        assert isinstance(result, Figure5Result)
+        assert result.embedding_noda.shape == (40, 2)
+        assert result.embedding_da.shape == (40, 2)
+        assert result.domain_labels.sum() == 20
+        assert 0.0 <= result.mixing_noda <= 1.0
+        assert 0.0 <= result.mixing_da <= 1.0
+
+
+class TestFigure6:
+    def test_points_structure(self):
+        points = figure6(MICRO, pairs=(("fodors_zagats", "zomato_yelp"),
+                                       ("books2", "zomato_yelp")))
+        assert len(points) == 2
+        assert all(np.isfinite(p.distance) for p in points)
+        # FZ (same domain) must be nearer to ZY than B2 (books).
+        assert points[0].distance < points[1].distance
+
+
+class TestFigure7:
+    def test_curves_per_learning_rate(self):
+        results = figure7(MICRO, source_name="fodors_zagats",
+                          target_name="zomato_yelp",
+                          learning_rates=(1e-3, 1e-4))
+        assert len(results) == 2
+        for res in results:
+            assert set(res.curves) == {"noda", "mmd", "invgan_kd"}
+            for curve in res.curves.values():
+                assert len(curve) == MICRO.epochs
+
+
+class TestFigure8:
+    def test_source_and_target_curves(self):
+        results = figure8(MICRO, pairs=(("fodors_zagats", "zomato_yelp"),))
+        assert len(results) == 1
+        res = results[0]
+        for method in ("invgan", "invgan_kd"):
+            assert len(res.source_curves[method]) == MICRO.epochs
+            assert len(res.target_curves[method]) == MICRO.epochs
+
+
+class TestFigure10:
+    def test_rows(self):
+        rows = figure10(MICRO, pairs=(("fodors_zagats", "zomato_yelp"),))
+        assert len(rows) == 1
+        assert set(rows[0]) == {"pair", "reweight_f1", "dader_f1"}
+
+
+class TestFigure11:
+    def test_series_structure(self):
+        series = figure11(MICRO, "fodors_zagats", "zomato_yelp",
+                          budgets=[8, 16])
+        assert series.budgets == [8, 16]
+        assert set(series.f1) == {"noda", "invgan_kd", "ditto",
+                                  "deepmatcher"}
+        for values in series.f1.values():
+            assert len(values) == 2

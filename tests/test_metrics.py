@@ -1,0 +1,66 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.train import MatchMetrics, match_metrics
+
+
+class TestMatchMetrics:
+    def test_perfect_prediction(self):
+        m = match_metrics([1, 0, 1, 0], [1, 0, 1, 0])
+        assert m.precision == 1.0
+        assert m.recall == 1.0
+        assert m.f1 == 1.0
+
+    def test_all_wrong(self):
+        m = match_metrics([1, 1, 0, 0], [0, 0, 1, 1])
+        assert m.f1 == 0.0
+
+    def test_paper_definition(self):
+        # TP=1, FP=1, FN=1 -> P = R = 0.5 -> F1 = 0.5
+        m = match_metrics([1, 1, 0, 0], [1, 0, 1, 0])
+        assert m.precision == 0.5
+        assert m.recall == 0.5
+        assert m.f1 == 0.5
+        assert m.true_positives == 1
+        assert m.false_positives == 1
+        assert m.false_negatives == 1
+
+    def test_no_predictions_no_crash(self):
+        m = match_metrics([1, 1], [0, 0])
+        assert m.precision == 0.0
+        assert m.recall == 0.0
+        assert m.f1 == 0.0
+
+    def test_as_percent(self):
+        m = match_metrics([1, 0], [1, 0]).as_percent()
+        assert m.f1 == 100.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            match_metrics([1], [1, 0])
+
+    @given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_f1_is_harmonic_mean(self, rows):
+        labels = [r[0] for r in rows]
+        preds = [r[1] for r in rows]
+        m = match_metrics(labels, preds)
+        assert 0.0 <= m.f1 <= 1.0
+        if m.precision + m.recall > 0:
+            expected = 2 * m.precision * m.recall / (m.precision + m.recall)
+            assert m.f1 == pytest.approx(expected)
+
+    @given(st.integers(1, 50), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_symmetric_counts(self, n, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, size=n)
+        preds = rng.integers(0, 2, size=n)
+        m = match_metrics(labels, preds)
+        positives = int((labels == 1).sum())
+        assert m.true_positives + m.false_negatives == positives

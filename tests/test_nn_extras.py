@@ -1,0 +1,115 @@
+"""Tests for LSTM layers, the results store, and extended rnn extractor."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import MethodScore
+from repro.experiments.results import ResultStore
+from repro.extractors import RnnExtractor
+from repro.nn import LSTM, LSTMCell, Tensor
+from repro.nn.rnn import BiLSTM
+from repro.text import Vocabulary
+
+from .helpers import check_gradients
+
+
+def rng():
+    return np.random.default_rng(31)
+
+
+class TestLstm:
+    def test_cell_shapes(self):
+        cell = LSTMCell(4, 6, rng())
+        h, c = cell(Tensor(np.zeros((3, 4))), Tensor(np.zeros((3, 6))),
+                    Tensor(np.zeros((3, 6))))
+        assert h.shape == (3, 6)
+        assert c.shape == (3, 6)
+
+    def test_forget_bias_open(self):
+        cell = LSTMCell(4, 6, rng())
+        np.testing.assert_array_equal(cell.bias.data[6:12], np.ones(6))
+
+    def test_sequence_shapes(self):
+        net = LSTM(3, 5, rng())
+        out = net(Tensor(rng().normal(size=(2, 4, 3))))
+        assert out.shape == (2, 4, 5)
+
+    def test_mask_freezes_state(self):
+        net = LSTM(3, 4, rng())
+        x = rng().normal(size=(1, 4, 3))
+        mask = np.array([[1, 1, 0, 0]])
+        out = net(Tensor(x), mask=mask).data
+        np.testing.assert_allclose(out[0, 1], out[0, 2])
+
+    def test_gradients(self):
+        net = LSTM(2, 3, rng())
+        x = Tensor(rng().normal(size=(2, 3, 2)))
+        check_gradients(lambda: (net(x) ** 2).sum(), net.parameters(),
+                        atol=1e-4)
+
+    def test_bilstm_output_dim(self):
+        net = BiLSTM(3, 4, rng())
+        out = net(Tensor(rng().normal(size=(2, 5, 3))))
+        assert out.shape == (2, 5, 8)
+
+    def test_reverse_direction_differs(self):
+        net = LSTM(3, 4, rng())
+        x = Tensor(rng().normal(size=(1, 5, 3)))
+        fwd = net(x, reverse=False).data
+        bwd = net(x, reverse=True).data
+        assert not np.allclose(fwd, bwd)
+
+
+class TestRnnExtractorCells:
+    def _vocab(self):
+        return Vocabulary.build(["alpha beta gamma delta"])
+
+    def test_lstm_cell_option(self):
+        ext = RnnExtractor(self._vocab(), rng(), embedding_dim=8,
+                           hidden_dim=6, feature_dim=10, max_len=16,
+                           cell="lstm")
+        assert isinstance(ext.encoder, BiLSTM)
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(ValueError):
+            RnnExtractor(self._vocab(), rng(), cell="transformer")
+
+
+class TestResultStore:
+    def test_roundtrip_plain(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("demo", {"rows": [1, 2, 3]}, metadata={"profile": "fast"})
+        assert store.load("demo") == {"rows": [1, 2, 3]}
+
+    def test_roundtrip_method_scores(self, tmp_path):
+        store = ResultStore(tmp_path)
+        rows = [{"source": "a", "noda": MethodScore("noda", [40.0, 44.0])}]
+        store.save("table", rows)
+        loaded = store.load("table")
+        assert isinstance(loaded[0]["noda"], MethodScore)
+        assert loaded[0]["noda"].mean == pytest.approx(42.0)
+
+    def test_numpy_values_serialized(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("np", {"arr": np.arange(3), "x": np.float64(1.5)})
+        loaded = store.load("np")
+        assert loaded["arr"] == [0, 1, 2]
+        assert loaded["x"] == 1.5
+
+    def test_names_and_exists(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.names() == []
+        store.save("b", 1)
+        store.save("a", 2)
+        assert store.names() == ["a", "b"]
+        assert store.exists("a")
+        assert not store.exists("c")
+
+    def test_missing_load_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ResultStore(tmp_path).load("nothing")
+
+    def test_bad_name_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.save("a/b", 1)

@@ -1,0 +1,206 @@
+"""Tests for differentiable functions and losses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, functional as F
+
+from .helpers import check_gradients
+
+
+RNG = np.random.default_rng(11)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = Tensor(RNG.normal(size=(4, 7)))
+        probs = F.softmax(x).data
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(4), atol=1e-12)
+
+    def test_stable_for_large_logits(self):
+        x = Tensor(np.array([[1000.0, 1000.0]]))
+        probs = F.softmax(x).data
+        np.testing.assert_allclose(probs, [[0.5, 0.5]])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(RNG.normal(size=(3, 5)))
+        np.testing.assert_allclose(F.log_softmax(x).data,
+                                   np.log(F.softmax(x).data), atol=1e-10)
+
+    def test_gradients(self):
+        x = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: (F.softmax(x) ** 2).sum(), [x])
+
+    @given(st.integers(1, 5), st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_invariant_to_constant_shift(self, n, c):
+        rng = np.random.default_rng(n * 100 + c)
+        x = rng.normal(size=(n, c))
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 5.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+
+class TestCrossEntropy:
+    def test_matches_manual_value(self):
+        logits = Tensor(np.array([[2.0, 0.0], [0.0, 2.0]]))
+        loss = F.cross_entropy(logits, np.array([0, 1])).item()
+        expected = -np.log(np.exp(2) / (np.exp(2) + 1))
+        assert loss == pytest.approx(expected)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([[30.0, 0.0]]))
+        assert F.cross_entropy(logits, np.array([0])).item() < 1e-9
+
+    def test_gradients(self):
+        logits = Tensor(RNG.normal(size=(5, 3)), requires_grad=True)
+        labels = np.array([0, 1, 2, 1, 0])
+        check_gradients(lambda: F.cross_entropy(logits, labels), [logits])
+
+    def test_weighted_gradients(self):
+        logits = Tensor(RNG.normal(size=(4, 2)), requires_grad=True)
+        labels = np.array([0, 1, 0, 1])
+        weights = np.array([0.1, 0.9, 0.5, 0.5])
+        check_gradients(
+            lambda: F.cross_entropy(logits, labels, weights=weights), [logits])
+
+    def test_zero_weight_example_contributes_nothing(self):
+        logits = Tensor(np.array([[5.0, -5.0], [0.0, 0.0]]), requires_grad=True)
+        weights = np.array([0.0, 1.0])
+        loss = F.cross_entropy(logits, np.array([1, 0]), weights=weights)
+        assert loss.item() == pytest.approx(np.log(2))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 2, 2))), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 2))), np.array([0]))
+
+    def test_rejects_nonpositive_weights_total(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((1, 2))), np.array([0]),
+                            weights=np.array([0.0]))
+
+
+class TestBinaryCrossEntropy:
+    def test_matches_formula(self):
+        logits = Tensor(np.array([0.3, -1.2]))
+        targets = np.array([1.0, 0.0])
+        loss = F.binary_cross_entropy_with_logits(logits, targets).item()
+        p = 1 / (1 + np.exp(-logits.data))
+        expected = -np.mean(targets * np.log(p) + (1 - targets) * np.log(1 - p))
+        assert loss == pytest.approx(expected, rel=1e-6)
+
+    def test_stable_for_huge_logits(self):
+        logits = Tensor(np.array([500.0, -500.0]))
+        loss = F.binary_cross_entropy_with_logits(logits, np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+        assert loss.item() < 1e-9
+
+    def test_gradients(self):
+        logits = Tensor(RNG.normal(size=(6,)), requires_grad=True)
+        targets = np.array([1, 0, 1, 1, 0, 0], dtype=float)
+        check_gradients(
+            lambda: F.binary_cross_entropy_with_logits(logits, targets), [logits])
+
+
+class TestDistillation:
+    def test_zero_when_student_equals_teacher(self):
+        logits = Tensor(RNG.normal(size=(4, 2)))
+        loss = F.distillation_loss(logits, Tensor(logits.data.copy()),
+                                   temperature=2.0)
+        # Equal distributions minimize the CE at the teacher's entropy; the
+        # *gradient* wrt the student must be ~0 there.
+        student = Tensor(logits.data.copy(), requires_grad=True)
+        F.distillation_loss(logits, student, temperature=2.0).backward()
+        np.testing.assert_allclose(student.grad, np.zeros((4, 2)), atol=1e-10)
+        assert np.isfinite(loss.item())
+
+    def test_gradients(self):
+        teacher = Tensor(RNG.normal(size=(3, 2)))
+        student = Tensor(RNG.normal(size=(3, 2)), requires_grad=True)
+        check_gradients(
+            lambda: F.distillation_loss(teacher, student, temperature=3.0),
+            [student])
+
+    def test_temperature_must_be_positive(self):
+        with pytest.raises(ValueError):
+            F.distillation_loss(Tensor(np.zeros((1, 2))),
+                                Tensor(np.zeros((1, 2))), temperature=0.0)
+
+    @given(st.floats(0.5, 8.0))
+    @settings(max_examples=15, deadline=None)
+    def test_pulls_student_toward_teacher(self, temperature):
+        rng = np.random.default_rng(3)
+        teacher = Tensor(np.array([[4.0, -4.0]]))
+        student = Tensor(np.array([[-1.0, 1.0]]), requires_grad=True)
+        F.distillation_loss(teacher, student, temperature).backward()
+        # Teacher prefers class 0, so the gradient must push logit 0 up.
+        assert student.grad[0, 0] < 0
+        assert student.grad[0, 1] > 0
+
+
+class TestTokenCrossEntropy:
+    def test_mask_excludes_positions(self):
+        logits = Tensor(RNG.normal(size=(1, 3, 4)))
+        targets = np.array([[1, 2, 3]])
+        full = F.token_cross_entropy(logits, targets).item()
+        masked = F.token_cross_entropy(
+            logits, targets, mask=np.array([[1, 1, 0]])).item()
+        first_two = F.token_cross_entropy(
+            Tensor(logits.data[:, :2, :]), targets[:, :2]).item()
+        assert masked == pytest.approx(first_two)
+        assert masked != pytest.approx(full)
+
+    def test_gradients_with_mask(self):
+        logits = Tensor(RNG.normal(size=(2, 3, 4)), requires_grad=True)
+        targets = np.array([[0, 1, 2], [3, 2, 1]])
+        mask = np.array([[1, 1, 0], [1, 0, 0]])
+        check_gradients(
+            lambda: F.token_cross_entropy(logits, targets, mask=mask), [logits])
+
+    def test_all_masked_is_finite(self):
+        logits = Tensor(RNG.normal(size=(1, 2, 3)))
+        loss = F.token_cross_entropy(logits, np.array([[0, 1]]),
+                                     mask=np.zeros((1, 2)))
+        assert loss.item() == pytest.approx(0.0)
+
+
+class TestMisc:
+    def test_mse_value_and_gradient(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = F.mse(pred, np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+        check_gradients(lambda: F.mse(pred, np.array([0.0, 0.0])), [pred])
+
+    def test_gelu_shape_and_gradient(self):
+        x = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        assert F.gelu(x).shape == (3, 4)
+        check_gradients(lambda: F.gelu(x).sum(), [x], atol=1e-4)
+
+    def test_gelu_reference_points(self):
+        x = Tensor(np.array([0.0, 10.0, -10.0]))
+        out = F.gelu(x).data
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(10.0, abs=1e-4)
+        assert out[2] == pytest.approx(0.0, abs=1e-4)
+
+    def test_dropout_eval_is_identity(self):
+        x = Tensor(RNG.normal(size=(100,)))
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=False)
+        np.testing.assert_array_equal(out.data, x.data)
+
+    def test_dropout_preserves_expectation(self):
+        x = Tensor(np.ones((20000,)))
+        out = F.dropout(x, 0.3, np.random.default_rng(0), training=True)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_dropout_rejects_rate_one(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor([1.0]), 1.0, np.random.default_rng(0), True)
+
+    def test_kl_divergence_zero_for_identical(self):
+        log_p = F.log_softmax(Tensor(RNG.normal(size=(4, 3))))
+        assert F.kl_divergence(log_p, log_p).item() == pytest.approx(0.0, abs=1e-12)

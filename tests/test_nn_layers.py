@@ -1,0 +1,337 @@
+"""Tests for layers, the module system, optimizers, and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (Activation, Adam, BiGRU, Dropout, Embedding, GRU,
+                      LayerNorm, Linear, Module, Parameter, SGD, Sequential,
+                      Tensor, clip_grad_norm, load_state, masked_mean, mlp,
+                      save_state)
+from repro.nn.attention import (MultiHeadAttention, TransformerEncoderLayer,
+                                additive_mask)
+
+from .helpers import check_gradients
+
+
+def rng():
+    return np.random.default_rng(13)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3, rng())
+        assert layer(Tensor(np.zeros((5, 4)))).shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, rng(), bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients(self):
+        layer = Linear(3, 2, rng())
+        x = Tensor(rng().normal(size=(4, 3)))
+        check_gradients(lambda: (layer(x) ** 2).sum(), layer.parameters())
+
+
+class TestEmbedding:
+    def test_lookup_values(self):
+        emb = Embedding(10, 4, rng())
+        out = emb(np.array([[1, 2], [3, 1]]))
+        np.testing.assert_array_equal(out.data[0, 0], emb.weight.data[1])
+        assert out.shape == (2, 2, 4)
+
+    def test_padding_row_is_zero_and_stays_zero(self):
+        emb = Embedding(10, 4, rng(), padding_idx=0)
+        np.testing.assert_array_equal(emb.weight.data[0], np.zeros(4))
+        out = emb(np.array([[0, 1]]))
+        (out ** 2).sum().backward()
+        np.testing.assert_array_equal(emb.weight.grad[0], np.zeros(4))
+
+    def test_gradient_accumulates_for_repeated_tokens(self):
+        emb = Embedding(5, 2, rng())
+        out = emb(np.array([[1, 1, 1]]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[1], [3.0, 3.0])
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(5, 2, rng())
+        with pytest.raises(IndexError):
+            emb(np.array([[7]]))
+        with pytest.raises(IndexError):
+            emb(np.array([[-1]]))
+
+    def test_finite_difference_gradient(self):
+        emb = Embedding(6, 3, rng())
+        idx = np.array([[0, 2, 2], [1, 4, 5]])
+        check_gradients(lambda: (emb(idx) ** 2).sum(), [emb.weight])
+
+
+class TestLayerNorm:
+    def test_normalizes_last_dim(self):
+        norm = LayerNorm(8)
+        x = Tensor(rng().normal(loc=5.0, scale=3.0, size=(4, 8)))
+        out = norm(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-8)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-3)
+
+    def test_gradients(self):
+        norm = LayerNorm(5)
+        x = Tensor(rng().normal(size=(3, 5)), requires_grad=True)
+        check_gradients(lambda: (norm(x) ** 2).sum(),
+                        [x, norm.gamma, norm.beta])
+
+
+class TestDropoutLayer:
+    def test_respects_eval_mode(self):
+        layer = Dropout(0.9, rng())
+        layer.eval()
+        x = Tensor(np.ones((50,)))
+        np.testing.assert_array_equal(layer(x).data, x.data)
+
+    def test_zeroes_in_train_mode(self):
+        layer = Dropout(0.5, rng())
+        out = layer(Tensor(np.ones((1000,))))
+        assert (out.data == 0).sum() > 300
+
+
+class TestSequentialAndMLP:
+    def test_sequential_applies_in_order(self):
+        double = Linear(1, 1, rng(), bias=False)
+        double.weight.data[...] = 2.0
+        seq = Sequential(double, Activation("relu"))
+        assert seq(Tensor([[3.0]])).item() == pytest.approx(6.0)
+
+    def test_mlp_structure(self):
+        net = mlp([4, 8, 2], rng())
+        assert net(Tensor(np.zeros((3, 4)))).shape == (3, 2)
+
+    def test_mlp_final_activation(self):
+        net = mlp([4, 2], rng(), final_activation="sigmoid")
+        out = net(Tensor(rng().normal(size=(5, 4)))).data
+        assert np.all((out > 0) & (out < 1))
+
+    def test_mlp_rejects_single_size(self):
+        with pytest.raises(ValueError):
+            mlp([4], rng())
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError):
+            Activation("swishish")
+
+    def test_mlp_gradients(self):
+        net = mlp([3, 4, 2], rng(), activation="leaky_relu")
+        x = Tensor(rng().normal(size=(2, 3)))
+        check_gradients(lambda: (net(x) ** 2).sum(), net.parameters())
+
+
+class TestModuleSystem:
+    def _model(self):
+        class Model(Module):
+            def __init__(self):
+                super().__init__()
+                self.encoder = Linear(3, 4, rng())
+                self.heads = [Linear(4, 2, rng()), Linear(4, 2, rng())]
+
+            def forward(self, x):
+                return self.heads[0](self.encoder(x))
+
+        return Model()
+
+    def test_discovers_nested_and_listed_parameters(self):
+        model = self._model()
+        names = [name for name, __ in model.named_parameters()]
+        assert "encoder.weight" in names
+        assert "heads.0.weight" in names
+        assert "heads.1.bias" in names
+        assert len(model.parameters()) == 6
+
+    def test_train_eval_propagates(self):
+        model = self._model()
+        model.eval()
+        assert not model.encoder.training
+        assert not model.heads[1].training
+        model.train()
+        assert model.heads[0].training
+
+    def test_state_dict_roundtrip(self):
+        a, b = self._model(), self._model()
+        b.load_state_dict(a.state_dict())
+        for (na, pa), (nb, pb) in zip(a.named_parameters(),
+                                      b.named_parameters()):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_load_rejects_mismatched_keys(self):
+        model = self._model()
+        state = model.state_dict()
+        state.pop("encoder.weight")
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_rejects_wrong_shape(self):
+        model = self._model()
+        state = model.state_dict()
+        state["encoder.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_zero_grad_clears_all(self):
+        model = self._model()
+        out = model(Tensor(np.ones((1, 3))))
+        out.sum().backward()
+        assert model.encoder.weight.grad is not None
+        model.zero_grad()
+        assert model.encoder.weight.grad is None
+
+    def test_num_parameters(self):
+        model = self._model()
+        assert model.num_parameters() == 3 * 4 + 4 + 2 * (4 * 2 + 2)
+
+    def test_serialization_roundtrip(self, tmp_path):
+        a, b = self._model(), self._model()
+        path = tmp_path / "model.npz"
+        save_state(a, path)
+        load_state(b, path)
+        np.testing.assert_array_equal(a.encoder.weight.data,
+                                      b.encoder.weight.data)
+
+
+class TestOptimizers:
+    def test_sgd_step(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([0.5])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95])
+
+    def test_sgd_momentum_accelerates(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()
+        first = -p.data[0]
+        p.grad = np.array([1.0])
+        opt.step()
+        second = -p.data[0] - first
+        assert second > first
+
+    def test_adam_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0]))
+        opt = Adam([p], lr=0.1)
+        for __ in range(300):
+            opt.zero_grad()
+            loss = (p * p).sum()
+            loss.backward()
+            opt.step()
+        assert abs(p.data[0]) < 1e-2
+
+    def test_adam_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.0001, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        Adam([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_rejects_nonpositive_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 3.0)
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert pre == pytest.approx(6.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_clip_noop_when_under_limit(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.1, 0.1])
+        clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_allclose(p.grad, [0.1, 0.1])
+
+
+class TestRNN:
+    def test_gru_output_shape(self):
+        net = GRU(4, 6, rng())
+        out = net(Tensor(rng().normal(size=(2, 5, 4))))
+        assert out.shape == (2, 5, 6)
+
+    def test_mask_freezes_hidden_state(self):
+        net = GRU(3, 4, rng())
+        x = rng().normal(size=(1, 4, 3))
+        mask = np.array([[1, 1, 0, 0]])
+        out = net(Tensor(x), mask=mask).data
+        np.testing.assert_allclose(out[0, 1], out[0, 2])
+        np.testing.assert_allclose(out[0, 1], out[0, 3])
+
+    def test_padding_does_not_change_summary(self):
+        net = GRU(3, 4, rng())
+        x = rng().normal(size=(1, 2, 3))
+        padded = np.concatenate([x, np.zeros((1, 2, 3))], axis=1)
+        short = net(Tensor(x), mask=np.ones((1, 2))).data[:, -1]
+        long = net(Tensor(padded), mask=np.array([[1, 1, 0, 0]])).data[:, -1]
+        np.testing.assert_allclose(short, long)
+
+    def test_bigru_concatenates_directions(self):
+        net = BiGRU(3, 4, rng())
+        out = net(Tensor(rng().normal(size=(2, 5, 3))))
+        assert out.shape == (2, 5, 8)
+        assert net.output_dim == 8
+
+    def test_gru_gradients(self):
+        net = GRU(2, 3, rng())
+        x = Tensor(rng().normal(size=(2, 3, 2)))
+        check_gradients(lambda: (net(x) ** 2).sum(), net.parameters(),
+                        atol=1e-4)
+
+    def test_masked_mean(self):
+        states = Tensor(np.arange(12, dtype=float).reshape(1, 4, 3))
+        mask = np.array([[1, 1, 0, 0]])
+        out = masked_mean(states, mask).data
+        np.testing.assert_allclose(out, [[1.5, 2.5, 3.5]])
+
+
+class TestAttention:
+    def test_output_shape(self):
+        attn = MultiHeadAttention(8, 2, rng())
+        x = Tensor(rng().normal(size=(2, 5, 8)))
+        assert attn(x, x, x).shape == (2, 5, 8)
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(7, 2, rng())
+
+    def test_mask_blocks_padded_positions(self):
+        attn = MultiHeadAttention(8, 2, rng())
+        x = rng().normal(size=(1, 4, 8))
+        mask_full = additive_mask(np.array([[1, 1, 1, 1]]))
+        mask_cut = additive_mask(np.array([[1, 1, 0, 0]]))
+        base = attn(Tensor(x), Tensor(x), Tensor(x), bias=mask_cut).data
+        # Changing a masked position must not change unmasked outputs.
+        x2 = x.copy()
+        x2[0, 3] += 10.0
+        keys = Tensor(x2)
+        perturbed = attn(Tensor(x), keys, keys, bias=mask_cut).data
+        np.testing.assert_allclose(base[0, :2], perturbed[0, :2], atol=1e-10)
+        changed = attn(Tensor(x), keys, keys, bias=mask_full).data
+        assert not np.allclose(base[0, :2], changed[0, :2])
+
+    def test_causal_mask_is_lower_triangular(self):
+        bias = additive_mask(np.ones((1, 3)), causal=True)
+        assert bias[0, 0, 0, 1] < -1e8
+        assert bias[0, 0, 2, 1] == 0.0
+
+    def test_encoder_layer_shape_and_gradients(self):
+        layer = TransformerEncoderLayer(8, 2, 16, rng())
+        x = Tensor(rng().normal(size=(2, 3, 8)))
+        assert layer(x).shape == (2, 3, 8)
+        params = layer.parameters()[:2]
+        check_gradients(lambda: (layer(x) ** 2).sum(), params, atol=1e-4)

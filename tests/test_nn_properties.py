@@ -1,0 +1,140 @@
+"""Hypothesis property tests for the autograd engine.
+
+These pin down algebraic invariants the rest of the library silently relies
+on: linearity of the backward pass, agreement with numpy forward semantics,
+and shape laws of the combinators.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor, concatenate, stack
+from repro.nn import functional as F
+
+SMALL_FLOATS = st.floats(-3.0, 3.0, allow_nan=False, allow_subnormal=False)
+
+
+def arrays(max_side=4):
+    shapes = st.tuples(st.integers(1, max_side), st.integers(1, max_side))
+    return hnp.arrays(np.float64, shapes, elements=SMALL_FLOATS)
+
+
+class TestForwardAgreesWithNumpy:
+    @given(arrays(), arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_add(self, a, b):
+        if a.shape != b.shape:
+            return
+        np.testing.assert_allclose((Tensor(a) + Tensor(b)).data, a + b)
+
+    @given(arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_tanh_bounds(self, a):
+        out = Tensor(a).tanh().data
+        assert (np.abs(out) <= 1.0).all()
+
+    @given(arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_sigmoid_bounds(self, a):
+        out = Tensor(a).sigmoid().data
+        assert ((out >= 0) & (out <= 1)).all()
+
+    @given(arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_relu_idempotent(self, a):
+        once = Tensor(a).relu()
+        twice = once.relu()
+        np.testing.assert_array_equal(once.data, twice.data)
+
+    @given(arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_transpose_involution(self, a):
+        t = Tensor(a)
+        np.testing.assert_array_equal(t.transpose().transpose().data, a)
+
+
+class TestBackwardLaws:
+    @given(arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_gradient_of_sum_is_ones(self, a):
+        t = Tensor(a, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones_like(a))
+
+    @given(arrays(), st.floats(0.1, 5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_backward_scales_linearly(self, a, scale):
+        t1 = Tensor(a, requires_grad=True)
+        (t1 * t1).sum().backward()
+        t2 = Tensor(a, requires_grad=True)
+        ((t2 * t2).sum() * scale).backward()
+        np.testing.assert_allclose(t2.grad, t1.grad * scale, rtol=1e-9)
+
+    @given(arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_gradient_additive_over_terms(self, a):
+        # d(f+g) = df + dg
+        t = Tensor(a, requires_grad=True)
+        (t.sum() + (t * 2).sum()).backward()
+        np.testing.assert_allclose(t.grad, np.full_like(a, 3.0))
+
+    @given(arrays())
+    @settings(max_examples=20, deadline=None)
+    def test_detached_branch_gets_no_gradient(self, a):
+        t = Tensor(a, requires_grad=True)
+        (t.detach() * 5).sum()  # no backward possible, but also no tape
+        loss = t.sum()
+        loss.backward()
+        np.testing.assert_array_equal(t.grad, np.ones_like(a))
+
+
+class TestCombinatorLaws:
+    @given(st.lists(arrays(3), min_size=2, max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_concatenate_then_split_roundtrip(self, parts):
+        shape = parts[0].shape
+        parts = [p for p in parts if p.shape == shape]
+        if len(parts) < 2:
+            return
+        combined = concatenate([Tensor(p) for p in parts], axis=0)
+        assert combined.shape[0] == sum(p.shape[0] for p in parts)
+        offset = 0
+        for p in parts:
+            np.testing.assert_array_equal(
+                combined.data[offset:offset + p.shape[0]], p)
+            offset += p.shape[0]
+
+    @given(st.lists(arrays(3), min_size=2, max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_stack_adds_axis(self, parts):
+        shape = parts[0].shape
+        parts = [p for p in parts if p.shape == shape]
+        if len(parts) < 2:
+            return
+        out = stack([Tensor(p) for p in parts], axis=0)
+        assert out.shape == (len(parts),) + shape
+
+
+class TestLossLaws:
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(2, 6),
+                                            st.integers(2, 4)),
+                      elements=SMALL_FLOATS))
+    @settings(max_examples=30, deadline=None)
+    def test_cross_entropy_nonnegative(self, logits):
+        labels = np.zeros(logits.shape[0], dtype=np.int64)
+        loss = F.cross_entropy(Tensor(logits), labels)
+        assert loss.item() >= 0
+
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(2, 6),
+                                            st.integers(2, 4)),
+                      elements=SMALL_FLOATS))
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_gradient_rows_sum_zero(self, logits):
+        # Softmax outputs are shift-invariant, so the gradient of any
+        # function of them must be orthogonal to constant shifts.
+        t = Tensor(logits, requires_grad=True)
+        (F.softmax(t) ** 2).sum().backward()
+        np.testing.assert_allclose(t.grad.sum(axis=-1),
+                                   np.zeros(logits.shape[0]), atol=1e-10)

@@ -1,0 +1,272 @@
+"""Unit and gradient-check tests for the autograd tensor."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concatenate, stack, where
+
+from .helpers import check_gradients
+
+
+RNG = np.random.default_rng(7)
+
+
+def _param(shape):
+    return Tensor(RNG.normal(size=shape), requires_grad=True)
+
+
+class TestBasics:
+    def test_construction_coerces_to_float(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype == np.float64
+
+    def test_rejects_string_data(self):
+        with pytest.raises(TypeError):
+            Tensor(np.array(["a", "b"]))
+
+    def test_shape_ndim_size(self):
+        t = Tensor(np.zeros((2, 3)))
+        assert t.shape == (2, 3)
+        assert t.ndim == 2
+        assert t.size == 6
+        assert len(t) == 2
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_detach_cuts_graph(self):
+        a = _param((2,))
+        b = (a * 2).detach()
+        assert not b.requires_grad
+        assert b._backward is None
+
+    def test_repr_mentions_grad_flag(self):
+        assert "requires_grad" in repr(_param((1,)))
+
+    def test_backward_requires_scalar(self):
+        a = _param((3,))
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        a, b = _param((3, 4)), _param((3, 4))
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_add_broadcast(self):
+        a, b = _param((3, 4)), _param((4,))
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_add_scalar_broadcast_rows(self):
+        a, b = _param((3, 4)), _param((3, 1))
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_sub(self):
+        a, b = _param((2, 5)), _param((2, 5))
+        check_gradients(lambda: (a - b).sum(), [a, b])
+
+    def test_rsub(self):
+        a = _param((4,))
+        check_gradients(lambda: (1.0 - a).sum(), [a])
+
+    def test_mul(self):
+        a, b = _param((3, 3)), _param((3, 3))
+        check_gradients(lambda: (a * b).sum(), [a, b])
+
+    def test_mul_broadcast(self):
+        a, b = _param((2, 3, 4)), _param((1, 3, 1))
+        check_gradients(lambda: (a * b).sum(), [a, b])
+
+    def test_div(self):
+        a = _param((3, 3))
+        b = Tensor(RNG.uniform(0.5, 2.0, size=(3, 3)), requires_grad=True)
+        check_gradients(lambda: (a / b).sum(), [a, b])
+
+    def test_rdiv(self):
+        b = Tensor(RNG.uniform(0.5, 2.0, size=(4,)), requires_grad=True)
+        check_gradients(lambda: (1.0 / b).sum(), [b])
+
+    def test_neg(self):
+        a = _param((5,))
+        check_gradients(lambda: (-a).sum(), [a])
+
+    def test_pow(self):
+        a = Tensor(RNG.uniform(0.5, 2.0, size=(3,)), requires_grad=True)
+        check_gradients(lambda: (a ** 3).sum(), [a])
+
+    def test_matmul_2d(self):
+        a, b = _param((3, 4)), _param((4, 2))
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_batched(self):
+        a, b = _param((2, 3, 4)), _param((2, 4, 5))
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_broadcast_left(self):
+        a, b = _param((3, 4)), _param((2, 4, 5))
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+
+class TestNonlinearityGradients:
+    def test_exp(self):
+        a = _param((3, 3))
+        check_gradients(lambda: a.exp().sum(), [a])
+
+    def test_log(self):
+        a = Tensor(RNG.uniform(0.5, 3.0, size=(4,)), requires_grad=True)
+        check_gradients(lambda: a.log().sum(), [a])
+
+    def test_sqrt(self):
+        a = Tensor(RNG.uniform(0.5, 3.0, size=(4,)), requires_grad=True)
+        check_gradients(lambda: a.sqrt().sum(), [a])
+
+    def test_tanh(self):
+        a = _param((4, 2))
+        check_gradients(lambda: a.tanh().sum(), [a])
+
+    def test_sigmoid(self):
+        a = _param((4, 2))
+        check_gradients(lambda: a.sigmoid().sum(), [a])
+
+    def test_relu(self):
+        a = Tensor(RNG.normal(size=(10,)) + 0.05, requires_grad=True)
+        check_gradients(lambda: a.relu().sum(), [a])
+
+    def test_leaky_relu(self):
+        a = Tensor(RNG.normal(size=(10,)) + 0.05, requires_grad=True)
+        check_gradients(lambda: a.leaky_relu(0.1).sum(), [a])
+
+    def test_abs(self):
+        a = Tensor(RNG.normal(size=(10,)) + 0.05, requires_grad=True)
+        check_gradients(lambda: a.abs().sum(), [a])
+
+    def test_clip_gradient_zero_outside(self):
+        a = Tensor(np.array([-2.0, 0.0, 2.0]), requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductionGradients:
+    def test_sum_all(self):
+        a = _param((3, 4))
+        check_gradients(lambda: a.sum(), [a])
+
+    def test_sum_axis(self):
+        a = _param((3, 4))
+        check_gradients(lambda: (a.sum(axis=0) ** 2).sum(), [a])
+
+    def test_sum_keepdims(self):
+        a = _param((3, 4))
+        check_gradients(lambda: (a.sum(axis=1, keepdims=True) ** 2).sum(), [a])
+
+    def test_mean_all(self):
+        a = _param((3, 4))
+        check_gradients(lambda: a.mean(), [a])
+
+    def test_mean_axis_tuple(self):
+        a = _param((2, 3, 4))
+        check_gradients(lambda: (a.mean(axis=(0, 2)) ** 2).sum(), [a])
+
+    def test_max_axis(self):
+        # Values spaced out so finite differences don't cross the argmax.
+        a = Tensor(np.arange(12, dtype=float).reshape(3, 4) * 0.37,
+                   requires_grad=True)
+        check_gradients(lambda: a.max(axis=1).sum(), [a])
+
+    def test_max_splits_ties(self):
+        a = Tensor(np.array([[1.0, 1.0, 0.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+
+class TestShapeGradients:
+    def test_reshape(self):
+        a = _param((2, 6))
+        check_gradients(lambda: (a.reshape(3, 4) ** 2).sum(), [a])
+
+    def test_reshape_tuple_arg(self):
+        a = _param((2, 6))
+        assert a.reshape((4, 3)).shape == (4, 3)
+
+    def test_transpose_default(self):
+        a = _param((2, 3))
+        check_gradients(lambda: (a.transpose() ** 2).sum(), [a])
+
+    def test_transpose_axes(self):
+        a = _param((2, 3, 4))
+        check_gradients(lambda: (a.transpose(1, 2, 0) ** 2).sum(), [a])
+
+    def test_getitem_slice(self):
+        a = _param((4, 5))
+        check_gradients(lambda: (a[1:3, :] ** 2).sum(), [a])
+
+    def test_getitem_fancy(self):
+        a = _param((6, 3))
+        idx = np.array([0, 2, 2, 5])
+        check_gradients(lambda: (a[idx] ** 2).sum(), [a])
+
+    def test_getitem_repeated_indices_accumulate(self):
+        a = Tensor(np.ones((3,)), requires_grad=True)
+        idx = np.array([1, 1])
+        a[idx].sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 2.0, 0.0])
+
+
+class TestCombinators:
+    def test_concatenate_gradients(self):
+        a, b = _param((2, 3)), _param((2, 2))
+        check_gradients(lambda: (concatenate([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_stack_gradients(self):
+        a, b = _param((2, 3)), _param((2, 3))
+        check_gradients(lambda: (stack([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_where_gradients(self):
+        a, b = _param((5,)), _param((5,))
+        cond = np.array([True, False, True, False, True])
+        check_gradients(lambda: (where(cond, a, b) ** 2).sum(), [a, b])
+
+    def test_concatenate_values(self):
+        a, b = Tensor([[1.0]]), Tensor([[2.0]])
+        np.testing.assert_allclose(concatenate([a, b], axis=0).data,
+                                   [[1.0], [2.0]])
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulates_across_uses(self):
+        a = _param((3,))
+        loss = (a * a).sum() + a.sum()
+        loss.backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data + 1)
+
+    def test_diamond_graph(self):
+        a = _param((2,))
+        b = a * 2
+        c = a * 3
+        (b + c).sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0, 5.0])
+
+    def test_zero_grad_resets(self):
+        a = _param((2,))
+        (a * 2).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_deep_chain_no_recursion_error(self):
+        a = _param((1,))
+        x = a
+        for __ in range(3000):
+            x = x + 1.0
+        x.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_second_backward_accumulates(self):
+        a = _param((2,))
+        (a * 2).sum().backward()
+        (a * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0, 4.0])

@@ -1,0 +1,122 @@
+"""Tests for ASCII plotting, calibration, and threshold tuning."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (ascii_curves, ascii_scatter,
+                            expected_calibration_error, matcher_calibration)
+from repro.datasets import load_dataset
+from repro.train import best_threshold
+
+
+class TestAsciiCurves:
+    def test_renders_legend_and_axis(self):
+        text = ascii_curves({"mmd": [10, 20, 30], "noda": [5, 5, 5]})
+        assert "o=mmd" in text
+        assert "x=noda" in text
+        assert "+" in text  # axis corner
+
+    def test_respects_y_range(self):
+        text = ascii_curves({"a": [50.0]}, y_range=(0.0, 100.0))
+        assert "100.0" in text
+        assert "0.0" in text
+
+    def test_single_point_curve(self):
+        text = ascii_curves({"a": [42.0]})
+        assert "o" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_curves({})
+        with pytest.raises(ValueError):
+            ascii_curves({"a": []})
+
+    def test_flat_range_padded(self):
+        text = ascii_curves({"a": [5.0, 5.0]})
+        assert "o" in text  # no divide-by-zero
+
+
+class TestAsciiScatter:
+    def test_renders_points(self):
+        text = ascii_scatter([(0.1, 50.0), (0.9, 20.0)],
+                             x_label="mmd", y_label="f1")
+        grid_area = "\n".join(text.splitlines()[:-1])  # drop caption line
+        assert grid_area.count("o") == 2
+        assert "mmd" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([])
+
+    def test_single_point(self):
+        text = ascii_scatter([(1.0, 1.0)])
+        assert "o" in text
+
+
+class TestCalibration:
+    def test_perfectly_calibrated_low_ece(self):
+        rng = np.random.default_rng(0)
+        probabilities = rng.uniform(0, 1, size=20000)
+        labels = (rng.uniform(0, 1, size=20000) < probabilities).astype(int)
+        report = expected_calibration_error(probabilities, labels)
+        assert report.ece < 0.03
+
+    def test_overconfident_high_ece(self):
+        probabilities = np.full(1000, 0.99)
+        labels = np.zeros(1000, dtype=int)
+        report = expected_calibration_error(probabilities, labels)
+        assert report.ece > 0.9
+
+    def test_bin_counts_sum(self):
+        probabilities = np.linspace(0, 1, 57)
+        labels = np.zeros(57, dtype=int)
+        report = expected_calibration_error(probabilities, labels, bins=7)
+        assert report.bin_counts.sum() == 57
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            expected_calibration_error([0.5], [1, 0])
+        with pytest.raises(ValueError):
+            expected_calibration_error([0.5], [1], bins=0)
+
+    def test_matcher_calibration_runs(self, lm_copy, matcher_factory):
+        ds = load_dataset("fz", scale=0.1, seed=0)
+        report = matcher_calibration(lm_copy,
+                                     matcher_factory(lm_copy.feature_dim),
+                                     ds)
+        assert 0.0 <= report.ece <= 1.0
+
+    def test_matcher_calibration_needs_labels(self, lm_copy,
+                                              matcher_factory):
+        ds = load_dataset("fz", scale=0.1, seed=0).without_labels()
+        with pytest.raises(ValueError):
+            matcher_calibration(lm_copy,
+                                matcher_factory(lm_copy.feature_dim), ds)
+
+
+class TestBestThreshold:
+    def test_finds_separating_cut(self):
+        probabilities = [0.1, 0.2, 0.8, 0.9]
+        labels = [0, 0, 1, 1]
+        threshold, f1 = best_threshold(probabilities, labels)
+        assert f1 == 1.0
+        assert 0.2 < threshold <= 0.8
+
+    def test_beats_default_when_shifted(self):
+        # All probabilities compressed below 0.5: default threshold finds
+        # nothing, the tuned one recovers the matches.
+        probabilities = [0.05, 0.10, 0.30, 0.35]
+        labels = [0, 0, 1, 1]
+        from repro.train import match_metrics
+        default_f1 = match_metrics(labels,
+                                   [p >= 0.5 for p in probabilities]).f1
+        threshold, f1 = best_threshold(probabilities, labels)
+        assert default_f1 == 0.0
+        assert f1 == 1.0
+        assert threshold <= 0.30
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            best_threshold([0.5], [1, 0])
+        with pytest.raises(ValueError):
+            best_threshold([], [])

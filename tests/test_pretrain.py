@@ -1,0 +1,138 @@
+"""Tests for MLM pre-training and the checkpoint cache."""
+
+import numpy as np
+import pytest
+
+from repro.extractors import TransformerExtractor
+from repro.pretrain import (MlmConfig, build_corpus, build_shared_vocabulary,
+                            fresh_copy, mask_tokens, pretrain_mlm,
+                            pretrained_lm)
+from repro.text import Vocabulary, pad_sequences
+
+
+def _tiny_corpus():
+    return [["[CLS]", "alpha", "beta", "[SEP]", "alpha", "beta", "[SEP]"]
+            for __ in range(40)]
+
+
+class TestCorpus:
+    def test_build_corpus_covers_domains(self):
+        corpus = build_corpus(scale=0.01, seed=0,
+                              names=["fodors_zagats", "books2"])
+        assert len(corpus) >= 80
+        assert all(tokens[0] == "[CLS]" for tokens in corpus[:10])
+
+    def test_shared_vocabulary(self):
+        vocab = build_shared_vocabulary(_tiny_corpus())
+        assert "alpha" in vocab
+        assert "beta" in vocab
+
+
+class TestMasking:
+    def test_masks_expected_fraction(self):
+        vocab = build_shared_vocabulary(_tiny_corpus())
+        rng = np.random.default_rng(0)
+        ids, mask = pad_sequences(
+            [vocab.encode_tokens(t) for t in _tiny_corpus()], 8, vocab.pad_id)
+        __, loss_mask = mask_tokens(ids, mask, vocab, rng, mask_rate=0.5)
+        fraction = loss_mask.sum() / (ids >= vocab.num_special).sum()
+        assert 0.3 < fraction < 0.7
+
+    def test_never_masks_special_tokens(self):
+        vocab = build_shared_vocabulary(_tiny_corpus())
+        rng = np.random.default_rng(1)
+        ids, mask = pad_sequences(
+            [vocab.encode_tokens(t) for t in _tiny_corpus()], 8, vocab.pad_id)
+        __, loss_mask = mask_tokens(ids, mask, vocab, rng, mask_rate=1.0)
+        specials = ids < vocab.num_special
+        assert (loss_mask[specials] == 0).all()
+
+    def test_original_ids_untouched(self):
+        vocab = build_shared_vocabulary(_tiny_corpus())
+        rng = np.random.default_rng(2)
+        ids, mask = pad_sequences(
+            [vocab.encode_tokens(t) for t in _tiny_corpus()], 8, vocab.pad_id)
+        snapshot = ids.copy()
+        mask_tokens(ids, mask, vocab, rng)
+        np.testing.assert_array_equal(ids, snapshot)
+
+
+class TestPretraining:
+    def test_loss_decreases(self):
+        corpus = _tiny_corpus()
+        vocab = build_shared_vocabulary(corpus)
+        extractor = TransformerExtractor(vocab, np.random.default_rng(0),
+                                         dim=16, num_layers=1, num_heads=2,
+                                         max_len=8)
+        losses = pretrain_mlm(extractor, corpus,
+                              MlmConfig(steps=40, batch_size=8, seed=0))
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_empty_corpus_rejected(self):
+        vocab = Vocabulary.build(["x"])
+        extractor = TransformerExtractor(vocab, np.random.default_rng(0),
+                                         dim=16, num_layers=1, num_heads=2,
+                                         max_len=8)
+        with pytest.raises(ValueError):
+            pretrain_mlm(extractor, [], MlmConfig(steps=1))
+
+
+class TestCache:
+    def test_checkpoint_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        kwargs = dict(dim=16, num_layers=1, num_heads=2, max_len=48,
+                      corpus_scale=0.01, steps=5, seed=0)
+        first, vocab_a = pretrained_lm(**kwargs)
+        second, vocab_b = pretrained_lm(**kwargs)  # from cache
+        assert len(vocab_a) == len(vocab_b)
+        for (na, pa), (nb, pb) in zip(first.named_parameters(),
+                                      second.named_parameters()):
+            np.testing.assert_allclose(pa.data, pb.data)
+
+    def test_distinct_configs_distinct_checkpoints(self, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        pretrained_lm(dim=16, num_layers=1, num_heads=2, max_len=48,
+                      corpus_scale=0.01, steps=5, seed=0)
+        pretrained_lm(dim=16, num_layers=1, num_heads=2, max_len=48,
+                      corpus_scale=0.01, steps=6, seed=0)
+        assert len(list(tmp_path.glob("*.npz"))) == 2
+
+    def test_fresh_copy_is_independent(self, tiny_lm):
+        base, __ = tiny_lm
+        copy = fresh_copy(base, seed=1)
+        copy.token_embedding.weight.data += 1.0
+        assert not np.allclose(copy.token_embedding.weight.data,
+                               base.token_embedding.weight.data)
+
+    def test_fresh_copy_same_outputs(self, tiny_lm):
+        base, __ = tiny_lm
+        copy = fresh_copy(base, seed=1)
+        ids = np.array([[base.vocab.cls_id, base.vocab.sep_id, 20, 21]])
+        mask = np.ones((1, 4))
+        np.testing.assert_allclose(base.encode(ids, mask).data,
+                                   copy.encode(ids, mask).data)
+
+
+class TestOverlapIndicators:
+    def test_marks_shared_tokens_only(self, tiny_lm):
+        base, __ = tiny_lm
+        vocab = base.vocab
+        a, b, c = 30, 31, 32  # arbitrary non-special ids
+        ids = np.array([[vocab.cls_id, a, b, vocab.sep_id, a, c,
+                         vocab.sep_id, vocab.pad_id]])
+        indicators = base.overlap_indicators(ids)
+        np.testing.assert_array_equal(indicators,
+                                      [[0, 1, 0, 0, 1, 0, 0, 0]])
+
+    def test_no_sep_means_no_overlap(self, tiny_lm):
+        base, __ = tiny_lm
+        ids = np.array([[30, 31, 30]])
+        assert base.overlap_indicators(ids).sum() == 0
+
+    def test_specials_never_marked(self, tiny_lm):
+        base, __ = tiny_lm
+        vocab = base.vocab
+        ids = np.array([[vocab.cls_id, vocab.cls_id, vocab.sep_id,
+                         vocab.cls_id, vocab.sep_id]])
+        assert base.overlap_indicators(ids).sum() == 0

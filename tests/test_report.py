@@ -1,0 +1,97 @@
+"""Tests for paper numbers and the paper-vs-measured report generator."""
+
+import pytest
+
+from repro.experiments import (MethodScore, PAPER_TABLES, ResultStore,
+                               compare_table, paper_delta_f1, render_report,
+                               render_table_report, shape_checks)
+from repro.experiments.paper_numbers import (PAPER_TABLE3, PAPER_TABLE4,
+                                             PAPER_TABLE5)
+
+
+def _measured_row(pair, noda=50.0, mmd=60.0):
+    return {"source": pair[0], "target": pair[1],
+            "noda": MethodScore("noda", [noda]),
+            "mmd": MethodScore("mmd", [mmd]),
+            "delta_f1": mmd - noda}
+
+
+class TestPaperNumbers:
+    def test_table_sizes_match_paper(self):
+        assert len(PAPER_TABLE3) == 6
+        assert len(PAPER_TABLE4) == 6
+        assert len(PAPER_TABLE5) == 12
+
+    def test_every_row_has_seven_methods(self):
+        for table in PAPER_TABLES.values():
+            for row in table.values():
+                assert set(row) == {"noda", "mmd", "k_order", "grl",
+                                    "invgan", "invgan_kd", "ed"}
+
+    def test_known_delta_values(self):
+        # Paper Table 3: AB->WA delta = 14.2; Table 4: B2->FZ delta = 43.9.
+        delta = paper_delta_f1(PAPER_TABLE3, ("abt_buy", "walmart_amazon"))
+        assert delta == pytest.approx(14.2, abs=0.05)
+        delta = paper_delta_f1(PAPER_TABLE4, ("books2", "fodors_zagats"))
+        assert delta == pytest.approx(43.9, abs=0.05)
+
+    def test_wdc_deltas_small(self):
+        # Paper: WDC gains range -1.5 .. +8.3.
+        deltas = [paper_delta_f1(PAPER_TABLE5, pair)
+                  for pair in PAPER_TABLE5]
+        assert min(deltas) >= -1.6
+        assert max(deltas) <= 8.4
+
+
+class TestCompareAndRender:
+    def test_compare_table_joins_rows(self):
+        pair = ("books2", "fodors_zagats")
+        comparison = compare_table("table4", [_measured_row(pair)])
+        assert len(comparison) == 1
+        entry = comparison[0]
+        assert entry["paper_noda"] == 49.6
+        assert entry["measured_noda"] == 50.0
+        assert entry["measured_delta"] == pytest.approx(10.0)
+
+    def test_compare_skips_unknown_pairs(self):
+        comparison = compare_table("table4",
+                                   [_measured_row(("x", "y"))])
+        assert comparison == []
+
+    def test_shape_checks_reproduced(self):
+        pair = ("books2", "fodors_zagats")  # paper delta +43.9
+        verdicts = shape_checks("table4",
+                                compare_table("table4",
+                                              [_measured_row(pair)]))
+        assert len(verdicts) == 1
+        assert "REPRODUCED" in verdicts[0]
+
+    def test_shape_checks_not_reproduced(self):
+        pair = ("books2", "fodors_zagats")
+        row = _measured_row(pair, noda=60.0, mmd=50.0)  # DA hurts
+        verdicts = shape_checks("table4", compare_table("table4", [row]))
+        assert "NOT reproduced" in verdicts[0]
+
+    def test_render_table_report_markdown(self):
+        pair = ("dblp_acm", "dblp_scholar")
+        text = render_table_report("table3", [_measured_row(pair)])
+        assert "| dblp_acm->dblp_scholar |" in text
+        assert "77.8" in text  # paper NoDA for DA->DS
+
+    def test_render_report_from_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        pair = ("books2", "zomato_yelp")
+        store.save("table4_fast", [_measured_row(pair)])
+        text = render_report(store=store, profile_name="fast")
+        assert "table4" in text
+        assert "books2->zomato_yelp" in text
+
+    def test_render_report_empty_store(self, tmp_path):
+        text = render_report(store=ResultStore(tmp_path))
+        assert "No stored results" in text
+
+    def test_cli_report_command(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # empty store in cwd
+        from repro.cli import main
+        assert main(["report"]) == 0
+        assert "Reproduction report" in capsys.readouterr().out

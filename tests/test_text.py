@@ -1,0 +1,185 @@
+"""Tests for tokenization, vocabulary, serialization, and batching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import (ATT, CLS, SEP, VAL, InfiniteSampler, Vocabulary,
+                        encode_batch, minibatches, pad_sequences, pair_text,
+                        serialize_entity, serialize_pair,
+                        split_serialized_pair, tokenize)
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Hello World") == ["hello", "world"]
+
+    def test_keeps_special_markers_whole(self):
+        assert tokenize("[CLS] foo [SEP]") == ["[CLS]", "foo", "[SEP]"]
+
+    def test_numbers_with_decimals(self):
+        assert tokenize("price 239.88") == ["price", "239.88"]
+
+    def test_punctuation_separated(self):
+        assert tokenize("kodak esp-7") == ["kodak", "esp", "-", "7"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+
+class TestVocabulary:
+    def test_specials_reserved_first(self):
+        vocab = Vocabulary()
+        assert vocab.pad_id == 0
+        assert vocab.unk_id == 1
+        assert len(vocab) == vocab.num_special
+
+    def test_build_orders_by_frequency(self):
+        vocab = Vocabulary.build(["a a a b b c"])
+        assert vocab.id_of("a") < vocab.id_of("b") < vocab.id_of("c")
+
+    def test_min_freq_filters(self):
+        vocab = Vocabulary.build(["a a b"], min_freq=2)
+        assert "a" in vocab
+        assert "b" not in vocab
+
+    def test_max_size_caps(self):
+        vocab = Vocabulary.build(["a a a b b c"], max_size=11)
+        assert len(vocab) <= 11
+
+    def test_max_size_too_small_raises(self):
+        with pytest.raises(ValueError):
+            Vocabulary.build(["a"], max_size=2)
+
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocabulary.build(["known"])
+        assert vocab.id_of("unknown") == vocab.unk_id
+
+    def test_encode_decode_roundtrip(self):
+        vocab = Vocabulary.build(["samsung series black flat panel"])
+        ids = vocab.encode("samsung flat panel")
+        assert vocab.decode(ids) == ["samsung", "flat", "panel"]
+
+    def test_decode_skips_specials_by_default(self):
+        vocab = Vocabulary.build(["x"])
+        ids = [vocab.cls_id, vocab.id_of("x"), vocab.sep_id]
+        assert vocab.decode(ids) == ["x"]
+        assert vocab.decode(ids, skip_special=False) == ["[CLS]", "x", "[SEP]"]
+
+    @given(st.lists(st.sampled_from("abcde"), min_size=1, max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_known_tokens_always_roundtrip(self, letters):
+        text = " ".join(letters)
+        vocab = Vocabulary.build([text])
+        assert vocab.decode(vocab.encode(text)) == tokenize(text)
+
+
+class TestSerialization:
+    ENTITY_A = {"title": "balt wheasel", "price": "239.88"}
+    ENTITY_B = {"title": "balt inc", "price": None}
+
+    def test_entity_serialization_layout(self):
+        tokens = serialize_entity(self.ENTITY_A)
+        assert tokens == [ATT, "title", VAL, "balt", "wheasel",
+                          ATT, "price", VAL, "239.88"]
+
+    def test_none_value_is_empty_slot(self):
+        tokens = serialize_entity(self.ENTITY_B)
+        assert tokens.count(VAL) == 2
+        # Nothing follows the second [VAL].
+        assert tokens[-1] == VAL
+
+    def test_pair_frame(self):
+        tokens = serialize_pair(self.ENTITY_A, self.ENTITY_B)
+        assert tokens[0] == CLS
+        assert tokens[-1] == SEP
+        assert tokens.count(SEP) == 2
+
+    def test_split_inverts_pair(self):
+        tokens = serialize_pair(self.ENTITY_A, self.ENTITY_B)
+        left, right = split_serialized_pair(tokens)
+        assert left == serialize_entity(self.ENTITY_A)
+        assert right == serialize_entity(self.ENTITY_B)
+
+    def test_split_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            split_serialized_pair(["foo", "bar"])
+        with pytest.raises(ValueError):
+            split_serialized_pair([CLS, "a", SEP])
+
+    def test_pair_text_is_joined_tokens(self):
+        text = pair_text(self.ENTITY_A, self.ENTITY_B)
+        assert text.startswith("[CLS] [ATT] title")
+        assert tokenize(text) == serialize_pair(self.ENTITY_A, self.ENTITY_B)
+
+
+class TestPadding:
+    def test_shapes_and_mask(self):
+        ids, mask = pad_sequences([[1, 2], [3]], max_len=4, pad_id=0)
+        assert ids.shape == mask.shape == (2, 4)
+        np.testing.assert_array_equal(ids[1], [3, 0, 0, 0])
+        np.testing.assert_array_equal(mask[0], [1, 1, 0, 0])
+
+    def test_truncation(self):
+        ids, mask = pad_sequences([[1, 2, 3, 4, 5]], max_len=3, pad_id=0)
+        np.testing.assert_array_equal(ids[0], [1, 2, 3])
+        np.testing.assert_array_equal(mask[0], [1, 1, 1])
+
+    def test_rejects_nonpositive_max_len(self):
+        with pytest.raises(ValueError):
+            pad_sequences([[1]], max_len=0, pad_id=0)
+
+    def test_encode_batch(self):
+        vocab = Vocabulary.build(["alpha beta"])
+        ids, mask = encode_batch([["alpha"], ["beta", "alpha"]], vocab, 3)
+        assert ids[0, 0] == vocab.id_of("alpha")
+        assert mask.sum() == 3
+
+    @given(st.lists(st.lists(st.integers(1, 50), max_size=12),
+                    min_size=1, max_size=8),
+           st.integers(1, 15))
+    @settings(max_examples=30, deadline=None)
+    def test_mask_counts_match_lengths(self, seqs, max_len):
+        ids, mask = pad_sequences(seqs, max_len=max_len, pad_id=0)
+        for seq, row in zip(seqs, mask):
+            assert row.sum() == min(len(seq), max_len)
+
+
+class TestMinibatches:
+    def test_covers_every_index_once(self):
+        seen = np.concatenate(list(minibatches(10, 3)))
+        np.testing.assert_array_equal(np.sort(seen), np.arange(10))
+
+    def test_shuffles_with_rng(self):
+        a = np.concatenate(list(minibatches(50, 50, np.random.default_rng(0))))
+        assert not np.array_equal(a, np.arange(50))
+
+    def test_drop_last(self):
+        batches = list(minibatches(10, 3, drop_last=True))
+        assert all(len(b) == 3 for b in batches)
+        assert len(batches) == 3
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            list(minibatches(10, 0))
+
+
+class TestInfiniteSampler:
+    def test_batches_have_requested_size(self):
+        sampler = InfiniteSampler(10, 4, np.random.default_rng(0))
+        for __ in range(20):
+            assert len(sampler.next_batch()) == 4
+
+    def test_small_dataset_clamps_batch(self):
+        sampler = InfiniteSampler(2, 32, np.random.default_rng(0))
+        assert len(sampler.next_batch()) == 2
+
+    def test_epoch_covers_all_indices(self):
+        sampler = InfiniteSampler(8, 4, np.random.default_rng(1))
+        seen = np.concatenate([sampler.next_batch(), sampler.next_batch()])
+        np.testing.assert_array_equal(np.sort(seen), np.arange(8))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            InfiniteSampler(0, 4, np.random.default_rng(0))

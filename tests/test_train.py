@@ -1,0 +1,168 @@
+"""Integration tests for the training loops (Algorithms 1 and 2)."""
+
+import numpy as np
+import pytest
+
+from repro.aligners import make_aligner
+from repro.data import target_da_split
+from repro.datasets import load_dataset
+from repro.train import (TrainConfig, combine_datasets, evaluate, train_gan,
+                         train_joint, train_source_only)
+
+FAST = TrainConfig(epochs=2, batch_size=16, learning_rate=1e-3, beta=0.1,
+                   pretrain_epochs=1, iterations_per_epoch=4, seed=0)
+
+
+class TestTrainConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            TrainConfig(learning_rate=0)
+        with pytest.raises(ValueError):
+            TrainConfig(beta=-1)
+
+    def test_beta_grid_matches_paper(self):
+        assert TrainConfig.BETA_GRID == (0.001, 0.01, 0.1, 1.0, 5.0)
+
+
+class TestSourceOnly:
+    def test_learns_source(self, lm_copy, matcher_factory, books_restaurants):
+        source, __, valid, test = books_restaurants
+        matcher = matcher_factory(lm_copy.feature_dim)
+        cfg = TrainConfig(epochs=8, batch_size=16, learning_rate=1e-3,
+                          seed=0, track_sets=True)
+        result = train_source_only(lm_copy, matcher, source, valid, test, cfg)
+        # The model must master the source during training (the restored
+        # snapshot is chosen by *target-valid* F1, so check the curve).
+        assert max(r.source_f1 for r in result.history) > 0.9
+        assert result.method == "noda"
+        assert len(result.history) == 8
+
+    def test_history_and_snapshot(self, lm_copy, matcher_factory,
+                                  books_restaurants):
+        source, __, valid, test = books_restaurants
+        matcher = matcher_factory(lm_copy.feature_dim)
+        result = train_source_only(lm_copy, matcher, source, valid, test, FAST)
+        assert result.best_epoch in (0, 1)
+        assert result.best_valid_f1 == max(r.valid_f1 for r in result.history)
+
+    def test_rejects_unlabeled_source(self, lm_copy, matcher_factory,
+                                      books_restaurants):
+        source, target, valid, test = books_restaurants
+        matcher = matcher_factory(lm_copy.feature_dim)
+        with pytest.raises(ValueError):
+            train_source_only(lm_copy, matcher, target, valid, test, FAST)
+
+
+class TestJointTraining:
+    @pytest.mark.parametrize("aligner_name", ["mmd", "k_order", "grl"])
+    def test_runs_and_tracks_alignment(self, aligner_name, lm_copy,
+                                       matcher_factory, books_restaurants):
+        source, target, valid, test = books_restaurants
+        matcher = matcher_factory(lm_copy.feature_dim)
+        aligner = make_aligner(aligner_name, lm_copy.feature_dim,
+                               np.random.default_rng(1))
+        result = train_joint(lm_copy, matcher, aligner, source, target,
+                             valid, test, FAST)
+        assert result.method == aligner_name
+        assert all(np.isfinite(r.alignment_loss) for r in result.history)
+        assert 0.0 <= result.best_f1 <= 100.0
+
+    def test_ed_aligner_runs(self, lm_copy, matcher_factory,
+                             books_restaurants):
+        source, target, valid, test = books_restaurants
+        matcher = matcher_factory(lm_copy.feature_dim)
+        aligner = make_aligner("ed", lm_copy.feature_dim,
+                               np.random.default_rng(1),
+                               vocab=lm_copy.vocab, max_len=lm_copy.max_len)
+        cfg = TrainConfig(epochs=1, batch_size=8, iterations_per_epoch=2,
+                          seed=0)
+        result = train_joint(lm_copy, matcher, aligner, source, target,
+                             valid, test, cfg)
+        assert result.history[0].alignment_loss > 0  # reconstruction CE
+
+    def test_mmd_reduces_alignment_loss(self, lm_copy, matcher_factory,
+                                        books_restaurants):
+        source, target, valid, test = books_restaurants
+        matcher = matcher_factory(lm_copy.feature_dim)
+        aligner = make_aligner("mmd", lm_copy.feature_dim,
+                               np.random.default_rng(1))
+        cfg = TrainConfig(epochs=6, batch_size=16, learning_rate=1e-3,
+                          beta=1.0, seed=0)
+        result = train_joint(lm_copy, matcher, aligner, source, target,
+                             valid, test, cfg)
+        first = result.history[0].alignment_loss
+        last = result.history[-1].alignment_loss
+        assert last < first
+
+    def test_rejects_gan_aligner(self, lm_copy, matcher_factory,
+                                 books_restaurants):
+        source, target, valid, test = books_restaurants
+        matcher = matcher_factory(lm_copy.feature_dim)
+        aligner = make_aligner("invgan", lm_copy.feature_dim,
+                               np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            train_joint(lm_copy, matcher, aligner, source, target, valid,
+                        test, FAST)
+
+    def test_beta_zero_matches_noda_shape(self, lm_copy, matcher_factory,
+                                          books_restaurants):
+        source, target, valid, test = books_restaurants
+        matcher = matcher_factory(lm_copy.feature_dim)
+        aligner = make_aligner("mmd", lm_copy.feature_dim,
+                               np.random.default_rng(1))
+        cfg = TrainConfig(epochs=1, batch_size=8, beta=0.0,
+                          iterations_per_epoch=2, seed=0)
+        result = train_joint(lm_copy, matcher, aligner, source, target,
+                             valid, test, cfg)
+        assert len(result.history) == 1
+
+
+class TestGanTraining:
+    @pytest.mark.parametrize("aligner_name", ["invgan", "invgan_kd"])
+    def test_runs(self, aligner_name, lm_copy, matcher_factory,
+                  books_restaurants):
+        source, target, valid, test = books_restaurants
+        matcher = matcher_factory(lm_copy.feature_dim)
+        aligner = make_aligner(aligner_name, lm_copy.feature_dim,
+                               np.random.default_rng(1), hidden=(16,))
+        result = train_gan(lm_copy, matcher, aligner, source, target,
+                           valid, test, FAST)
+        assert result.method == aligner_name
+        assert len(result.history) == FAST.epochs
+
+    def test_rejects_joint_aligner(self, lm_copy, matcher_factory,
+                                   books_restaurants):
+        source, target, valid, test = books_restaurants
+        matcher = matcher_factory(lm_copy.feature_dim)
+        aligner = make_aligner("mmd", lm_copy.feature_dim,
+                               np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            train_gan(lm_copy, matcher, aligner, source, target, valid,
+                      test, FAST)
+
+    def test_teacher_extractor_unchanged(self, lm_copy, matcher_factory,
+                                         books_restaurants):
+        source, target, valid, test = books_restaurants
+        matcher = matcher_factory(lm_copy.feature_dim)
+        aligner = make_aligner("invgan_kd", lm_copy.feature_dim,
+                               np.random.default_rng(1), hidden=(16,))
+        cfg = TrainConfig(epochs=1, batch_size=8, pretrain_epochs=1,
+                          iterations_per_epoch=2, seed=0)
+        train_gan(lm_copy, matcher, aligner, source, target, valid, test, cfg)
+        # After step 1 the teacher F is frozen: step 2 must not move it.
+        # (We can't see step-1 weights here, but the adversarial phase must
+        # leave no gradient state on the teacher.)
+        assert all(p.grad is None for p in lm_copy.parameters())
+
+
+class TestCombineDatasets:
+    def test_concatenates(self):
+        a = load_dataset("fz", scale=0.05, seed=0)
+        b = load_dataset("fz", scale=0.05, seed=1)
+        combined = combine_datasets(a, b)
+        assert len(combined) == len(a) + len(b)
+        assert combined.num_matches == a.num_matches + b.num_matches

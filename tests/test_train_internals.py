@@ -1,0 +1,131 @@
+"""White-box tests for trainer internals: iteration math, snapshot
+selection, epoch records."""
+
+import numpy as np
+import pytest
+
+from repro.data import Entity, EntityPair, ERDataset
+from repro.extractors import FeatureExtractor
+from repro.matcher import MlpMatcher
+from repro.nn import Tensor
+from repro.text import Vocabulary
+from repro.train import TrainConfig
+from repro.train.config import EpochRecord
+from repro.train.loops import _EpochTracker, _iterations, _source_batch
+from repro.text import InfiniteSampler
+
+
+class StubExtractor(FeatureExtractor):
+    """Deterministic extractor: feature = [n_shared_tokens, 1]."""
+
+    def __init__(self):
+        vocab = Vocabulary.build(["a b c d e f"])
+        super().__init__(vocab, max_len=16, feature_dim=2)
+
+    def encode(self, ids, mask):
+        n = ids.shape[0]
+        features = np.zeros((n, 2))
+        features[:, 1] = 1.0
+        for i in range(n):
+            row = ids[i][mask[i] > 0]
+            features[i, 0] = len(row)
+        return Tensor(features)
+
+
+def _dataset(n=10):
+    pairs = [EntityPair(Entity(f"a{i}", {"t": "a b"}),
+                        Entity(f"b{i}", {"t": "a c"}), i % 2)
+             for i in range(n)]
+    return ERDataset("stub", "test", pairs)
+
+
+class TestIterationMath:
+    def test_defaults_to_epoch_cover(self):
+        config = TrainConfig(batch_size=16)
+        assert _iterations(config, 100) == 7  # ceil(100/16)
+
+    def test_explicit_override(self):
+        config = TrainConfig(iterations_per_epoch=3)
+        assert _iterations(config, 10000) == 3
+
+    def test_minimum_one(self):
+        config = TrainConfig(iterations_per_epoch=0)
+        assert _iterations(config, 10) == 1
+
+
+class TestSourceBatch:
+    def test_returns_pairs_and_labels(self):
+        ds = _dataset(8)
+        sampler = InfiniteSampler(len(ds), 4, np.random.default_rng(0))
+        pairs, labels = _source_batch(ds, sampler)
+        assert len(pairs) == 4
+        assert labels.shape == (4,)
+        assert set(labels) <= {0, 1}
+
+
+class TestEpochTracker:
+    def _tracker(self, config=None):
+        extractor = StubExtractor()
+        matcher = MlpMatcher(2, np.random.default_rng(0))
+        valid = _dataset(6)
+        config = config or TrainConfig(epochs=3)
+        tracker = _EpochTracker(matcher, valid, config,
+                                source_eval=None, target_eval=None)
+        return tracker, extractor, matcher
+
+    def test_records_history(self):
+        tracker, extractor, __ = self._tracker()
+        tracker.end_epoch(0, extractor, matching_loss=1.0,
+                          alignment_loss=0.5)
+        tracker.end_epoch(1, extractor, matching_loss=0.8,
+                          alignment_loss=0.4)
+        assert len(tracker.history) == 2
+        assert tracker.history[1].matching_loss == 0.8
+
+    def test_best_snapshot_tracks_max_valid(self):
+        tracker, extractor, matcher = self._tracker()
+        tracker.end_epoch(0, extractor, 1.0, 0.0)
+        first_valid = tracker.history[0].valid_f1
+        # Mutate the matcher so later epochs differ, then record again.
+        for param in matcher.parameters():
+            param.data += 0.5
+        tracker.end_epoch(1, extractor, 0.9, 0.0)
+        assert tracker.best is not None
+        assert tracker.best.valid_f1 == max(r.valid_f1
+                                            for r in tracker.history)
+        assert tracker.best.valid_f1 >= first_valid
+
+    def test_finish_restores_best_and_scores_test(self):
+        tracker, extractor, matcher = self._tracker()
+        tracker.end_epoch(0, extractor, 1.0, 0.0)
+        saved = {k: v.copy() for k, v in matcher.state_dict().items()}
+        for param in matcher.parameters():
+            param.data += 10.0  # drift after the snapshot
+        result = tracker.finish("stub-method", extractor, _dataset(6))
+        assert result.method == "stub-method"
+        # finish() must restore the snapshot weights if they were best.
+        if tracker.best.epoch == 0:
+            for key, value in matcher.state_dict().items():
+                np.testing.assert_array_equal(value, saved[key])
+
+    def test_result_curves(self):
+        record = EpochRecord(epoch=0, matching_loss=1.0, alignment_loss=0.0,
+                             valid_f1=0.5, source_f1=0.9, target_f1=0.4)
+        from repro.train import AdaptationResult
+        from repro.train.metrics import match_metrics
+        result = AdaptationResult(
+            method="x", best_epoch=0, best_valid_f1=0.5,
+            test_metrics=match_metrics([1], [1]), history=[record])
+        assert result.curve("valid") == [0.5]
+        assert result.curve("source") == [0.9]
+        assert result.curve("target") == [0.4]
+        assert result.best_f1 == 100.0
+
+    def test_unknown_curve_key(self):
+        from repro.train import AdaptationResult
+        from repro.train.metrics import match_metrics
+        result = AdaptationResult(
+            method="x", best_epoch=0, best_valid_f1=0.0,
+            test_metrics=match_metrics([1], [1]))
+        with pytest.raises(KeyError):
+            result.curve("loss")

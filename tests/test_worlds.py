@@ -1,0 +1,144 @@
+"""Tests for the canonical-record world factories and their hard negatives."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (BookWorld, CitationWorld, MovieWorld, MusicWorld,
+                            ProductWorld, RestaurantWorld, WdcWorld)
+
+
+def rng():
+    return np.random.default_rng(41)
+
+
+ALL_WORLDS = [ProductWorld(), CitationWorld(), RestaurantWorld(),
+              MusicWorld(), MovieWorld(), BookWorld(), WdcWorld("shoes")]
+
+
+class TestGenerateContracts:
+    @pytest.mark.parametrize("world", ALL_WORLDS,
+                             ids=lambda w: type(w).__name__)
+    def test_generate_returns_fresh_records(self, world):
+        r = rng()
+        a = world.generate(r)
+        b = world.generate(r)
+        assert isinstance(a, dict) and a
+        assert a != b  # overwhelmingly likely with these pools
+
+    @pytest.mark.parametrize("world", ALL_WORLDS,
+                             ids=lambda w: type(w).__name__)
+    def test_similar_differs_from_original(self, world):
+        r = rng()
+        a = world.generate(r)
+        sibling = world.similar(a, r)
+        assert sibling != a
+
+
+class TestProductWorld:
+    def test_model_number_derived_from_brand(self):
+        world = ProductWorld()
+        record = world.generate(rng())
+        assert record["model"].startswith(record["brand"][:2])
+
+    def test_similar_shares_brand_and_type(self):
+        world = ProductWorld()
+        r = rng()
+        a = world.generate(r)
+        sibling = world.similar(a, r)
+        assert sibling["brand"] == a["brand"]
+        assert sibling["ptype"] == a["ptype"]
+        assert sibling["model"] != a["model"]
+
+    def test_price_in_range(self):
+        record = ProductWorld().generate(rng())
+        assert 20 <= record["price"] <= 2500
+
+
+class TestWdcWorld:
+    def test_category_validated(self):
+        with pytest.raises(ValueError):
+            WdcWorld("sofas")
+
+    def test_category_noun_pool(self):
+        from repro.datasets.vocabularies import WDC_CATEGORY_NOUNS
+        world = WdcWorld("cameras")
+        nouns = set(WDC_CATEGORY_NOUNS["cameras"])
+        for __ in range(10):
+            assert world.generate(rng())["ptype"] in nouns
+
+    def test_longer_descriptors_than_base_product(self):
+        r = rng()
+        base = ProductWorld().generate(r)
+        wdc = WdcWorld("watches").generate(r)
+        assert len(wdc["descriptors"]) > len(base["descriptors"])
+
+
+class TestCitationWorld:
+    def test_author_count_range(self):
+        for __ in range(10):
+            record = CitationWorld().generate(rng())
+            assert 2 <= len(record["authors"]) <= 4
+
+    def test_similar_keeps_first_author_and_venue(self):
+        world = CitationWorld()
+        r = rng()
+        a = world.generate(r)
+        sibling = world.similar(a, r)
+        assert sibling["authors"][0] == a["authors"][0]
+        assert sibling["venue"] == a["venue"]
+        assert set(a["title_words"][:3]) <= set(sibling["title_words"])
+
+
+class TestRestaurantWorld:
+    def test_phone_format(self):
+        record = RestaurantWorld().generate(rng())
+        parts = record["phone"].split("-")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_similar_same_city_cuisine(self):
+        world = RestaurantWorld()
+        r = rng()
+        a = world.generate(r)
+        sibling = world.similar(a, r)
+        assert sibling["city"] == a["city"]
+        assert sibling["cuisine"] == a["cuisine"]
+        assert sibling["name_words"][0] == a["name_words"][0]
+
+
+class TestMusicWorld:
+    def test_similar_is_album_sibling(self):
+        world = MusicWorld()
+        r = rng()
+        a = world.generate(r)
+        sibling = world.similar(a, r)
+        assert sibling["album_words"] == a["album_words"]
+        assert sibling["artist_words"] == a["artist_words"]
+        assert sibling["song_words"] != a["song_words"]
+
+    def test_duration_range(self):
+        record = MusicWorld().generate(rng())
+        assert 120 <= record["seconds"] <= 420
+
+
+class TestMovieAndBookWorlds:
+    def test_movie_similar_same_director(self):
+        world = MovieWorld()
+        r = rng()
+        a = world.generate(r)
+        sibling = world.similar(a, r)
+        assert sibling["director"] == a["director"]
+
+    def test_book_isbn_is_13_digits(self):
+        record = BookWorld().generate(rng())
+        assert len(record["isbn"]) == 13
+        assert record["isbn"].isdigit()
+
+    def test_book_similar_same_author_publisher(self):
+        world = BookWorld()
+        r = rng()
+        a = world.generate(r)
+        sibling = world.similar(a, r)
+        assert sibling["author"] == a["author"]
+        assert sibling["publisher"] == a["publisher"]
+        assert sibling["isbn"] != a["isbn"]
