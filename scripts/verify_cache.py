@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Integrity checker for REPRO_CACHE (and any artifact-store directory).
+
+Walks every artifact under the given roots, classifies each as
+valid / missing-from-manifest / corrupt via :mod:`repro.artifacts`, and
+prints a one-line-per-file report.  Intended for CI (fail the job when a
+committed cache is damaged) and for operators debugging a shared cache.
+
+Usage::
+
+    PYTHONPATH=src python scripts/verify_cache.py            # checks $REPRO_CACHE (.cache)
+    PYTHONPATH=src python scripts/verify_cache.py DIR [DIR...]
+    PYTHONPATH=src python scripts/verify_cache.py --quarantine   # heal in place
+
+Exit status: 0 when everything is valid (or was quarantined with
+``--quarantine``), 1 when corruption was found and left in place, 2 on
+usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from repro.artifacts import ArtifactStatus, ArtifactStore
+from repro.pretrain import cache_dir
+
+
+def iter_artifacts(store: ArtifactStore) -> Iterable[str]:
+    """Names of real artifacts directly under the store root, skipping
+    bookkeeping files (manifest, locks, temps) and quarantined remains.
+
+    Stores are flat (one directory per store); nested stores — like
+    ``results/`` under the cache — are checked as their own roots.
+    """
+    if not store.root.is_dir():
+        return
+    for path in sorted(store.root.glob("*")):
+        if path.is_dir() or store.is_internal(path):
+            continue
+        yield path.name
+
+
+def check_store(root: Path, quarantine: bool) -> Tuple[int, int]:
+    """Report on one store; returns (checked, corrupt-remaining)."""
+    store = ArtifactStore(root)
+    checked = bad = 0
+    for name in iter_artifacts(store):
+        checked += 1
+        status, reason = store.classify(name)
+        manifest = store.manifest_entry(name)
+        tracked = "manifest" if manifest is not None else "untracked"
+        if status is ArtifactStatus.VALID:
+            print(f"  ok       {name}  [{tracked}]")
+            continue
+        if quarantine:
+            moved = store.quarantine(name, reason or "unknown corruption")
+            print(f"  CORRUPT  {name}: {reason}  -> quarantined {moved.name}")
+        else:
+            bad += 1
+            print(f"  CORRUPT  {name}: {reason}")
+    return checked, bad
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Verify artifact-store integrity (checksums + format).")
+    parser.add_argument("roots", nargs="*", type=Path,
+                        help="store directories (default: REPRO_CACHE and "
+                             "its results/ subdirectory)")
+    parser.add_argument("--quarantine", action="store_true",
+                        help="move corrupt files to *.corrupt instead of "
+                             "failing")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="show artifact-store log lines")
+    args = parser.parse_args(argv)
+
+    logging.basicConfig(
+        level=logging.INFO if args.verbose else logging.WARNING,
+        format="%(levelname)s %(name)s %(message)s")
+
+    roots = args.roots or [cache_dir(), cache_dir() / "results"]
+    total_checked = total_bad = 0
+    for root in roots:
+        print(f"{root}:")
+        if not root.is_dir():
+            if args.roots:  # an explicitly named root must exist — typo guard
+                print(f"error: {root} is not a directory", file=sys.stderr)
+                return 2
+            print("  (missing — nothing to check)")
+            continue
+        checked, bad = check_store(root, args.quarantine)
+        if not checked:
+            print("  (no artifacts)")
+        total_checked += checked
+        total_bad += bad
+
+    verdict = "clean" if not total_bad else f"{total_bad} corrupt"
+    print(f"checked {total_checked} artifact(s): {verdict}")
+    return 1 if total_bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

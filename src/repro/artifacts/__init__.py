@@ -1,0 +1,21 @@
+"""Self-healing artifact persistence: atomic, checksummed, lock-protected.
+
+Single entry point for every artifact the library persists — checkpoint
+archives, vocabularies, pipeline snapshots, result documents.  See
+:mod:`.store` for the guarantees and :mod:`.locks` for cross-process
+exclusion.
+"""
+
+from .locks import FileLock, LockTimeout
+from .store import (AUTO, CORRUPT_EXCEPTIONS, MANIFEST_NAME,
+                    QUARANTINE_SUFFIX, ArtifactCorruptError, ArtifactError,
+                    ArtifactStatus, ArtifactStore, atomic_write, file_digest,
+                    validate_json, validate_npz, validate_text, validator_for)
+
+__all__ = [
+    "ArtifactStore", "ArtifactStatus", "ArtifactError", "ArtifactCorruptError",
+    "FileLock", "LockTimeout",
+    "atomic_write", "file_digest",
+    "validate_npz", "validate_json", "validate_text", "validator_for",
+    "AUTO", "CORRUPT_EXCEPTIONS", "MANIFEST_NAME", "QUARANTINE_SUFFIX",
+]

@@ -1,0 +1,118 @@
+"""Inter-process file locking for the artifact store.
+
+Two concurrent runs (e.g. a test session and an experiment sweep) share one
+``REPRO_CACHE``; without mutual exclusion they can torn-write the same
+checkpoint or both decide to regenerate it.  :class:`FileLock` wraps an
+advisory ``flock`` on a sidecar lock file so exactly one process writes a
+given artifact at a time, and waiting processes log how long they blocked.
+
+On platforms without ``fcntl`` (or filesystems that reject ``flock``) the
+lock degrades to an in-process ``threading.Lock`` so single-process callers
+keep working; cross-process exclusion is then best-effort only.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+try:  # POSIX only; the store must still import elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
+logger = logging.getLogger("repro.artifacts")
+
+#: Waits shorter than this are not worth a log line.
+_WAIT_LOG_THRESHOLD = 0.05
+
+
+class LockTimeout(TimeoutError):
+    """Raised when a lock could not be acquired within ``timeout``."""
+
+
+class FileLock:
+    """An exclusive advisory lock on ``path`` (created on demand).
+
+    Usable as a context manager and re-entrant within a single instance is
+    *not* supported — create one lock object per critical section.
+
+    Parameters
+    ----------
+    path:
+        The lock file.  Created (empty) if absent; never deleted, so lock
+        acquisition has no unlink races.
+    timeout:
+        Max seconds to wait; ``None`` waits forever.
+    poll:
+        Seconds between acquisition attempts while waiting.
+    """
+
+    def __init__(self, path: Union[str, Path], timeout: Optional[float] = None,
+                 poll: float = 0.05):
+        self.path = Path(path)
+        self.timeout = timeout
+        self.poll = poll
+        self._fd: Optional[int] = None
+        self._thread_lock = threading.Lock()
+        self.waited = 0.0
+
+    # -- acquisition ------------------------------------------------------ #
+    def _try_flock(self) -> bool:
+        assert fcntl is not None and self._fd is not None
+        try:
+            fcntl.flock(self._fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            return True
+        except (BlockingIOError, InterruptedError):
+            return False
+
+    def acquire(self) -> "FileLock":
+        start = time.monotonic()
+        if fcntl is None:
+            acquired = self._thread_lock.acquire(
+                timeout=-1 if self.timeout is None else self.timeout)
+            if not acquired:
+                raise LockTimeout(f"lock {self.path} not acquired "
+                                  f"within {self.timeout}s")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            try:
+                while not self._try_flock():
+                    if (self.timeout is not None
+                            and time.monotonic() - start > self.timeout):
+                        raise LockTimeout(f"lock {self.path} not acquired "
+                                          f"within {self.timeout}s")
+                    time.sleep(self.poll)
+            except Exception:
+                os.close(self._fd)
+                self._fd = None
+                raise
+        self.waited = time.monotonic() - start
+        if self.waited > _WAIT_LOG_THRESHOLD:
+            logger.info("artifact lock-waited path=%s seconds=%.3f",
+                        self.path, self.waited)
+        return self
+
+    def release(self) -> None:
+        if fcntl is None:
+            if self._thread_lock.locked():
+                self._thread_lock.release()
+            return
+        if self._fd is not None:
+            try:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            finally:
+                os.close(self._fd)
+                self._fd = None
+
+    # -- context manager --------------------------------------------------- #
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

@@ -1,0 +1,449 @@
+"""A self-healing, checksummed artifact store — all repo persistence routes here.
+
+Every persistence site in the library (module checkpoints, the pre-trained-LM
+cache, pipeline snapshots, experiment results) shares the same failure modes:
+partial writes on interrupt, concurrent runs torn-writing one file, and bit
+rot discovered only as an opaque ``BadZipFile`` deep inside a run.  This
+module centralises the defences:
+
+* **atomic writes** — content goes to a temp file in the same directory and
+  is published with ``os.replace``, so a ``kill -9`` mid-save can never leave
+  an unreadable archive at the final path;
+* **integrity manifest** — a ``MANIFEST.json`` per store root records the
+  SHA-256 and size of each artifact at write time, so silent modification or
+  truncation is detected at load time, before deserialization;
+* **load-time validation** — artifacts classify as *valid* / *missing* /
+  *corrupt* using the manifest plus cheap format checks (zip structure for
+  ``.npz``, parseability for ``.json``);
+* **quarantine** — corrupt files are renamed to ``*.corrupt`` (never silently
+  deleted) so post-mortems stay possible;
+* **inter-process locking** — writers hold an advisory ``flock`` per artifact
+  (see :mod:`.locks`);
+* **regeneration** — :meth:`ArtifactStore.fetch` turns "cached artifact is
+  bad" into "rebuild it and move on", with a log line instead of a crash.
+
+Log lines are structured (``artifact <event> name=... key=value``) with events
+``hit`` / ``miss`` / ``stored`` / ``corrupt-quarantined`` /
+``corrupt-regenerated`` / ``lock-waited`` so cache behaviour is grep-able in
+CI output.  Corruption events log at WARNING and therefore surface even with
+no logging configuration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import time
+import zipfile
+import zlib
+from enum import Enum
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from .locks import FileLock
+
+logger = logging.getLogger("repro.artifacts")
+
+MANIFEST_NAME = "MANIFEST.json"
+QUARANTINE_SUFFIX = ".corrupt"
+_LOCKS_DIR = ".locks"
+
+#: Exceptions a reader may raise that mean "the file content is bad", as
+#: opposed to programming errors, which must propagate unchanged.
+CORRUPT_EXCEPTIONS = (zipfile.BadZipFile, zlib.error, EOFError, OSError,
+                      ValueError, KeyError, json.JSONDecodeError,
+                      UnicodeDecodeError)
+
+
+class ArtifactStatus(Enum):
+    VALID = "valid"
+    MISSING = "missing"
+    CORRUPT = "corrupt"
+
+
+class ArtifactError(RuntimeError):
+    """Base class for artifact-store failures."""
+
+
+class ArtifactCorruptError(ArtifactError):
+    """An artifact exists but failed validation or deserialization.
+
+    The message names the file, its on-disk size, and the suspected cause —
+    never an opaque traceback from three layers down.
+    """
+
+    def __init__(self, path: Union[str, Path], reason: str,
+                 quarantined_to: Optional[Path] = None,
+                 size: Optional[int] = None):
+        self.path = Path(path)
+        self.reason = reason
+        self.quarantined_to = quarantined_to
+        if size is None:
+            probe = quarantined_to or self.path
+            try:
+                size = Path(probe).stat().st_size
+            except OSError:
+                size = None
+        self.size = size
+        where = (f"; quarantined to {quarantined_to}" if quarantined_to
+                 else "")
+        size_part = f"{size} bytes" if size is not None else "size unknown"
+        super().__init__(
+            f"corrupt artifact {self.path} ({size_part}): {reason}{where}")
+
+
+# --------------------------------------------------------------------------- #
+# primitives
+# --------------------------------------------------------------------------- #
+
+def file_digest(path: Union[str, Path]) -> str:
+    """Streaming SHA-256 hex digest of ``path``."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+_tmp_counter = 0
+
+
+def _tmp_path(path: Path) -> Path:
+    """A unique sibling temp name that keeps the final suffix.
+
+    The suffix is preserved because some writers (``np.savez``) append their
+    own extension when it is missing; the PID + counter keep concurrent
+    processes from colliding on the temp name itself.
+    """
+    global _tmp_counter
+    _tmp_counter += 1
+    return path.with_name(
+        f"{path.name}.tmp-{os.getpid()}-{_tmp_counter}{path.suffix}")
+
+
+def atomic_write(path: Union[str, Path],
+                 writer: Callable[[Path], None]) -> Path:
+    """Run ``writer(tmp)`` then publish ``tmp`` at ``path`` atomically.
+
+    The temp file lives in the destination directory so ``os.replace`` stays
+    on one filesystem.  On any failure the temp file is removed and ``path``
+    is left exactly as it was — readers can never observe a half-written
+    artifact.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = _tmp_path(path)
+    try:
+        writer(tmp)
+        if not tmp.exists():
+            raise ArtifactError(
+                f"writer for {path} produced no file at {tmp}")
+        with open(tmp, "rb+") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    try:  # Durability of the rename itself; best-effort on odd filesystems.
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:  # pragma: no cover - e.g. directories not fsync-able
+        pass
+    return path
+
+
+# --------------------------------------------------------------------------- #
+# format validators
+# --------------------------------------------------------------------------- #
+
+def validate_npz(path: Path) -> Optional[str]:
+    """Reason the ``.npz`` at ``path`` is unreadable, or ``None`` if fine.
+
+    Goes beyond the zip directory check: every member is fully decompressed
+    so truncated member data (a torn write that kept a valid central
+    directory) is caught here rather than mid-training.
+    """
+    if not zipfile.is_zipfile(path):
+        return "not a zip archive (missing or damaged end-of-central-directory)"
+    try:
+        with zipfile.ZipFile(path) as archive:
+            bad_member = archive.testzip()
+            if bad_member is not None:
+                return f"zip member {bad_member!r} fails CRC check"
+            for name in archive.namelist():
+                archive.read(name)
+    except CORRUPT_EXCEPTIONS as exc:
+        return f"unreadable zip content ({type(exc).__name__}: {exc})"
+    return None
+
+
+def validate_json(path: Path) -> Optional[str]:
+    try:
+        json.loads(path.read_text())
+    except CORRUPT_EXCEPTIONS as exc:
+        return f"invalid JSON ({type(exc).__name__}: {exc})"
+    return None
+
+
+def validate_text(path: Path) -> Optional[str]:
+    try:
+        path.read_text(encoding="utf-8")
+    except CORRUPT_EXCEPTIONS as exc:
+        return f"undecodable text ({type(exc).__name__}: {exc})"
+    return None
+
+
+_VALIDATORS: Dict[str, Callable[[Path], Optional[str]]] = {
+    ".npz": validate_npz,
+    ".json": validate_json,
+    ".txt": validate_text,
+}
+
+
+def validator_for(path: Union[str, Path]
+                  ) -> Optional[Callable[[Path], Optional[str]]]:
+    """The default format validator for ``path`` by suffix (or ``None``)."""
+    return _VALIDATORS.get(Path(path).suffix)
+
+
+#: Sentinel: "pick the validator from the file suffix".
+AUTO = object()
+
+
+# --------------------------------------------------------------------------- #
+# the store
+# --------------------------------------------------------------------------- #
+
+class ArtifactStore:
+    """A directory of named artifacts with integrity guarantees.
+
+    ``name`` is a path relative to ``root`` (no ``..``, not absolute).  All
+    writes are atomic and recorded in the manifest; all reads validate first.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    # -- paths ------------------------------------------------------------- #
+    def path(self, name: str) -> Path:
+        candidate = Path(name)
+        if candidate.is_absolute() or ".." in candidate.parts or not name:
+            raise ValueError(f"bad artifact name {name!r}")
+        return self.root / candidate
+
+    def _manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    def lock(self, name: str, timeout: Optional[float] = None) -> FileLock:
+        """An inter-process lock scoped to one artifact name."""
+        safe = name.replace(os.sep, "__")
+        return FileLock(self.root / _LOCKS_DIR / f"{safe}.lock",
+                        timeout=timeout)
+
+    # -- manifest ---------------------------------------------------------- #
+    def _read_manifest(self) -> Dict[str, Dict[str, Any]]:
+        path = self._manifest_path()
+        if not path.exists():
+            return {}
+        try:
+            document = json.loads(path.read_text())
+            entries = document["entries"]
+            if not isinstance(entries, dict):
+                raise ValueError("manifest entries is not an object")
+            return entries
+        except CORRUPT_EXCEPTIONS:
+            # A corrupt manifest must not take the whole store down: move it
+            # aside and fall back to format-only validation.
+            quarantined = self._quarantine_path(path)
+            os.replace(path, quarantined)
+            logger.warning(
+                "artifact corrupt-quarantined name=%s reason=%s "
+                "quarantined=%s", MANIFEST_NAME, "unreadable manifest",
+                quarantined)
+            return {}
+
+    def _write_manifest(self, entries: Dict[str, Dict[str, Any]]) -> None:
+        document = {"version": 1, "entries": entries}
+        atomic_write(self._manifest_path(),
+                     lambda tmp: tmp.write_text(
+                         json.dumps(document, indent=2, sort_keys=True)))
+
+    def _update_manifest(self, name: str,
+                         entry: Optional[Dict[str, Any]]) -> None:
+        """Set (or with ``None``, drop) the manifest entry for ``name``."""
+        with self.lock(MANIFEST_NAME):
+            entries = self._read_manifest()
+            if entry is None:
+                entries.pop(name, None)
+            else:
+                entries[name] = entry
+            self._write_manifest(entries)
+
+    def manifest_entry(self, name: str) -> Optional[Dict[str, Any]]:
+        return self._read_manifest().get(name)
+
+    # -- classification ---------------------------------------------------- #
+    def classify(self, name: str,
+                 validator: Any = AUTO) -> Tuple[ArtifactStatus, Optional[str]]:
+        """``(status, reason)`` for the artifact; reason set iff corrupt."""
+        path = self.path(name)
+        if not path.exists():
+            return ArtifactStatus.MISSING, None
+        if path.stat().st_size == 0:
+            return ArtifactStatus.CORRUPT, "empty file (interrupted write?)"
+        expected = self.manifest_entry(name)
+        if expected is not None:
+            actual = file_digest(path)
+            if actual != expected.get("sha256"):
+                return (ArtifactStatus.CORRUPT,
+                        f"checksum mismatch (manifest {expected.get('sha256', '?')[:12]}..., "
+                        f"file {actual[:12]}...)")
+        if validator is AUTO:
+            validator = validator_for(path)
+        if validator is not None:
+            reason = validator(path)
+            if reason is not None:
+                return ArtifactStatus.CORRUPT, reason
+        return ArtifactStatus.VALID, None
+
+    # -- quarantine -------------------------------------------------------- #
+    def _quarantine_path(self, path: Path) -> Path:
+        candidate = path.with_name(path.name + QUARANTINE_SUFFIX)
+        counter = 1
+        while candidate.exists():
+            candidate = path.with_name(
+                f"{path.name}{QUARANTINE_SUFFIX}-{counter}")
+            counter += 1
+        return candidate
+
+    def quarantine(self, name: str, reason: str) -> Optional[Path]:
+        """Move a corrupt artifact to ``<name>.corrupt`` and forget its hash.
+
+        Never deletes: the damaged bytes stay on disk for post-mortem.
+        Returns the quarantine path, or ``None`` if the file vanished first.
+        """
+        path = self.path(name)
+        if not path.exists():
+            return None
+        quarantined = self._quarantine_path(path)
+        os.replace(path, quarantined)
+        self._update_manifest(name, None)
+        logger.warning("artifact corrupt-quarantined name=%s reason=%s "
+                       "quarantined=%s", name, reason, quarantined)
+        return quarantined
+
+    # -- writing ----------------------------------------------------------- #
+    def _sweep_stale_tmps(self, path: Path, max_age_seconds: float = 3600.0
+                          ) -> None:
+        """Remove temp litter left by writers that were killed mid-save.
+
+        Age-gated so a concurrent live writer's temp file is never touched.
+        """
+        cutoff = time.time() - max_age_seconds
+        for stale in path.parent.glob(f"{path.name}.tmp-*"):
+            try:
+                if stale.stat().st_mtime < cutoff:
+                    stale.unlink()
+                    logger.info("artifact stale-tmp-removed path=%s", stale)
+            except OSError:  # pragma: no cover - raced with another sweeper
+                pass
+
+    def write(self, name: str, writer: Callable[[Path], None]) -> Path:
+        """Atomically write an artifact and record its checksum."""
+        path = self.path(name)
+        self._sweep_stale_tmps(path)
+        atomic_write(path, writer)
+        digest = file_digest(path)
+        size = path.stat().st_size
+        self._update_manifest(name, {"sha256": digest, "size": size})
+        logger.info("artifact stored name=%s sha256=%s size=%d",
+                    name, digest[:12], size)
+        return path
+
+    def write_text(self, name: str, text: str) -> Path:
+        return self.write(name, lambda tmp: tmp.write_text(text))
+
+    def write_json(self, name: str, obj: Any, **dumps_kwargs: Any) -> Path:
+        payload = json.dumps(obj, **dumps_kwargs)
+        return self.write_text(name, payload)
+
+    def write_bytes(self, name: str, data: bytes) -> Path:
+        return self.write(name, lambda tmp: tmp.write_bytes(data))
+
+    # -- reading ----------------------------------------------------------- #
+    def read(self, name: str, reader: Callable[[Path], Any],
+             validator: Any = AUTO) -> Any:
+        """Validate then deserialize; quarantine + raise on corruption.
+
+        Raises :class:`FileNotFoundError` when missing and
+        :class:`ArtifactCorruptError` (after quarantining) when the artifact
+        fails validation or ``reader`` raises a content error.
+        """
+        path = self.path(name)
+        status, reason = self.classify(name, validator)
+        if status is ArtifactStatus.MISSING:
+            raise FileNotFoundError(f"no artifact named {name!r} in {self.root}")
+        if status is ArtifactStatus.VALID:
+            try:
+                value = reader(path)
+                logger.info("artifact hit name=%s", name)
+                return value
+            except ArtifactCorruptError as exc:
+                reason = exc.reason
+            except CORRUPT_EXCEPTIONS as exc:
+                reason = f"deserialization failed ({type(exc).__name__}: {exc})"
+        quarantined = self.quarantine(name, reason or "unknown corruption")
+        raise ArtifactCorruptError(path, reason or "unknown corruption",
+                                   quarantined_to=quarantined)
+
+    def fetch(self, name: str, reader: Callable[[Path], Any],
+              regenerate: Callable[[], Any],
+              writer: Callable[[Any, Path], None],
+              validator: Any = AUTO,
+              lock_timeout: Optional[float] = None) -> Any:
+        """Self-healing read: load if valid, otherwise rebuild and store.
+
+        ``reader(path)`` deserializes a valid artifact; ``regenerate()``
+        produces a fresh value on miss/corruption; ``writer(value, tmp)``
+        persists it.  Corrupt files are quarantined, never silently deleted,
+        and a torn concurrent write is impossible because the whole
+        check-or-rebuild cycle holds the artifact's lock.
+        """
+        with self.lock(name, timeout=lock_timeout):
+            status, reason = self.classify(name, validator)
+            if status is ArtifactStatus.VALID:
+                try:
+                    value = reader(self.path(name))
+                    logger.info("artifact hit name=%s", name)
+                    return value
+                except ArtifactCorruptError as exc:
+                    reason = exc.reason
+                    status = ArtifactStatus.CORRUPT
+                except CORRUPT_EXCEPTIONS as exc:
+                    reason = (f"deserialization failed "
+                              f"({type(exc).__name__}: {exc})")
+                    status = ArtifactStatus.CORRUPT
+            if status is ArtifactStatus.CORRUPT:
+                self.quarantine(name, reason or "unknown corruption")
+                logger.warning("artifact corrupt-regenerated name=%s reason=%s",
+                               name, reason)
+            else:
+                logger.info("artifact miss name=%s regenerating", name)
+            value = regenerate()
+            self.write(name, lambda tmp: writer(value, tmp))
+            return value
+
+    # -- listing ----------------------------------------------------------- #
+    def is_internal(self, path: Union[str, Path]) -> bool:
+        """True for store bookkeeping files (manifest, locks, temps, quarantine)."""
+        path = Path(path)
+        name = path.name
+        return (name == MANIFEST_NAME
+                or QUARANTINE_SUFFIX in name
+                or ".tmp-" in name
+                or _LOCKS_DIR in path.parts)

@@ -14,6 +14,7 @@ from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
+from ..artifacts import ArtifactStore
 from .runner import MethodScore
 
 
@@ -48,33 +49,47 @@ def _revive(value: Any) -> Any:
 
 
 class ResultStore:
-    """A directory of named JSON result documents."""
+    """A directory of named JSON result documents.
+
+    Persistence routes through :class:`repro.artifacts.ArtifactStore`:
+    documents are written atomically (no half-written JSON after an
+    interrupted bench run) and checksummed, and a corrupt document is
+    quarantined to ``*.corrupt`` with a clear
+    :class:`~repro.artifacts.ArtifactCorruptError` instead of a raw
+    ``JSONDecodeError`` escaping mid-report.
+    """
 
     def __init__(self, root: Union[str, Path] = ".cache/results"):
         self.root = Path(root)
+        self._store = ArtifactStore(self.root)
 
-    def _path(self, name: str) -> Path:
+    def _artifact_name(self, name: str) -> str:
         if not name or "/" in name:
             raise ValueError(f"bad result name {name!r}")
-        return self.root / f"{name}.json"
+        return f"{name}.json"
+
+    def _path(self, name: str) -> Path:
+        return self._store.path(self._artifact_name(name))
 
     def save(self, name: str, payload: Any,
              metadata: Optional[Dict[str, Any]] = None) -> Path:
         """Write ``payload`` (rows, series, dataclasses...) under ``name``."""
-        path = self._path(name)
-        path.parent.mkdir(parents=True, exist_ok=True)
         document = {"name": name, "metadata": _jsonable(metadata or {}),
                     "payload": _jsonable(payload)}
-        path.write_text(json.dumps(document, indent=2, sort_keys=True))
-        return path
+        return self._store.write_json(self._artifact_name(name), document,
+                                      indent=2, sort_keys=True)
 
     def load(self, name: str) -> Any:
         """Load a previously saved payload."""
-        path = self._path(name)
-        if not path.exists():
+        artifact = self._artifact_name(name)
+        try:
+            # Reading the payload key inside the reader means a valid-JSON
+            # document with the wrong schema also counts as corrupt.
+            payload = self._store.read(
+                artifact, lambda p: json.loads(p.read_text())["payload"])
+        except FileNotFoundError:
             raise FileNotFoundError(f"no stored result named {name!r}")
-        document = json.loads(path.read_text())
-        return _revive(document["payload"])
+        return _revive(payload)
 
     def exists(self, name: str) -> bool:
         return self._path(name).exists()
@@ -82,4 +97,5 @@ class ResultStore:
     def names(self) -> list:
         if not self.root.exists():
             return []
-        return sorted(p.stem for p in self.root.glob("*.json"))
+        return sorted(p.stem for p in self.root.glob("*.json")
+                      if not self._store.is_internal(p))

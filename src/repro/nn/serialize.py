@@ -2,27 +2,65 @@
 
 Used to cache the pre-trained mini-LM so experiments and tests can reuse one
 pre-training run, exactly as the paper reuses one public BERT checkpoint.
+
+Writes are atomic (temp file + ``os.replace`` via :mod:`repro.artifacts`) so
+an interrupted save never leaves a partial archive at the final path, and
+load failures raise :class:`~repro.artifacts.ArtifactCorruptError` naming the
+file, its size, and the suspected cause instead of an opaque zip traceback.
 """
 
 from __future__ import annotations
 
+import zipfile
 from pathlib import Path
 from typing import Dict, Union
 
 import numpy as np
 
+from ..artifacts import ArtifactCorruptError, atomic_write
 from .module import Module
 
 
 def save_state(module: Module, path: Union[str, Path]) -> None:
-    """Write ``module.state_dict()`` to ``path`` (npz, compressed)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(path, **module.state_dict())
+    """Write ``module.state_dict()`` to ``path`` (npz, compressed, atomic)."""
+    state = module.state_dict()
+    atomic_write(Path(path), lambda tmp: np.savez_compressed(tmp, **state))
+
+
+def _suspected_cause(path: Path, exc: Exception) -> str:
+    """A human diagnosis of why the archive at ``path`` would not load."""
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return f"file unreadable ({exc})"
+    if size == 0:
+        return "empty file — interrupted write"
+    if not zipfile.is_zipfile(path):
+        return ("damaged end-of-central-directory record — "
+                "truncated or torn write")
+    return f"unreadable archive content ({type(exc).__name__}: {exc})"
 
 
 def load_state(module: Module, path: Union[str, Path]) -> None:
-    """Load a state dict saved by :func:`save_state` into ``module``."""
-    with np.load(Path(path)) as archive:
-        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    """Load a state dict saved by :func:`save_state` into ``module``.
+
+    Raises
+    ------
+    ArtifactCorruptError
+        When the archive cannot be read — the message names the file, its
+        size in bytes, and the suspected cause.
+    KeyError / ValueError
+        When the archive reads fine but does not match the module's
+        parameters (missing/unexpected keys, shape mismatch) — see
+        :meth:`Module.load_state_dict`.
+    """
+    path = Path(path)
+    try:
+        with np.load(path) as archive:
+            state: Dict[str, np.ndarray] = {
+                key: archive[key] for key in archive.files}
+    except FileNotFoundError:
+        raise
+    except Exception as exc:
+        raise ArtifactCorruptError(path, _suspected_cause(path, exc)) from exc
     module.load_state_dict(state)

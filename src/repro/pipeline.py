@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .artifacts import ArtifactStore
 from .blocking import OverlapBlocker
 from .data import Entity, EntityPair
 from .extractors import TransformerExtractor
@@ -85,44 +86,61 @@ class ERPipeline:
 
     # -- persistence ------------------------------------------------------- #
     def save(self, directory: Union[str, Path]) -> None:
-        """Persist weights, vocabulary, and configuration to a directory."""
-        directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        save_state(self.extractor, directory / "extractor.npz")
-        save_state(self.matcher, directory / "matcher.npz")
-        tokens = [self.extractor.vocab.token_of(i)
-                  for i in range(len(self.extractor.vocab))]
-        (directory / "vocab.txt").write_text("\n".join(tokens))
-        config = {
-            "threshold": self.threshold,
-            "extractor": {
-                "dim": self.extractor.dim,
-                "num_layers": len(self.extractor.layers),
-                "num_heads": self.extractor.layers[0].attention.num_heads,
-                "max_len": self.extractor.max_len,
-            },
-            "matcher_feature_dim": self.matcher.feature_dim,
-            "blocker": {"min_overlap": self.blocker.min_overlap,
-                        "stop_fraction": self.blocker.stop_fraction},
-        }
-        (directory / "pipeline.json").write_text(json.dumps(config, indent=2))
+        """Persist weights, vocabulary, and configuration to a directory.
+
+        Routed through :class:`repro.artifacts.ArtifactStore`: every file is
+        written atomically and checksummed into the directory's manifest, so
+        an interrupted save never leaves a half-written snapshot and a later
+        :meth:`load` detects any tampering or bit rot.
+        """
+        store = ArtifactStore(Path(directory))
+        with store.lock("pipeline"):
+            store.write("extractor.npz",
+                        lambda tmp: save_state(self.extractor, tmp))
+            store.write("matcher.npz",
+                        lambda tmp: save_state(self.matcher, tmp))
+            tokens = [self.extractor.vocab.token_of(i)
+                      for i in range(len(self.extractor.vocab))]
+            store.write_text("vocab.txt", "\n".join(tokens))
+            config = {
+                "threshold": self.threshold,
+                "extractor": {
+                    "dim": self.extractor.dim,
+                    "num_layers": len(self.extractor.layers),
+                    "num_heads": self.extractor.layers[0].attention.num_heads,
+                    "max_len": self.extractor.max_len,
+                },
+                "matcher_feature_dim": self.matcher.feature_dim,
+                "blocker": {"min_overlap": self.blocker.min_overlap,
+                            "stop_fraction": self.blocker.stop_fraction},
+            }
+            store.write_json("pipeline.json", config, indent=2)
 
     @classmethod
     def load(cls, directory: Union[str, Path]) -> "ERPipeline":
-        """Reload a pipeline saved by :meth:`save`."""
-        directory = Path(directory)
-        config = json.loads((directory / "pipeline.json").read_text())
-        tokens = (directory / "vocab.txt").read_text().split("\n")
+        """Reload a pipeline saved by :meth:`save`.
+
+        Every artifact is validated before deserialization; a corrupt file is
+        quarantined to ``*.corrupt`` and reported via
+        :class:`repro.artifacts.ArtifactCorruptError` naming the file and the
+        suspected cause.  A trained snapshot has no regenerator, so load
+        fails loudly rather than healing silently.
+        """
+        store = ArtifactStore(Path(directory))
+        config = store.read("pipeline.json",
+                            lambda p: json.loads(p.read_text()))
+        tokens = store.read("vocab.txt",
+                            lambda p: p.read_text().split("\n"))
         vocab = Vocabulary(tokens[Vocabulary().num_special:])
         ext_cfg = config["extractor"]
         extractor = TransformerExtractor(
             vocab, np.random.default_rng(0), dim=ext_cfg["dim"],
             num_layers=ext_cfg["num_layers"],
             num_heads=ext_cfg["num_heads"], max_len=ext_cfg["max_len"])
-        load_state(extractor, directory / "extractor.npz")
+        store.read("extractor.npz", lambda p: load_state(extractor, p))
         matcher = MlpMatcher(config["matcher_feature_dim"],
                              np.random.default_rng(0))
-        load_state(matcher, directory / "matcher.npz")
+        store.read("matcher.npz", lambda p: load_state(matcher, p))
         blocker = OverlapBlocker(**config["blocker"])
         pipeline = cls(extractor, matcher, blocker,
                        threshold=config["threshold"])

@@ -5,20 +5,33 @@ mirroring how every run of the paper starts from the same public BERT
 weights.  The checkpoint is keyed by its architecture + pre-training
 configuration and stored under ``REPRO_CACHE`` (default: ``.cache/`` in the
 working directory).
+
+The cache is **self-healing**: it routes through :mod:`repro.artifacts`, so
+a cached archive is validated (checksum + zip structure) before it is
+trusted.  A corrupt or mismatched checkpoint is quarantined to ``*.corrupt``
+and transparently re-pretrained instead of crashing the caller with a
+``BadZipFile`` — partial writes and torn concurrent writes are routine at
+production scale and must never take a run down.  The whole check-or-rebuild
+cycle holds a per-key file lock so two concurrent runs cannot torn-write one
+checkpoint.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from ..artifacts import (ArtifactCorruptError, ArtifactStatus, ArtifactStore)
 from ..extractors import TransformerExtractor
 from ..nn import load_state, save_state
 from ..text import Vocabulary
 from .mlm import MlmConfig, build_corpus, build_shared_vocabulary, pretrain_mlm
+
+logger = logging.getLogger("repro.artifacts")
 
 _VOCAB_SUFFIX = ".vocab.txt"
 
@@ -33,11 +46,76 @@ def _save_vocab(vocab: Vocabulary, path: Path) -> None:
 
 
 def _load_vocab(path: Path) -> Vocabulary:
-    tokens = path.read_text().split("\n")
-    vocab = Vocabulary(tokens[Vocabulary().num_special:])
-    if [vocab.token_of(i) for i in range(len(vocab))] != tokens:
-        raise ValueError(f"corrupt vocabulary file {path}")
+    lines = path.read_text().split("\n")
+    # A trailing newline is a valid way to end a text file, not a phantom
+    # empty token — strip exactly one trailing blank line.
+    if lines and lines[-1] == "":
+        lines.pop()
+    num_special = Vocabulary().num_special
+    if len(lines) < num_special:
+        raise ValueError(
+            f"truncated vocabulary file {path}: only {len(lines)} line(s), "
+            f"expected at least the {num_special} special tokens")
+    vocab = Vocabulary(lines[num_special:])
+    rebuilt = [vocab.token_of(i) for i in range(len(vocab))]
+    if rebuilt != lines:
+        if len(rebuilt) != len(lines):
+            detail = (f"{len(lines)} lines collapse to {len(rebuilt)} tokens "
+                      f"(duplicate or special tokens in the body)")
+        else:
+            index = next(i for i, (a, b) in enumerate(zip(rebuilt, lines))
+                         if a != b)
+            detail = (f"line {index + 1} reads {lines[index]!r} but "
+                      f"reconstructs as {rebuilt[index]!r}")
+        raise ValueError(f"vocabulary token mismatch in {path}: {detail}")
     return vocab
+
+
+def _try_load_cached(store: ArtifactStore, key: str,
+                     factory: Callable[[Vocabulary], TransformerExtractor]
+                     ) -> Optional[Tuple[TransformerExtractor, Vocabulary]]:
+    """Load the cached (extractor, vocab) pair, or ``None`` to regenerate.
+
+    Any corruption — damaged archive, checksum mismatch, bad vocabulary,
+    vocab/weights shape mismatch — quarantines the offending files and
+    returns ``None`` so the caller re-pretrains.  Never raises for bad
+    cache content.
+    """
+    npz_name = f"{key}.npz"
+    vocab_name = f"{key}{_VOCAB_SUFFIX}"
+    classified = {name: store.classify(name)
+                  for name in (npz_name, vocab_name)}
+
+    corrupt = {name: reason for name, (status, reason) in classified.items()
+               if status is ArtifactStatus.CORRUPT}
+    for name, reason in corrupt.items():
+        store.quarantine(name, reason)
+    if corrupt:
+        logger.warning("checkpoint corrupt-regenerated key=%s reason=%s",
+                       key, "; ".join(f"{n}: {r}" for n, r in corrupt.items()))
+        return None
+    if any(status is ArtifactStatus.MISSING
+           for status, __ in classified.values()):
+        logger.info("checkpoint miss key=%s pretraining", key)
+        return None
+
+    try:
+        vocab = _load_vocab(store.path(vocab_name))
+        extractor = factory(vocab)
+        load_state(extractor, store.path(npz_name))
+    except (ArtifactCorruptError, ValueError, KeyError) as exc:
+        # Weights and vocabulary must agree (the vocab sizes the embedding);
+        # on mismatch we cannot tell which file is stale, so keep both for
+        # post-mortem and rebuild the pair.
+        reason = f"{type(exc).__name__}: {exc}"
+        store.quarantine(npz_name, reason)
+        store.quarantine(vocab_name, reason)
+        logger.warning("checkpoint corrupt-regenerated key=%s reason=%s",
+                       key, reason)
+        return None
+    extractor.eval()
+    logger.info("checkpoint hit key=%s", key)
+    return extractor, vocab
 
 
 def pretrained_lm(dim: int = 64, num_layers: int = 2, num_heads: int = 4,
@@ -45,32 +123,35 @@ def pretrained_lm(dim: int = 64, num_layers: int = 2, num_heads: int = 4,
                   steps: int = 300, seed: int = 0,
                   refresh: bool = False
                   ) -> Tuple[TransformerExtractor, Vocabulary]:
-    """Return (extractor, vocab), pre-training and caching on first use."""
+    """Return (extractor, vocab), pre-training and caching on first use.
+
+    The cached checkpoint is validated before use; a corrupt one is
+    quarantined and transparently re-pretrained (see module docstring).
+    """
     key = (f"minilm_d{dim}_l{num_layers}_h{num_heads}_t{max_len}"
            f"_c{corpus_scale}_s{steps}_r{seed}")
-    weights_path = cache_dir() / f"{key}.npz"
-    vocab_path = cache_dir() / f"{key}{_VOCAB_SUFFIX}"
+    store = ArtifactStore(cache_dir())
 
-    if not refresh and weights_path.exists() and vocab_path.exists():
-        vocab = _load_vocab(vocab_path)
-        extractor = TransformerExtractor(
+    def factory(vocab: Vocabulary) -> TransformerExtractor:
+        return TransformerExtractor(
             vocab, np.random.default_rng(seed), dim=dim,
             num_layers=num_layers, num_heads=num_heads, max_len=max_len)
-        load_state(extractor, weights_path)
-        extractor.eval()
-        return extractor, vocab
 
-    corpus = build_corpus(scale=corpus_scale, seed=seed)
-    vocab = build_shared_vocabulary(corpus, max_size=3000)
-    extractor = TransformerExtractor(
-        vocab, np.random.default_rng(seed), dim=dim,
-        num_layers=num_layers, num_heads=num_heads, max_len=max_len)
-    pretrain_mlm(extractor, corpus,
-                 MlmConfig(steps=steps, seed=seed))
-    cache_dir().mkdir(parents=True, exist_ok=True)
-    save_state(extractor, weights_path)
-    _save_vocab(vocab, vocab_path)
-    return extractor, vocab
+    with store.lock(key):
+        if not refresh:
+            cached = _try_load_cached(store, key, factory)
+            if cached is not None:
+                return cached
+
+        corpus = build_corpus(scale=corpus_scale, seed=seed)
+        vocab = build_shared_vocabulary(corpus, max_size=3000)
+        extractor = factory(vocab)
+        pretrain_mlm(extractor, corpus,
+                     MlmConfig(steps=steps, seed=seed))
+        store.write(f"{key}.npz", lambda tmp: save_state(extractor, tmp))
+        store.write(f"{key}{_VOCAB_SUFFIX}",
+                    lambda tmp: _save_vocab(vocab, tmp))
+        return extractor, vocab
 
 
 def fresh_copy(extractor: TransformerExtractor,

@@ -1,0 +1,278 @@
+"""Unit tests for the self-healing artifact store (repro.artifacts)."""
+
+import json
+import multiprocessing
+import os
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.artifacts import (ArtifactCorruptError, ArtifactStatus,
+                             ArtifactStore, FileLock, LockTimeout,
+                             MANIFEST_NAME, atomic_write, file_digest,
+                             validate_npz)
+
+
+def _write_json(store, name, obj):
+    return store.write_json(name, obj)
+
+
+def _read_json(path):
+    return json.loads(path.read_text())
+
+
+class TestAtomicWrite:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "a.txt"
+        atomic_write(path, lambda tmp: tmp.write_text("hello"))
+        assert path.read_text() == "hello"
+
+    def test_failed_writer_leaves_no_trace(self, tmp_path):
+        path = tmp_path / "a.txt"
+        path.write_text("original")
+        with pytest.raises(RuntimeError, match="boom"):
+            atomic_write(path, lambda tmp: (_ for _ in ()).throw(
+                RuntimeError("boom")))
+        assert path.read_text() == "original"
+        assert list(tmp_path.iterdir()) == [path]  # no temp litter
+
+    def test_partial_writer_never_published(self, tmp_path):
+        """A writer that dies mid-write (kill -9 analogue) leaves the
+        destination untouched: content only appears via os.replace."""
+        path = tmp_path / "a.txt"
+        path.write_text("original")
+
+        def dies_mid_write(tmp):
+            tmp.write_text("part")  # partial content hits only the temp file
+            raise KeyboardInterrupt()
+
+        with pytest.raises(KeyboardInterrupt):
+            atomic_write(path, dies_mid_write)
+        assert path.read_text() == "original"
+
+    def test_stale_tmp_from_killed_process_is_harmless(self, tmp_path):
+        """Simulated kill -9: a stale temp file from a dead writer neither
+        blocks a new write nor is ever visible at the final path."""
+        path = tmp_path / "ckpt.npz"
+        stale = path.with_name(f"{path.name}.tmp-99999-1{path.suffix}")
+        stale.write_bytes(b"\x00" * 10)  # torn garbage from the dead writer
+        atomic_write(path, lambda tmp: np.savez_compressed(tmp, w=np.ones(3)))
+        with np.load(path) as archive:
+            np.testing.assert_array_equal(archive["w"], np.ones(3))
+
+    def test_npz_writer_keeps_suffix(self, tmp_path):
+        """np.savez appends '.npz' when missing — the temp name must already
+        end in it or the writer output would land beside the temp path."""
+        path = tmp_path / "w.npz"
+        atomic_write(path, lambda tmp: np.savez_compressed(tmp, x=np.eye(2)))
+        assert validate_npz(path) is None
+
+
+class TestStaleTmpSweep:
+    def test_old_tmp_litter_removed_on_next_write(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        stale = tmp_path / "doc.json.tmp-999-1.json"
+        stale.write_text("litter from a killed writer")
+        old = os.path.getmtime(stale) - 7200
+        os.utime(stale, (old, old))
+        fresh = tmp_path / "doc.json.tmp-999-2.json"
+        fresh.write_text("a live writer's temp")  # recent: must survive
+        _write_json(store, "doc.json", {"x": 1})
+        assert not stale.exists()
+        assert fresh.exists()
+
+
+class TestClassify:
+    def test_missing(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        status, reason = store.classify("nope.json")
+        assert status is ArtifactStatus.MISSING and reason is None
+
+    def test_valid_without_manifest(self, tmp_path):
+        """Pre-store files (like the shipped seed cache) validate by format."""
+        store = ArtifactStore(tmp_path)
+        (tmp_path / "legacy.json").write_text("{}")
+        assert store.classify("legacy.json")[0] is ArtifactStatus.VALID
+
+    def test_empty_file_is_corrupt(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        (tmp_path / "empty.npz").write_bytes(b"")
+        status, reason = store.classify("empty.npz")
+        assert status is ArtifactStatus.CORRUPT
+        assert "empty" in reason
+
+    def test_checksum_mismatch_is_corrupt(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        _write_json(store, "doc.json", {"x": 1})
+        (tmp_path / "doc.json").write_text(json.dumps({"x": 2}))
+        status, reason = store.classify("doc.json")
+        assert status is ArtifactStatus.CORRUPT
+        assert "checksum" in reason
+
+    def test_bad_name_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for name in ("", "../escape.json", "/abs.json"):
+            with pytest.raises(ValueError):
+                store.path(name)
+
+
+class TestQuarantine:
+    def test_rename_never_delete(self, tmp_path, caplog):
+        store = ArtifactStore(tmp_path)
+        (tmp_path / "bad.json").write_text("{broken")
+        with caplog.at_level("WARNING", logger="repro.artifacts"):
+            moved = store.quarantine("bad.json", "broken json")
+        assert moved == tmp_path / "bad.json.corrupt"
+        assert moved.read_text() == "{broken"  # bytes preserved for forensics
+        assert not (tmp_path / "bad.json").exists()
+        assert "corrupt-quarantined" in caplog.text
+
+    def test_repeated_quarantines_get_unique_names(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for __ in range(3):
+            (tmp_path / "bad.json").write_text("{broken")
+            store.quarantine("bad.json", "broken")
+        names = sorted(p.name for p in tmp_path.glob("bad.json.corrupt*"))
+        assert len(names) == 3 and len(set(names)) == 3
+
+    def test_quarantine_drops_manifest_entry(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        _write_json(store, "doc.json", {"x": 1})
+        store.quarantine("doc.json", "testing")
+        assert store.manifest_entry("doc.json") is None
+
+
+class TestReadWrite:
+    def test_write_records_manifest(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path = _write_json(store, "doc.json", {"x": 1})
+        entry = store.manifest_entry("doc.json")
+        assert entry["sha256"] == file_digest(path)
+        assert entry["size"] == path.stat().st_size
+
+    def test_read_corrupt_quarantines_and_raises(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        (tmp_path / "doc.json").write_text("{broken")
+        with pytest.raises(ArtifactCorruptError) as excinfo:
+            store.read("doc.json", _read_json)
+        assert "doc.json" in str(excinfo.value)
+        assert excinfo.value.quarantined_to.exists()
+
+    def test_read_missing_raises_file_not_found(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(FileNotFoundError):
+            store.read("ghost.json", _read_json)
+
+    def test_reader_content_error_counts_as_corrupt(self, tmp_path):
+        """Valid JSON with the wrong schema is still a corrupt artifact."""
+        store = ArtifactStore(tmp_path)
+        store.write_text("doc.json", "{}")
+        with pytest.raises(ArtifactCorruptError):
+            store.read("doc.json", lambda p: _read_json(p)["required-key"])
+
+    def test_corrupt_manifest_heals_itself(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        _write_json(store, "doc.json", {"x": 1})
+        (tmp_path / MANIFEST_NAME).write_text("not json at all")
+        # Store still serves the artifact (format validation) and the bad
+        # manifest is quarantined, not fatal.
+        assert store.read("doc.json", _read_json) == {"x": 1}
+        assert list(tmp_path.glob(f"{MANIFEST_NAME}.corrupt*"))
+
+
+class TestFetch:
+    def test_miss_regenerates_and_stores(self, tmp_path, caplog):
+        store = ArtifactStore(tmp_path)
+        calls = []
+
+        def regenerate():
+            calls.append(1)
+            return {"built": True}
+
+        with caplog.at_level("INFO", logger="repro.artifacts"):
+            value = store.fetch("doc.json", _read_json, regenerate,
+                                lambda v, tmp: tmp.write_text(json.dumps(v)))
+        assert value == {"built": True} and calls == [1]
+        assert "artifact miss" in caplog.text
+        # Second fetch hits the cache without regenerating.
+        value = store.fetch("doc.json", _read_json, regenerate,
+                            lambda v, tmp: tmp.write_text(json.dumps(v)))
+        assert value == {"built": True} and calls == [1]
+
+    def test_corrupt_regenerates_with_log(self, tmp_path, caplog):
+        store = ArtifactStore(tmp_path)
+        (tmp_path / "doc.json").write_text("{broken")
+        with caplog.at_level("WARNING", logger="repro.artifacts"):
+            value = store.fetch("doc.json", _read_json, lambda: {"ok": 1},
+                                lambda v, tmp: tmp.write_text(json.dumps(v)))
+        assert value == {"ok": 1}
+        assert "corrupt-regenerated" in caplog.text
+        assert (tmp_path / "doc.json.corrupt").exists()
+
+
+def _lock_holder(path, hold_seconds, acquired_event):
+    lock = FileLock(path)
+    with lock:
+        acquired_event.set()
+        import time
+        time.sleep(hold_seconds)
+
+
+class TestLocking:
+    def test_reports_wait_time(self, tmp_path):
+        """A second process contending for the lock blocks until release."""
+        path = tmp_path / "x.lock"
+        ctx = multiprocessing.get_context("fork")
+        acquired = ctx.Event()
+        holder = ctx.Process(target=_lock_holder, args=(path, 0.5, acquired))
+        holder.start()
+        try:
+            assert acquired.wait(timeout=10)
+            lock = FileLock(path, timeout=10)
+            with lock:
+                pass
+            assert lock.waited > 0.1  # blocked until the holder released
+        finally:
+            holder.join(timeout=10)
+
+    def test_timeout_raises(self, tmp_path):
+        path = tmp_path / "x.lock"
+        ctx = multiprocessing.get_context("fork")
+        acquired = ctx.Event()
+        holder = ctx.Process(target=_lock_holder, args=(path, 2.0, acquired))
+        holder.start()
+        try:
+            assert acquired.wait(timeout=10)
+            with pytest.raises(LockTimeout):
+                FileLock(path, timeout=0.2).acquire()
+        finally:
+            holder.join(timeout=10)
+
+    def test_store_lock_scopes_by_name(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with store.lock("a.npz"):
+            with store.lock("b.npz"):  # different artifact, no deadlock
+                pass
+
+
+class TestValidators:
+    def test_validate_npz_accepts_good_archive(self, tmp_path):
+        path = tmp_path / "w.npz"
+        np.savez_compressed(path, w=np.ones(4))
+        assert validate_npz(path) is None
+
+    def test_validate_npz_names_bad_eocd(self, tmp_path):
+        path = tmp_path / "w.npz"
+        path.write_bytes(b"PK\x03\x04 definitely not a full zip")
+        assert "end-of-central-directory" in validate_npz(path)
+
+    def test_validate_npz_catches_truncated_member(self, tmp_path):
+        path = tmp_path / "w.npz"
+        np.savez_compressed(path, w=np.arange(1000.0))
+        data = path.read_bytes()
+        # Corrupt compressed member bytes while keeping the central
+        # directory (which lives at the end) intact.
+        patched = data[:200] + bytes(32) + data[232:]
+        path.write_bytes(patched)
+        assert validate_npz(path) is not None

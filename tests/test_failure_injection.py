@@ -19,11 +19,29 @@ from repro.train import TrainConfig, evaluate, match_metrics, train_source_only
 class TestCorruptCache:
     def test_corrupt_vocab_file_rejected(self, tmp_path):
         bad = tmp_path / "bad.vocab.txt"
-        bad.write_text("[PAD]\nnot-the-right-specials\n")
-        with pytest.raises(ValueError):
+        # Nine lines (so not truncation), but the specials are wrong.
+        bad.write_text("\n".join(["[PAD]", "not-the-right-specials"]
+                                 + [f"tok{i}" for i in range(7)]))
+        with pytest.raises(ValueError, match="token mismatch"):
             _load_vocab(bad)
 
-    def test_wrong_shape_checkpoint_rejected(self, tmp_path, monkeypatch):
+    def test_trailing_newline_is_not_a_phantom_token(self, tmp_path):
+        from repro.pretrain.cache import _save_vocab
+        from repro.text import Vocabulary
+        vocab = Vocabulary(["alpha", "beta"])
+        good = tmp_path / "good.vocab.txt"
+        _save_vocab(vocab, good)
+        good.write_text(good.read_text() + "\n")  # POSIX-style trailing \n
+        reloaded = _load_vocab(good)
+        assert len(reloaded) == len(vocab)
+
+    def test_truncated_vocab_names_truncation(self, tmp_path):
+        bad = tmp_path / "short.vocab.txt"
+        bad.write_text("[PAD]\n[UNK]\n")
+        with pytest.raises(ValueError, match="truncated"):
+            _load_vocab(bad)
+
+    def test_wrong_shape_checkpoint_regenerates(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
         kwargs = dict(dim=16, num_layers=1, num_heads=2, max_len=48,
                       corpus_scale=0.01, steps=2, seed=0)
@@ -35,8 +53,11 @@ class TestCorruptCache:
                                      max_len=48)
         npz = next(tmp_path.glob("*.npz"))
         save_state(other, npz)
-        with pytest.raises((ValueError, KeyError)):
-            pretrained_lm(**kwargs)
+        # Self-healing: the mismatched checkpoint is quarantined and the LM
+        # re-pretrained instead of crashing the caller.
+        healed, __ = pretrained_lm(**kwargs)
+        assert healed.dim == 16
+        assert list(tmp_path.glob("*.npz.corrupt*"))
 
 
 class TestMalformedData:
