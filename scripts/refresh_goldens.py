@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Re-bless the golden aligner snapshots in tests/golden/.
+
+Run this ONLY after an intentional numeric change, on the CI reference
+platform (golden values pin BLAS summation order)::
+
+    python scripts/refresh_goldens.py            # all six aligners
+    python scripts/refresh_goldens.py mmd ed     # a subset
+
+Each run replays the pinned recipe of repro.train.regression (fixed seeds,
+tiny cached LM, 3 epochs on Books2 -> Fodors-Zagats) and atomically
+rewrites tests/golden/<aligner>.json.  Commit the diff together with the
+change that motivated it so reviewers see exactly which numbers moved.
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+# Deterministic single-threaded BLAS, same as the test suite.
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+os.environ.setdefault("OMP_NUM_THREADS", "1")
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.artifacts import atomic_write  # noqa: E402
+from repro.train.regression import (GOLDEN_ALIGNERS, golden_dir,  # noqa: E402
+                                    golden_path, golden_run)
+
+
+def main(argv):
+    requested = argv or list(GOLDEN_ALIGNERS)
+    unknown = [a for a in requested if a not in GOLDEN_ALIGNERS]
+    if unknown:
+        print(f"unknown aligner(s) {unknown}; choose from {GOLDEN_ALIGNERS}")
+        return 2
+    golden_dir().mkdir(parents=True, exist_ok=True)
+    for aligner in requested:
+        started = time.perf_counter()
+        payload = golden_run(aligner)
+        path = golden_path(aligner)
+        atomic_write(path, lambda tmp: tmp.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"))
+        print(f"blessed {path} "
+              f"(best_valid_f1={payload['best_valid_f1']:.6f}, "
+              f"{time.perf_counter() - started:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

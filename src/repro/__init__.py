@@ -19,6 +19,7 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from .api import AdaptationResult, adapt, load_dataset, no_da
+from .api import AdaptationResult, adapt, load_dataset, no_da, score_tables
 
-__all__ = ["adapt", "no_da", "load_dataset", "AdaptationResult", "__version__"]
+__all__ = ["adapt", "no_da", "load_dataset", "score_tables",
+           "AdaptationResult", "__version__"]

@@ -1,7 +1,13 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
-from .cli import main
+# One process = one BLAS thread: the serve engines scale by *worker
+# processes*, and nested BLAS thread pools only fight them for cores.
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+os.environ.setdefault("OMP_NUM_THREADS", "1")
+
+from .cli import main  # noqa: E402  (env must be set before numpy loads)
 
 sys.exit(main())

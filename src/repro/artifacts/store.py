@@ -287,6 +287,18 @@ class ArtifactStore:
     def manifest_entry(self, name: str) -> Optional[Dict[str, Any]]:
         return self._read_manifest().get(name)
 
+    def manifest_digest(self) -> str:
+        """One SHA-256 over the whole manifest — a snapshot identity.
+
+        Two processes that read the same digest are guaranteed to see the
+        same set of artifact checksums; the parallel scoring engine uses this
+        to assert every worker loaded the identical pipeline snapshot even
+        if a concurrent writer republishes it mid-startup.
+        """
+        entries = self._read_manifest()
+        canonical = json.dumps(entries, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(canonical).hexdigest()
+
     # -- classification ---------------------------------------------------- #
     def classify(self, name: str,
                  validator: Any = AUTO) -> Tuple[ArtifactStatus, Optional[str]]:

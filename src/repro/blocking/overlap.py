@@ -8,7 +8,7 @@ matcher (cf. Thirumuruganathan et al., VLDB 2021, cited by the paper).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from ..data import Entity, EntityPair
 from ..text import tokenize
@@ -42,6 +42,20 @@ class OverlapBlocker:
     def candidates(self, left_table: Sequence[Entity],
                    right_table: Sequence[Entity]) -> List[EntityPair]:
         """All (a, b) pairs sharing >= ``min_overlap`` informative tokens."""
+        return list(self.iter_candidates(left_table, right_table))
+
+    def iter_candidates(self, left_table: Sequence[Entity],
+                        right_table: Sequence[Entity]
+                        ) -> Iterator[EntityPair]:
+        """Stream candidate pairs one right-table row at a time.
+
+        The inverted index over the left table is built once up front; each
+        right entity is then probed lazily, so a consumer (e.g. the serving
+        engine's :func:`~repro.serve.score_tables`) holds at most one row's
+        candidates in flight instead of the full candidate set.  Pair order
+        matches :meth:`candidates`: right rows in table order, left partners
+        in first-overlap order, with no duplicate (left, right) pairs.
+        """
         left_tokens = [self._entity_tokens(e) for e in left_table]
         document_freq: Dict[str, int] = defaultdict(int)
         for tokens in left_tokens:
@@ -55,7 +69,6 @@ class OverlapBlocker:
             for token in tokens - stop_words:
                 index[token].append(i)
 
-        pairs: List[EntityPair] = []
         for right in right_table:
             overlap_counts: Dict[int, int] = defaultdict(int)
             for token in self._entity_tokens(right) - stop_words:
@@ -63,8 +76,7 @@ class OverlapBlocker:
                     overlap_counts[i] += 1
             for i, count in overlap_counts.items():
                 if count >= self.min_overlap:
-                    pairs.append(EntityPair(left_table[i], right))
-        return pairs
+                    yield EntityPair(left_table[i], right)
 
 
 def blocking_recall(candidates: Iterable[EntityPair],

@@ -79,6 +79,23 @@ def build_parser() -> argparse.ArgumentParser:
     distance.add_argument("target")
     distance.add_argument("--scale", type=float, default=0.1)
     _add_lm_arguments(distance)
+
+    serve_bench = commands.add_parser(
+        "serve-bench",
+        help="race the serve engines (sequential reference vs batched vs "
+             "parallel) and write BENCH_serve.json")
+    serve_bench.add_argument("--pairs", type=int, default=10000,
+                             help="candidate pairs to score (default 10000)")
+    serve_bench.add_argument("--workers", type=int, default=4,
+                             help="parallel worker count (default 4)")
+    serve_bench.add_argument("--batch-size", type=int, default=64,
+                             help="reference-path batch size (default 64)")
+    serve_bench.add_argument("--output", default="BENCH_serve.json",
+                             help="report path (default BENCH_serve.json)")
+    serve_bench.add_argument("--pipeline-dir", default=None,
+                             help="where to persist the bench pipeline "
+                                  "snapshot (default .cache/serve_bench_pipeline)")
+    serve_bench.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -137,6 +154,17 @@ def cmd_distance(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    from .serve import format_report, run_serve_bench
+    report = run_serve_bench(num_pairs=args.pairs, num_workers=args.workers,
+                             pipeline_dir=args.pipeline_dir,
+                             output=args.output, batch_size=args.batch_size,
+                             seed=args.seed)
+    print(format_report(report))
+    print(f"report written to {args.output}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "datasets":
@@ -149,6 +177,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_adapt(args)
     if args.command == "distance":
         return cmd_distance(args)
+    if args.command == "serve-bench":
+        return cmd_serve_bench(args)
     if args.command == "report":
         from .experiments import render_report
         print(render_report(profile_name=args.profile))

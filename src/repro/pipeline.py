@@ -63,17 +63,33 @@ class ERPipeline:
 
     # -- scoring ---------------------------------------------------------- #
     def score_pairs(self, pairs: Sequence[EntityPair],
-                    batch_size: int = 64) -> List[MatchDecision]:
-        """Match probability for every candidate pair."""
-        decisions: List[MatchDecision] = []
-        for start in range(0, len(pairs), batch_size):
-            batch = pairs[start:start + batch_size]
-            probabilities = self.matcher.probabilities(self.extractor(batch))
-            decisions.extend(
-                MatchDecision(pair.left.entity_id, pair.right.entity_id,
+                    batch_size: int = 64,
+                    scheduler=None) -> List[MatchDecision]:
+        """Match probability for every candidate pair.
+
+        Batch formation is delegated to a
+        :class:`repro.serve.BatchScheduler`.  The default is the *reference*
+        policy — fixed stride, every batch padded to ``max_len`` — which is
+        the bit-exact baseline the serve engines are regression-tested
+        against; pass a bucketing scheduler (or use
+        :class:`repro.serve.SequentialScorer`) for the throughput path.
+        """
+        from .serve.scheduler import BatchScheduler  # serve imports pipeline
+        if scheduler is None:
+            scheduler = BatchScheduler.reference(
+                self.extractor.vocab, self.extractor.max_len, batch_size)
+        probabilities = np.empty(len(pairs), dtype=np.float64)
+        for batch in scheduler.schedule(pairs):
+            probabilities[batch.indices] = self.matcher.probabilities(
+                self.extractor.encode(batch.ids, batch.mask))
+        return [MatchDecision(pair.left.entity_id, pair.right.entity_id,
                               float(p))
-                for pair, p in zip(batch, probabilities))
-        return decisions
+                for pair, p in zip(pairs, probabilities)]
+
+    def __call__(self, pairs: Sequence[EntityPair],
+                 batch_size: int = 64) -> List[MatchDecision]:
+        """Sequential reference scoring — alias for :meth:`score_pairs`."""
+        return self.score_pairs(pairs, batch_size)
 
     def match_tables(self, left_table: Sequence[Entity],
                      right_table: Sequence[Entity],

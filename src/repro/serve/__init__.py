@@ -1,0 +1,25 @@
+"""repro.serve — batched, parallel scoring over persisted ER pipelines.
+
+The production serving layer of the reproduction: candidate pairs flow
+through a length-bucketing :class:`BatchScheduler` into either a
+single-process :class:`SequentialScorer` or a multiprocess
+:class:`ParallelScorer` with one warm model per worker, with every run
+instrumented as :class:`ServeMetrics`.  See ``DESIGN.md`` ("Serving
+architecture") for the batching and worker-pool design, and
+``python -m repro serve-bench`` for the standing throughput benchmark.
+"""
+
+from .bench import (build_bench_pipeline, format_report, run_serve_bench,
+                    synthetic_candidates)
+from .engine import (STREAM_WINDOW, ParallelScorer, SequentialScorer,
+                     score_tables)
+from .metrics import ServeMetrics, ThroughputMeter, percentile
+from .scheduler import BatchScheduler, ScheduledBatch
+
+__all__ = [
+    "BatchScheduler", "ScheduledBatch",
+    "SequentialScorer", "ParallelScorer", "score_tables", "STREAM_WINDOW",
+    "ServeMetrics", "ThroughputMeter", "percentile",
+    "run_serve_bench", "build_bench_pipeline", "synthetic_candidates",
+    "format_report",
+]

@@ -1,0 +1,184 @@
+"""The serve throughput benchmark behind ``python -m repro serve-bench``.
+
+Builds a small pipeline snapshot, generates a >=10k-pair candidate workload,
+and races three engines over identical inputs:
+
+1. ``sequential-reference`` — ``ERPipeline.__call__`` with the legacy
+   fixed-stride, full-``max_len``-padding batching (the pre-serve hot path);
+2. ``sequential-bucketed``  — :class:`SequentialScorer` with the
+   length-bucketing :class:`BatchScheduler`;
+3. ``parallel``             — :class:`ParallelScorer` with a warm-model
+   worker pool.
+
+Engines 2 and 3 share one scheduler configuration and must agree
+**bit-for-bit**; both must agree with the reference to within 1e-9 (the
+bucketed policy batches differently, and BLAS kernel selection is not
+bit-stable across batch sizes) and decide identically at the match
+threshold.  Only then is any number reported.  The result (per-engine
+pairs/sec, batch-latency percentiles, worker utilization) is persisted to
+``BENCH_serve.json`` so the perf trajectory of the scoring path is recorded
+run over run.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..artifacts import atomic_write
+from ..data import Entity, EntityPair
+from ..matcher import MlpMatcher
+from ..pipeline import ERPipeline
+from ..pretrain import fresh_copy, pretrained_lm
+from .engine import ParallelScorer, SequentialScorer
+from .metrics import ServeMetrics, ThroughputMeter
+
+#: Small-LM settings for the bench pipeline (matches the test suite's LM so
+#: the checkpoint cache is shared with a normal test run).
+BENCH_LM = dict(dim=32, num_layers=1, num_heads=2, max_len=96,
+                corpus_scale=0.01, steps=80, seed=0)
+
+_WORDS = ("acoustic", "baseline", "canonical", "digital", "electric",
+          "fluent", "gradient", "harmonic", "ivory", "jasper", "kinetic",
+          "luminous", "matrix", "nominal", "orbital", "prism", "quartz",
+          "radiant", "solstice", "tandem", "umbra", "vector", "willow",
+          "xenon", "yonder", "zephyr")
+
+
+def synthetic_candidates(num_pairs: int, seed: int = 0,
+                         tokens_per_side: int = 6) -> List[EntityPair]:
+    """Short product-style candidate pairs — the serving-traffic shape.
+
+    Real blocked candidates are dominated by short serializations; keeping
+    them well under ``max_len`` is what gives the bucketing scheduler its
+    headroom over full-length padding.
+    """
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for i in range(num_pairs):
+        base = rng.choice(_WORDS, size=tokens_per_side)
+        noisy = base.copy()
+        if rng.random() < 0.5:  # half the pairs perturb one token
+            noisy[rng.integers(len(noisy))] = rng.choice(_WORDS)
+        left = Entity(f"l{i}", {"name": " ".join(base[:3]),
+                                "maker": " ".join(base[3:])})
+        right = Entity(f"r{i}", {"name": " ".join(noisy[:3]),
+                                 "maker": " ".join(noisy[3:])})
+        pairs.append(EntityPair(left, right))
+    return pairs
+
+
+def build_bench_pipeline(directory: Union[str, Path], seed: int = 0,
+                         lm_kwargs: Optional[dict] = None) -> Path:
+    """Persist a small (pre-trained LM + fresh matcher) pipeline snapshot."""
+    extractor, __ = pretrained_lm(**(lm_kwargs or BENCH_LM))
+    extractor = fresh_copy(extractor, seed=seed)
+    extractor.eval()
+    matcher = MlpMatcher(extractor.feature_dim, np.random.default_rng(seed))
+    matcher.eval()
+    pipeline = ERPipeline(extractor, matcher)
+    pipeline.save(directory)
+    return Path(directory)
+
+
+def _reference_metrics(pipeline: ERPipeline, pairs: List[EntityPair],
+                       batch_size: int) -> ServeMetrics:
+    """Time the legacy sequential path batch by batch."""
+    meter = ThroughputMeter("sequential-reference", num_workers=1)
+    for start in range(0, len(pairs), batch_size):
+        batch = pairs[start:start + batch_size]
+        t0 = time.perf_counter()
+        pipeline(batch, batch_size=batch_size)
+        meter.record_batch(len(batch), time.perf_counter() - t0)
+    return meter.finalize()
+
+
+def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
+                    pipeline_dir: Optional[Union[str, Path]] = None,
+                    output: Union[str, Path] = "BENCH_serve.json",
+                    batch_size: int = 64, seed: int = 0,
+                    lm_kwargs: Optional[dict] = None) -> Dict:
+    """Run the three-engine race and write ``BENCH_serve.json``.
+
+    Returns the report dict (also persisted atomically to ``output``).
+    Raises ``AssertionError`` if the engines' decisions deviate from each
+    other or from the sequential reference — a wrong fast path must never
+    report a number.
+    """
+    if num_pairs <= 0:
+        raise ValueError("num_pairs must be positive")
+    pipeline_dir = Path(pipeline_dir or Path(".cache") / "serve_bench_pipeline")
+    build_bench_pipeline(pipeline_dir, seed=seed, lm_kwargs=lm_kwargs)
+    pipeline = ERPipeline.load(pipeline_dir)
+    pairs = synthetic_candidates(num_pairs, seed=seed)
+
+    # 1. legacy sequential reference (ERPipeline.__call__)
+    reference_metrics = _reference_metrics(pipeline, pairs, batch_size)
+    reference = pipeline(pairs, batch_size=batch_size)
+
+    # 2. batched sequential engine
+    sequential = SequentialScorer(pipeline)
+    sequential_decisions = sequential.score_pairs(pairs)
+
+    # 3. parallel engine, same scheduler configuration (pool spin-up excluded
+    #    from scoring wall time by entering the context first)
+    with ParallelScorer(pipeline_dir, num_workers=num_workers) as scorer:
+        parallel_decisions = scorer.score_pairs(pairs)
+        parallel_metrics = scorer.last_metrics
+
+    # Same scheduling policy => bit-identical, no tolerance.
+    assert parallel_decisions == sequential_decisions, \
+        "parallel engine deviates bit-wise from the sequential engine"
+    # Different batching policy => within 1 ulp of the legacy reference.
+    max_diff = max((abs(a.probability - b.probability)
+                    for a, b in zip(sequential_decisions, reference)),
+                   default=0.0)
+    assert max_diff <= 1e-9, \
+        f"bucketed policy drifts {max_diff} from the reference"
+    assert [d.is_match for d in sequential_decisions] == \
+        [d.is_match for d in reference], \
+        "bucketed policy flips a match decision against the reference"
+
+    engines = {m.engine: m.to_dict() for m in
+               (reference_metrics, sequential.last_metrics, parallel_metrics)}
+    baseline_pps = engines["sequential-reference"]["pairs_per_second"]
+    for record in engines.values():
+        record["speedup_vs_reference"] = (
+            record["pairs_per_second"] / baseline_pps if baseline_pps else 0.0)
+
+    report = {
+        "benchmark": "serve",
+        "num_pairs": num_pairs,
+        "batch_size": batch_size,
+        "num_workers": num_workers,
+        "seed": seed,
+        "platform": {"python": platform.python_version(),
+                     "machine": platform.machine(),
+                     "numpy": np.__version__},
+        # asserted above, recorded for readers:
+        "parallel_bit_identical_to_sequential": True,
+        "max_abs_diff_vs_reference": max_diff,
+        "engines": engines,
+    }
+    atomic_write(Path(output),
+                 lambda tmp: tmp.write_text(json.dumps(report, indent=2)))
+    return report
+
+
+def format_report(report: Dict) -> str:
+    """Human-readable summary of a :func:`run_serve_bench` report."""
+    lines = [f"serve-bench: {report['num_pairs']} pairs, "
+             f"{report['num_workers']} workers"]
+    for name, record in report["engines"].items():
+        lines.append(
+            f"  {name:22s} {record['pairs_per_second']:9.0f} pairs/s  "
+            f"p50 {record['p50_batch_seconds'] * 1e3:6.1f} ms  "
+            f"p95 {record['p95_batch_seconds'] * 1e3:6.1f} ms  "
+            f"util {record['worker_utilization'] * 100:5.1f}%  "
+            f"speedup {record['speedup_vs_reference']:.2f}x")
+    return "\n".join(lines)

@@ -1,0 +1,282 @@
+"""Batched sequential and multiprocess-parallel scoring engines.
+
+Two engines drive a persisted :class:`~repro.pipeline.ERPipeline` at
+throughput:
+
+* :class:`SequentialScorer` — one process, but batches formed by the
+  length-bucketing :class:`~repro.serve.scheduler.BatchScheduler` instead of
+  the legacy fixed-stride/full-padding loop;
+* :class:`ParallelScorer` — the same scheduler fanned out over a
+  ``multiprocessing`` pool, one warm pipeline per worker loaded through
+  :mod:`repro.artifacts` (per-artifact lock held during load, manifest
+  digest checked so every worker provably scores with the same snapshot).
+
+Batch formation is a pure function of the pair sequence and the scheduler
+configuration, so two engines given the same scheduler produce
+**bit-identical** :class:`~repro.pipeline.MatchDecision` lists regardless
+of worker count — the serve test tier asserts exactly that, including
+against ``ERPipeline.__call__`` driven by the same scheduler.  Every run
+records :class:`~repro.serve.metrics.ServeMetrics` (pairs/sec, p50/p95
+batch latency, worker utilization).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.pool
+import os
+import time
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..artifacts import ArtifactError, ArtifactStore
+from ..blocking import OverlapBlocker
+from ..data import Entity, EntityPair
+from ..pipeline import ERPipeline, MatchDecision
+from .metrics import ServeMetrics, ThroughputMeter
+from .scheduler import BatchScheduler
+
+#: Default number of candidate pairs buffered per streaming window.
+STREAM_WINDOW = 2048
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (cheap warm start on POSIX), fall back to default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platform
+        return multiprocessing.get_context()
+
+
+def _decisions(pairs: Sequence[EntityPair],
+               probabilities: np.ndarray) -> List[MatchDecision]:
+    return [MatchDecision(pair.left.entity_id, pair.right.entity_id, float(p))
+            for pair, p in zip(pairs, probabilities)]
+
+
+class SequentialScorer:
+    """Single-process scoring through the length-bucketing scheduler."""
+
+    def __init__(self, pipeline: ERPipeline,
+                 scheduler: Optional[BatchScheduler] = None):
+        self.pipeline = pipeline
+        self.scheduler = scheduler or BatchScheduler(
+            pipeline.extractor.vocab, pipeline.extractor.max_len)
+        self.last_metrics: Optional[ServeMetrics] = None
+
+    @classmethod
+    def from_directory(cls, directory: Union[str, Path],
+                       **scheduler_kwargs) -> "SequentialScorer":
+        pipeline = ERPipeline.load(directory)
+        scheduler = BatchScheduler(pipeline.extractor.vocab,
+                                   pipeline.extractor.max_len,
+                                   **scheduler_kwargs)
+        return cls(pipeline, scheduler)
+
+    def score_pairs(self, pairs: Sequence[EntityPair]) -> List[MatchDecision]:
+        meter = ThroughputMeter("sequential", num_workers=1)
+        probabilities = np.empty(len(pairs), dtype=np.float64)
+        extractor, matcher = self.pipeline.extractor, self.pipeline.matcher
+        for batch in self.scheduler.schedule(pairs):
+            started = time.perf_counter()
+            probs = matcher.probabilities(extractor.encode(batch.ids,
+                                                           batch.mask))
+            meter.record_batch(batch.num_pairs,
+                               time.perf_counter() - started)
+            probabilities[batch.indices] = probs
+        self.last_metrics = meter.finalize()
+        return _decisions(pairs, probabilities)
+
+
+# --------------------------------------------------------------------------- #
+# worker-side plumbing (module-level so the pool can pickle it)
+# --------------------------------------------------------------------------- #
+
+_WORKER_PIPELINE: Optional[ERPipeline] = None
+
+
+def _init_worker(directory: str, expected_digest: Optional[str]) -> None:
+    """Load one warm pipeline per worker, under the store's artifact lock.
+
+    The manifest digest recorded by the parent is re-read here: if a
+    concurrent writer republished the snapshot between parent startup and
+    worker startup, the digests disagree and the worker refuses to serve a
+    mixed fleet.
+    """
+    global _WORKER_PIPELINE
+    store = ArtifactStore(directory)
+    with store.lock("pipeline"):
+        if expected_digest is not None:
+            actual = store.manifest_digest()
+            if actual != expected_digest:
+                raise ArtifactError(
+                    f"pipeline snapshot at {directory} changed during worker "
+                    f"startup (manifest {actual[:12]}... != expected "
+                    f"{expected_digest[:12]}...)")
+        _WORKER_PIPELINE = ERPipeline.load(directory)
+
+
+def _score_batch(payload: Tuple[int, np.ndarray, np.ndarray]
+                 ) -> Tuple[int, np.ndarray, float, int]:
+    """Score one padded batch; returns (seq, probs, busy_seconds, pid)."""
+    seq, ids, mask = payload
+    assert _WORKER_PIPELINE is not None, "worker initialized without a model"
+    started = time.perf_counter()
+    features = _WORKER_PIPELINE.extractor.encode(ids, mask)
+    probs = _WORKER_PIPELINE.matcher.probabilities(features)
+    return seq, probs, time.perf_counter() - started, os.getpid()
+
+
+class ParallelScorer:
+    """Shard scheduled batches across a pool of warm-model workers.
+
+    Parameters
+    ----------
+    directory:
+        A pipeline snapshot written by :meth:`ERPipeline.save`.  Each worker
+        loads its own copy through :mod:`repro.artifacts`.
+    num_workers:
+        Pool size; must be >= 1.
+    scheduler_kwargs:
+        Forwarded to :class:`BatchScheduler` (caps, bucket rounding...).
+
+    Use as a context manager (or call :meth:`close`) so the pool is torn
+    down deterministically.
+    """
+
+    def __init__(self, directory: Union[str, Path], num_workers: int = 4,
+                 **scheduler_kwargs):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.directory = Path(directory)
+        self.num_workers = num_workers
+        store = ArtifactStore(self.directory)
+        # Lightweight parent-side load: config + vocab only, no weights.
+        import json
+        config = store.read("pipeline.json",
+                            lambda p: json.loads(p.read_text()))
+        from ..text import Vocabulary
+        tokens = store.read("vocab.txt",
+                            lambda p: p.read_text().split("\n"))
+        vocab = Vocabulary(tokens[Vocabulary().num_special:])
+        self.threshold = float(config["threshold"])
+        self.blocker = OverlapBlocker(**config["blocker"])
+        self.scheduler = BatchScheduler(vocab, config["extractor"]["max_len"],
+                                        **scheduler_kwargs)
+        self._digest = store.manifest_digest()
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self.last_metrics: Optional[ServeMetrics] = None
+
+    # -- pool lifecycle ---------------------------------------------------- #
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            self._pool = _mp_context().Pool(
+                processes=self.num_workers, initializer=_init_worker,
+                initargs=(str(self.directory), self._digest))
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelScorer":
+        self._ensure_pool()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- scoring ----------------------------------------------------------- #
+    def score_pairs(self, pairs: Sequence[EntityPair]) -> List[MatchDecision]:
+        """Scores bit-identical to a sequential engine with the same
+        scheduler configuration, in input order."""
+        meter = ThroughputMeter("parallel", num_workers=self.num_workers)
+        if not pairs:
+            self.last_metrics = meter.finalize()
+            return []
+        batches = list(self.scheduler.schedule(pairs))
+        payloads = [(seq, batch.ids, batch.mask)
+                    for seq, batch in enumerate(batches)]
+        probabilities = np.empty(len(pairs), dtype=np.float64)
+        pool = self._ensure_pool()
+        for seq, probs, busy, __pid in pool.imap_unordered(
+                _score_batch, payloads, chunksize=1):
+            probabilities[batches[seq].indices] = probs
+            meter.record_batch(batches[seq].num_pairs, busy)
+        self.last_metrics = meter.finalize()
+        return _decisions(pairs, probabilities)
+
+    def score_tables(self, left_table: Sequence[Entity],
+                     right_table: Sequence[Entity],
+                     window: int = STREAM_WINDOW) -> Iterator[MatchDecision]:
+        """Stream decisions for every blocked candidate pair."""
+        yield from _stream_tables(self, self.blocker, left_table, right_table,
+                                  window)
+
+    def match_tables(self, left_table: Sequence[Entity],
+                     right_table: Sequence[Entity]) -> List[Tuple[str, str]]:
+        """Blocked + matched id pairs above the snapshot's threshold."""
+        return [(d.left_id, d.right_id)
+                for d in self.score_tables(left_table, right_table)
+                if d.probability >= self.threshold]
+
+
+# --------------------------------------------------------------------------- #
+# streaming API
+# --------------------------------------------------------------------------- #
+
+def _stream_tables(scorer, blocker: OverlapBlocker,
+                   left_table: Sequence[Entity],
+                   right_table: Sequence[Entity],
+                   window: int) -> Iterator[MatchDecision]:
+    """Block lazily and score in bounded windows — O(window) memory."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    buffer: List[EntityPair] = []
+    for pair in blocker.iter_candidates(left_table, right_table):
+        buffer.append(pair)
+        if len(buffer) >= window:
+            yield from scorer.score_pairs(buffer)
+            buffer = []
+    if buffer:
+        yield from scorer.score_pairs(buffer)
+
+
+def score_tables(pipeline: Union[ERPipeline, str, Path],
+                 left_table: Sequence[Entity],
+                 right_table: Sequence[Entity],
+                 num_workers: int = 0,
+                 window: int = STREAM_WINDOW,
+                 **scheduler_kwargs) -> Iterator[MatchDecision]:
+    """Stream a :class:`MatchDecision` for every blocked candidate pair.
+
+    ``pipeline`` is either a live :class:`ERPipeline` or a snapshot
+    directory.  ``num_workers=0`` scores in-process through the batched
+    :class:`SequentialScorer`; ``num_workers >= 1`` shards the windows over
+    a :class:`ParallelScorer` pool (directory input required, since each
+    worker loads its own model).  Decisions stream in blocker order with at
+    most ``window`` candidates buffered, so two large tables never
+    materialize their full candidate set.  Filter on ``d.probability`` (or
+    ``d.is_match``) to keep matches only.
+    """
+    if num_workers > 0:
+        if isinstance(pipeline, ERPipeline):
+            raise ValueError(
+                "parallel score_tables needs a pipeline snapshot directory "
+                "(each worker loads its own warm model)")
+        with ParallelScorer(pipeline, num_workers=num_workers,
+                            **scheduler_kwargs) as scorer:
+            yield from scorer.score_tables(left_table, right_table,
+                                           window=window)
+        return
+    if not isinstance(pipeline, ERPipeline):
+        pipeline = ERPipeline.load(pipeline)
+    scorer = SequentialScorer(pipeline, BatchScheduler(
+        pipeline.extractor.vocab, pipeline.extractor.max_len,
+        **scheduler_kwargs))
+    yield from _stream_tables(scorer, pipeline.blocker, left_table,
+                              right_table, window)

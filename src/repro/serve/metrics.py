@@ -1,0 +1,96 @@
+"""Throughput and latency instrumentation for the scoring engines.
+
+Every engine run produces a :class:`ServeMetrics` record — pairs/sec, batch
+latency percentiles, and worker utilization — so perf changes to the hot
+path show up as numbers, not vibes.  ``python -m repro serve-bench`` and
+``benchmarks/test_bench_serve.py`` persist these records to
+``BENCH_serve.json`` to start the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 for an empty list."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class ServeMetrics:
+    """Aggregate throughput/latency counters for one scoring run."""
+
+    engine: str
+    num_pairs: int
+    num_batches: int
+    num_workers: int
+    wall_seconds: float
+    busy_seconds: float  # summed per-batch compute time across workers
+    batch_latencies: List[float] = field(default_factory=list)
+
+    @property
+    def pairs_per_second(self) -> float:
+        return self.num_pairs / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def p50_batch_seconds(self) -> float:
+        return percentile(self.batch_latencies, 50.0)
+
+    @property
+    def p95_batch_seconds(self) -> float:
+        return percentile(self.batch_latencies, 95.0)
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of worker wall-time spent computing (1.0 = saturated)."""
+        budget = self.wall_seconds * max(1, self.num_workers)
+        return self.busy_seconds / budget if budget else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "engine": self.engine,
+            "num_pairs": self.num_pairs,
+            "num_batches": self.num_batches,
+            "num_workers": self.num_workers,
+            "wall_seconds": self.wall_seconds,
+            "busy_seconds": self.busy_seconds,
+            "pairs_per_second": self.pairs_per_second,
+            "p50_batch_seconds": self.p50_batch_seconds,
+            "p95_batch_seconds": self.p95_batch_seconds,
+            "worker_utilization": self.worker_utilization,
+        }
+
+
+class ThroughputMeter:
+    """Collects per-batch latencies during a run and finalizes to metrics."""
+
+    def __init__(self, engine: str, num_workers: int = 1):
+        self.engine = engine
+        self.num_workers = num_workers
+        self._latencies: List[float] = []
+        self._busy = 0.0
+        self._pairs = 0
+        self._start = time.perf_counter()
+
+    def record_batch(self, num_pairs: int, seconds: float) -> None:
+        self._latencies.append(seconds)
+        self._busy += seconds
+        self._pairs += num_pairs
+
+    def finalize(self) -> ServeMetrics:
+        wall = time.perf_counter() - self._start
+        return ServeMetrics(engine=self.engine, num_pairs=self._pairs,
+                            num_batches=len(self._latencies),
+                            num_workers=self.num_workers,
+                            wall_seconds=wall, busy_seconds=self._busy,
+                            batch_latencies=list(self._latencies))

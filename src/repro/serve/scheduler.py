@@ -1,0 +1,134 @@
+"""Length-aware batch formation for the scoring engines.
+
+The legacy ``ERPipeline`` loop cut candidate pairs into fixed strides and
+padded every batch to the extractor's full ``max_len``; with attention cost
+quadratic in sequence length, short pairs paid for padding they never used.
+:class:`BatchScheduler` replaces that loop: pairs are bucketed by padded
+length (multiples of ``bucket_rounding``), and each bucket is cut into
+batches capped both by pair count and by total padded tokens, so one batch
+never blows past the memory/latency budget regardless of sequence length.
+
+Numerics: padding with ``[PAD]`` positions is masked with a ``-1e9``
+additive bias whose softmax weight underflows to exactly ``0.0`` in
+float64, so a pair's feature vector does not depend on how far its bucket
+pads it.  Batch *size*, however, is not bit-neutral — BLAS picks different
+GEMM kernels for very small matrices, which can move a probability by an
+ulp.  The engines therefore guarantee bit-identical output for identical
+scheduler configuration (that is what the equivalence tier asserts across
+worker counts), and cross-policy agreement (bucketed vs the full-padding
+reference) is locked to 1e-9 instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from ..data import EntityPair
+from ..text import Vocabulary, bucket_by_length, pad_sequences
+
+
+@dataclass(frozen=True)
+class ScheduledBatch:
+    """One ready-to-score numpy batch plus its provenance.
+
+    ``indices[i]`` is the position of row ``i`` in the original pair
+    sequence — consumers scatter scores back through it, so any bucketing
+    or reordering inside the scheduler is invisible to callers.
+    """
+
+    indices: np.ndarray   # (n,) int64 positions into the scheduled sequence
+    ids: np.ndarray       # (n, T) int64 token ids
+    mask: np.ndarray      # (n, T) float64 padding mask
+
+    @property
+    def num_pairs(self) -> int:
+        return int(self.ids.shape[0])
+
+    @property
+    def padded_length(self) -> int:
+        return int(self.ids.shape[1])
+
+
+class BatchScheduler:
+    """Bucket candidate pairs by padded length into size-capped batches.
+
+    Parameters
+    ----------
+    vocab / max_len:
+        The extractor's vocabulary and maximum sequence length; sequences
+        longer than ``max_len`` are truncated exactly as the extractor's own
+        encoding would.
+    max_batch_pairs:
+        Hard cap on pairs per batch.
+    max_batch_tokens:
+        Cap on ``pairs * padded_length`` per batch, so long-sequence buckets
+        get proportionally smaller batches.
+    bucket_rounding:
+        Padded lengths are rounded up to multiples of this; 1 buckets by
+        exact length, larger values trade a little padding for fewer, fuller
+        buckets.
+    pad_to_max:
+        When set, every batch is padded to ``max_len`` and pairs are cut in
+        input order with a fixed stride — byte-for-byte the legacy
+        ``ERPipeline`` batching.  This is the *reference* policy the
+        equivalence tests compare against.
+    """
+
+    def __init__(self, vocab: Vocabulary, max_len: int,
+                 max_batch_pairs: int = 128, max_batch_tokens: int = 8192,
+                 bucket_rounding: int = 8, pad_to_max: bool = False):
+        if max_len <= 0:
+            raise ValueError("max_len must be positive")
+        if max_batch_pairs <= 0:
+            raise ValueError("max_batch_pairs must be positive")
+        if max_batch_tokens < max_len:
+            raise ValueError("max_batch_tokens must hold at least one "
+                             "max_len sequence")
+        if bucket_rounding <= 0:
+            raise ValueError("bucket_rounding must be positive")
+        self.vocab = vocab
+        self.max_len = max_len
+        self.max_batch_pairs = max_batch_pairs
+        self.max_batch_tokens = max_batch_tokens
+        self.bucket_rounding = bucket_rounding
+        self.pad_to_max = pad_to_max
+
+    @classmethod
+    def reference(cls, vocab: Vocabulary, max_len: int,
+                  batch_size: int = 64) -> "BatchScheduler":
+        """The legacy fixed-stride, full-padding policy (bit-exact baseline)."""
+        return cls(vocab, max_len, max_batch_pairs=batch_size,
+                   max_batch_tokens=batch_size * max_len, pad_to_max=True)
+
+    # -- scheduling -------------------------------------------------------- #
+    def _encode(self, pairs: Sequence[EntityPair]) -> List[List[int]]:
+        return [self.vocab.encode_tokens(pair.tokens()) for pair in pairs]
+
+    def _cut(self, order: Sequence[int], padded_length: int) -> Iterator[List[int]]:
+        """Cut an index list into batches respecting both caps."""
+        by_tokens = max(1, self.max_batch_tokens // padded_length)
+        size = min(self.max_batch_pairs, by_tokens)
+        for start in range(0, len(order), size):
+            yield list(order[start:start + size])
+
+    def schedule(self, pairs: Sequence[EntityPair]
+                 ) -> Iterator[ScheduledBatch]:
+        """Yield encoded, padded batches covering ``pairs`` exactly once."""
+        if not pairs:
+            return
+        encoded = self._encode(pairs)
+        if self.pad_to_max:
+            buckets = {self.max_len: list(range(len(encoded)))}
+        else:
+            lengths = [len(seq) for seq in encoded]
+            buckets = bucket_by_length(lengths, self.bucket_rounding,
+                                       self.max_len)
+        for padded_length in sorted(buckets):
+            for chunk in self._cut(buckets[padded_length], padded_length):
+                ids, mask = pad_sequences([encoded[i] for i in chunk],
+                                          padded_length, self.vocab.pad_id)
+                yield ScheduledBatch(indices=np.asarray(chunk, dtype=np.int64),
+                                     ids=ids, mask=mask)

@@ -4,11 +4,13 @@ from .tokenizer import (ATT, BOS, CLS, EOS, MASK, PAD, SEP, SPECIAL_TOKENS,
                         UNK, VAL, Vocabulary, tokenize)
 from .serialization import (pair_text, serialize_entity, serialize_pair,
                             split_serialized_pair)
-from .batching import InfiniteSampler, encode_batch, minibatches, pad_sequences
+from .batching import (InfiniteSampler, bucket_by_length, encode_batch,
+                       minibatches, pad_sequences)
 
 __all__ = [
     "ATT", "BOS", "CLS", "EOS", "MASK", "PAD", "SEP", "SPECIAL_TOKENS",
     "UNK", "VAL", "Vocabulary", "tokenize",
     "pair_text", "serialize_entity", "serialize_pair", "split_serialized_pair",
-    "InfiniteSampler", "encode_batch", "minibatches", "pad_sequences",
+    "InfiniteSampler", "bucket_by_length", "encode_batch", "minibatches",
+    "pad_sequences",
 ]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +33,27 @@ def encode_batch(token_lists: Sequence[Sequence[str]], vocab: Vocabulary,
     """Encode token lists and pad them in one step."""
     encoded = [vocab.encode_tokens(tokens) for tokens in token_lists]
     return pad_sequences(encoded, max_len, vocab.pad_id)
+
+
+def bucket_by_length(lengths: Sequence[int], rounding: int,
+                     max_len: int) -> Dict[int, List[int]]:
+    """Group sequence indices by padded length.
+
+    Each sequence is assigned the smallest multiple of ``rounding`` that
+    holds it (clamped to ``max_len``); the result maps that padded length to
+    the indices it covers, in input order.  Batches built per bucket waste no
+    compute on padding beyond the bucket boundary — the core policy of the
+    serving :class:`~repro.serve.BatchScheduler`.
+    """
+    if rounding <= 0:
+        raise ValueError("rounding must be positive")
+    if max_len <= 0:
+        raise ValueError("max_len must be positive")
+    buckets: Dict[int, List[int]] = {}
+    for index, length in enumerate(lengths):
+        padded = min(max_len, max(rounding, -(-int(length) // rounding) * rounding))
+        buckets.setdefault(padded, []).append(index)
+    return buckets
 
 
 def minibatches(count: int, batch_size: int,

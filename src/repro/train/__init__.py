@@ -6,6 +6,8 @@ from .metrics import (MatchMetrics, best_threshold, evaluate,
                       match_metrics, predict_dataset)
 from .multisource import nearest_source, pool_sources, train_multi_source
 from .pseudo import confident_pseudo_labels, train_pseudo_label
+from .regression import (GOLDEN_ALIGNERS, GOLDEN_ATOL, compare_runs,
+                         golden_path, golden_run, load_golden)
 
 __all__ = [
     "AdaptationResult", "EpochRecord", "TrainConfig",
@@ -14,4 +16,6 @@ __all__ = [
     "predict_dataset",
     "nearest_source", "pool_sources", "train_multi_source",
     "confident_pseudo_labels", "train_pseudo_label",
+    "GOLDEN_ALIGNERS", "GOLDEN_ATOL", "compare_runs", "golden_path",
+    "golden_run", "load_golden",
 ]

@@ -1,0 +1,111 @@
+"""Golden-value regression harness for the six aligner designs.
+
+As the scoring/serving hot paths get rewritten for throughput, nothing may
+silently change the *numerics* of the Table 1 aligners.  This module pins
+one deterministic, CPU-sized training recipe per aligner — fixed seeds,
+fixed tiny LM, fixed 3-epoch schedule on the Books2 -> Fodors-Zagats task —
+and snapshots its per-epoch losses and validation F1.
+
+``tests/golden/<aligner>.json`` stores the blessed values;
+``tests/test_golden_aligners.py`` re-runs the recipe and asserts agreement
+to 1e-6, and ``scripts/refresh_goldens.py`` re-blesses them after an
+*intentional* numeric change.  Golden values are platform-pinned (BLAS
+summation order varies across builds); refresh them on the CI reference
+platform, not an arbitrary laptop.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from .config import TrainConfig
+
+#: The aligners under regression — the paper's full Table 1 design space.
+GOLDEN_ALIGNERS = ("mmd", "k_order", "grl", "invgan", "invgan_kd", "ed")
+
+#: Mini-LM settings shared with the test suite's session checkpoint, so a
+#: golden run reuses the cached pre-training instead of adding its own.
+GOLDEN_LM = dict(dim=32, num_layers=1, num_heads=2, max_len=96,
+                 corpus_scale=0.01, steps=80, seed=0)
+
+GOLDEN_EPOCHS = 3
+GOLDEN_SEED = 0
+
+#: Agreement tolerance for replayed runs (absolute).
+GOLDEN_ATOL = 1e-6
+
+
+def golden_config() -> TrainConfig:
+    return TrainConfig(epochs=GOLDEN_EPOCHS, seed=GOLDEN_SEED)
+
+
+def golden_run(aligner: str) -> Dict:
+    """One deterministic adaptation run; returns the snapshot payload."""
+    from ..api import adapt  # local: api imports repro.train at module load
+    from ..datasets import load_dataset
+    if aligner not in GOLDEN_ALIGNERS:
+        raise ValueError(f"unknown golden aligner {aligner!r}; "
+                         f"choose from {GOLDEN_ALIGNERS}")
+    source = load_dataset("b2", scale=0.2, seed=0)
+    target = load_dataset("fz", scale=0.2, seed=0)
+    result = adapt(source, target, aligner=aligner, config=golden_config(),
+                   seed=GOLDEN_SEED, lm_kwargs=dict(GOLDEN_LM))
+    return {
+        "aligner": aligner,
+        "recipe": {"source": "b2", "target": "fz", "scale": 0.2,
+                   "epochs": GOLDEN_EPOCHS, "seed": GOLDEN_SEED,
+                   "lm": dict(GOLDEN_LM)},
+        "best_epoch": result.best_epoch,
+        "best_valid_f1": result.best_valid_f1,
+        "test_f1": result.test_metrics.f1,
+        "history": [
+            {"epoch": record.epoch,
+             "matching_loss": record.matching_loss,
+             "alignment_loss": record.alignment_loss,
+             "valid_f1": record.valid_f1}
+            for record in result.history
+        ],
+    }
+
+
+def golden_dir() -> Path:
+    """Repo-relative home of the blessed snapshots."""
+    return Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def golden_path(aligner: str) -> Path:
+    return golden_dir() / f"{aligner}.json"
+
+
+def load_golden(aligner: str) -> Dict:
+    return json.loads(golden_path(aligner).read_text())
+
+
+def compare_runs(expected: Dict, actual: Dict,
+                 atol: float = GOLDEN_ATOL) -> list:
+    """All deviations between two golden payloads, as readable strings."""
+    problems = []
+
+    def check(label: str, want, got) -> None:
+        if isinstance(want, float) or isinstance(got, float):
+            if abs(float(want) - float(got)) > atol:
+                problems.append(f"{label}: expected {want!r}, got {got!r}")
+        elif want != got:
+            problems.append(f"{label}: expected {want!r}, got {got!r}")
+
+    check("best_epoch", expected["best_epoch"], actual["best_epoch"])
+    check("best_valid_f1", expected["best_valid_f1"],
+          actual["best_valid_f1"])
+    check("test_f1", expected["test_f1"], actual["test_f1"])
+    if len(expected["history"]) != len(actual["history"]):
+        problems.append(
+            f"history length: expected {len(expected['history'])}, "
+            f"got {len(actual['history'])}")
+        return problems
+    for want, got in zip(expected["history"], actual["history"]):
+        epoch = want["epoch"]
+        for key in ("matching_loss", "alignment_loss", "valid_f1"):
+            check(f"epoch {epoch} {key}", want[key], got[key])
+    return problems

@@ -1,0 +1,43 @@
+"""Golden-value regression tier: the six aligners' numerics, frozen.
+
+Each test replays the pinned recipe of :mod:`repro.train.regression` and
+compares every per-epoch loss and validation F1 against the blessed
+snapshot in ``tests/golden/<aligner>.json`` to 1e-6.  A hot-path rewrite
+that silently changes any aligner's numbers fails here by name, epoch, and
+field.
+
+After an *intentional* numeric change, re-bless with::
+
+    python scripts/refresh_goldens.py
+
+on the CI reference platform (goldens pin BLAS summation order, so an
+arbitrary laptop may legitimately disagree in the last ulps).
+"""
+
+import pytest
+
+from repro.train.regression import (GOLDEN_ALIGNERS, compare_runs,
+                                    golden_path, golden_run, load_golden)
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("aligner", GOLDEN_ALIGNERS)
+def test_aligner_matches_golden(aligner):
+    path = golden_path(aligner)
+    assert path.exists(), (
+        f"no golden snapshot for {aligner!r}; generate it with "
+        f"`python scripts/refresh_goldens.py`")
+    expected = load_golden(aligner)
+    actual = golden_run(aligner)
+    problems = compare_runs(expected, actual)
+    assert not problems, (
+        f"{aligner} numerics drifted from {path}:\n  " + "\n  ".join(problems)
+        + "\nIf this change is intentional, re-bless with "
+          "`python scripts/refresh_goldens.py`.")
+
+
+def test_golden_set_is_complete():
+    """Every aligner in the design space has a blessed snapshot."""
+    missing = [a for a in GOLDEN_ALIGNERS if not golden_path(a).exists()]
+    assert not missing, f"missing golden snapshots: {missing}"

@@ -1,0 +1,260 @@
+"""Equivalence and scheduling tests for the repro.serve engine.
+
+The load-bearing guarantee: batch formation is a pure function of the pair
+sequence and scheduler configuration, so any two engines driven by the same
+scheduler — in-process or across a worker pool, any worker count — must
+return *bit-identical* MatchDecision lists.  Cross-policy (bucketed vs the
+legacy full-padding reference) agreement is additionally locked to 1e-9.
+"""
+
+import numpy as np
+import pytest
+
+from repro.artifacts import ArtifactError, ArtifactStore
+from repro.data import Entity, EntityPair
+from repro.pipeline import ERPipeline
+from repro.serve import (BatchScheduler, ParallelScorer, SequentialScorer,
+                         score_tables)
+from repro.serve.engine import _init_worker
+
+
+def _ragged_pairs(count, seed=0):
+    """Candidate pairs with widely varying serialized lengths."""
+    rng = np.random.default_rng(seed)
+    words = ["mesa", "rook", "tide", "volt", "wick", "yarn", "zinc",
+             "opal", "pine", "quay"]
+    pairs = []
+    for i in range(count):
+        n_left = int(rng.integers(1, 12))
+        n_right = int(rng.integers(1, 12))
+        left = Entity(f"l{i}", {"name": " ".join(rng.choice(words, n_left)),
+                                "city": str(rng.choice(words))})
+        right = Entity(f"r{i}", {"name": " ".join(rng.choice(words, n_right)),
+                                 "city": str(rng.choice(words))})
+        pairs.append(EntityPair(left, right))
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory, tiny_lm):
+    """A live pipeline plus its persisted snapshot directory."""
+    from repro.matcher import MlpMatcher
+    from repro.pretrain import fresh_copy
+    extractor = fresh_copy(tiny_lm[0], seed=0)
+    extractor.eval()
+    matcher = MlpMatcher(extractor.feature_dim, np.random.default_rng(0))
+    matcher.eval()
+    pipeline = ERPipeline(extractor, matcher)
+    directory = tmp_path_factory.mktemp("serve") / "pipeline"
+    pipeline.save(directory)
+    return pipeline, directory
+
+
+class TestBatchScheduler:
+    def test_covers_every_pair_exactly_once(self, served):
+        pipeline, __ = served
+        pairs = _ragged_pairs(57)
+        scheduler = BatchScheduler(pipeline.extractor.vocab,
+                                   pipeline.extractor.max_len,
+                                   max_batch_pairs=13)
+        seen = np.concatenate([b.indices for b in scheduler.schedule(pairs)])
+        assert sorted(seen.tolist()) == list(range(57))
+
+    def test_respects_both_caps(self, served):
+        pipeline, __ = served
+        pairs = _ragged_pairs(80)
+        scheduler = BatchScheduler(pipeline.extractor.vocab,
+                                   pipeline.extractor.max_len,
+                                   max_batch_pairs=16, max_batch_tokens=256)
+        for batch in scheduler.schedule(pairs):
+            assert batch.num_pairs <= 16
+            assert batch.num_pairs * batch.padded_length <= max(
+                256, batch.padded_length)  # one long row is always allowed
+
+    def test_bucket_padding_is_tight(self, served):
+        pipeline, __ = served
+        pairs = _ragged_pairs(40)
+        scheduler = BatchScheduler(pipeline.extractor.vocab,
+                                   pipeline.extractor.max_len,
+                                   bucket_rounding=8)
+        for batch in scheduler.schedule(pairs):
+            assert batch.padded_length % 8 == 0 or \
+                batch.padded_length == pipeline.extractor.max_len
+            lengths = batch.mask.sum(axis=1)
+            assert lengths.max() <= batch.padded_length
+            assert batch.padded_length - lengths.max() < 8
+
+    def test_reference_policy_matches_legacy_stride(self, served):
+        pipeline, __ = served
+        pairs = _ragged_pairs(20)
+        scheduler = BatchScheduler.reference(pipeline.extractor.vocab,
+                                             pipeline.extractor.max_len,
+                                             batch_size=8)
+        batches = list(scheduler.schedule(pairs))
+        assert [b.num_pairs for b in batches] == [8, 8, 4]
+        assert all(b.padded_length == pipeline.extractor.max_len
+                   for b in batches)
+        assert np.concatenate([b.indices for b in batches]).tolist() == \
+            list(range(20))
+
+    def test_empty_input_yields_nothing(self, served):
+        pipeline, __ = served
+        scheduler = BatchScheduler(pipeline.extractor.vocab,
+                                   pipeline.extractor.max_len)
+        assert list(scheduler.schedule([])) == []
+
+    def test_validation(self, served):
+        pipeline, __ = served
+        vocab = pipeline.extractor.vocab
+        with pytest.raises(ValueError):
+            BatchScheduler(vocab, 0)
+        with pytest.raises(ValueError):
+            BatchScheduler(vocab, 96, max_batch_pairs=0)
+        with pytest.raises(ValueError):
+            BatchScheduler(vocab, 96, max_batch_tokens=10)
+        with pytest.raises(ValueError):
+            BatchScheduler(vocab, 96, bucket_rounding=0)
+
+
+class TestSequentialEquivalence:
+    def test_bit_identical_to_pipeline_with_same_scheduler(self, served):
+        pipeline, __ = served
+        pairs = _ragged_pairs(45)
+        scheduler = BatchScheduler(pipeline.extractor.vocab,
+                                   pipeline.extractor.max_len,
+                                   max_batch_pairs=11)
+        engine = SequentialScorer(pipeline, scheduler)
+        assert engine.score_pairs(pairs) == \
+            pipeline.score_pairs(pairs, scheduler=scheduler)
+
+    def test_close_to_reference_across_policies(self, served):
+        pipeline, __ = served
+        pairs = _ragged_pairs(45)
+        reference = pipeline(pairs)
+        bucketed = SequentialScorer(pipeline).score_pairs(pairs)
+        assert [(d.left_id, d.right_id) for d in bucketed] == \
+            [(d.left_id, d.right_id) for d in reference]
+        for fast, ref in zip(bucketed, reference):
+            assert abs(fast.probability - ref.probability) <= 1e-9
+
+    def test_empty_candidate_set(self, served):
+        pipeline, __ = served
+        assert SequentialScorer(pipeline).score_pairs([]) == []
+
+    def test_metrics_recorded(self, served):
+        pipeline, __ = served
+        engine = SequentialScorer(pipeline)
+        engine.score_pairs(_ragged_pairs(30))
+        metrics = engine.last_metrics
+        assert metrics.num_pairs == 30
+        assert metrics.num_batches >= 1
+        assert metrics.pairs_per_second > 0
+        assert 0.0 < metrics.worker_utilization <= 1.0
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("num_workers", [1, 4])
+    def test_bit_identical_to_sequential(self, served, num_workers):
+        pipeline, directory = served
+        pairs = _ragged_pairs(60)
+        sequential = SequentialScorer(pipeline).score_pairs(pairs)
+        with ParallelScorer(directory, num_workers=num_workers) as scorer:
+            assert scorer.score_pairs(pairs) == sequential
+
+    def test_ragged_batch_caps(self, served):
+        pipeline, directory = served
+        pairs = _ragged_pairs(53, seed=7)
+        scheduler = BatchScheduler(pipeline.extractor.vocab,
+                                   pipeline.extractor.max_len,
+                                   max_batch_pairs=7, max_batch_tokens=300)
+        sequential = SequentialScorer(pipeline, scheduler).score_pairs(pairs)
+        with ParallelScorer(directory, num_workers=2, max_batch_pairs=7,
+                            max_batch_tokens=300) as scorer:
+            assert scorer.score_pairs(pairs) == sequential
+
+    def test_empty_candidate_set(self, served):
+        __, directory = served
+        with ParallelScorer(directory, num_workers=2) as scorer:
+            assert scorer.score_pairs([]) == []
+            assert scorer.last_metrics.num_pairs == 0
+
+    def test_worker_metrics(self, served):
+        __, directory = served
+        with ParallelScorer(directory, num_workers=2,
+                            max_batch_pairs=10) as scorer:
+            scorer.score_pairs(_ragged_pairs(40))
+            metrics = scorer.last_metrics
+        assert metrics.engine == "parallel"
+        assert metrics.num_workers == 2
+        assert metrics.num_pairs == 40
+        assert metrics.busy_seconds > 0
+
+    def test_rejects_bad_worker_count(self, served):
+        __, directory = served
+        with pytest.raises(ValueError):
+            ParallelScorer(directory, num_workers=0)
+
+    def test_worker_refuses_changed_snapshot(self, served, tmp_path):
+        """A snapshot republished mid-startup must not serve a mixed fleet."""
+        pipeline, __ = served
+        directory = tmp_path / "changing"
+        pipeline.save(directory)
+        store = ArtifactStore(directory)
+        stale_digest = store.manifest_digest()
+        vocab_text = store.read("vocab.txt", lambda p: p.read_text())
+        store.write_text("vocab.txt", vocab_text + "\nrepublished")
+        assert store.manifest_digest() != stale_digest
+        with pytest.raises(ArtifactError, match="changed during worker"):
+            _init_worker(str(directory), stale_digest)
+
+
+class TestScoreTables:
+    def test_streaming_matches_unwindowed(self, served):
+        pipeline, __ = served
+        pairs = _ragged_pairs(40, seed=3)
+        left = [p.left for p in pairs]
+        right = [p.right for p in pairs]
+        unwindowed = list(score_tables(pipeline, left, right, window=10_000))
+        # Different windows re-batch the stream; agreement is policy-level.
+        windowed = list(score_tables(pipeline, left, right, window=9))
+        assert [(d.left_id, d.right_id) for d in windowed] == \
+            [(d.left_id, d.right_id) for d in unwindowed]
+        for a, b in zip(windowed, unwindowed):
+            assert abs(a.probability - b.probability) <= 1e-9
+
+    def test_covers_exactly_the_blocked_candidates(self, served):
+        pipeline, __ = served
+        pairs = _ragged_pairs(40, seed=3)
+        left = [p.left for p in pairs]
+        right = [p.right for p in pairs]
+        candidates = pipeline.blocker.candidates(left, right)
+        streamed = list(score_tables(pipeline, left, right))
+        assert [(d.left_id, d.right_id) for d in streamed] == \
+            [(p.left.entity_id, p.right.entity_id) for p in candidates]
+
+    def test_parallel_streaming(self, served):
+        pipeline, directory = served
+        pairs = _ragged_pairs(30, seed=5)
+        left = [p.left for p in pairs]
+        right = [p.right for p in pairs]
+        sequential = list(score_tables(pipeline, left, right, window=16))
+        parallel = list(score_tables(directory, left, right, window=16,
+                                     num_workers=2))
+        assert parallel == sequential
+
+    def test_parallel_requires_directory(self, served):
+        pipeline, __ = served
+        with pytest.raises(ValueError, match="snapshot directory"):
+            list(score_tables(pipeline, [], [], num_workers=2))
+
+    def test_match_tables_threshold(self, served):
+        pipeline, directory = served
+        pairs = _ragged_pairs(30, seed=5)
+        left = [p.left for p in pairs]
+        right = [p.right for p in pairs]
+        with ParallelScorer(directory, num_workers=1) as scorer:
+            matches = scorer.match_tables(left, right)
+            decisions = list(scorer.score_tables(left, right))
+        expected = [(d.left_id, d.right_id) for d in decisions
+                    if d.probability >= scorer.threshold]
+        assert matches == expected
