@@ -19,7 +19,9 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from .api import AdaptationResult, adapt, load_dataset, no_da, score_tables
+from .api import (AdaptationResult, ChaosConfig, Events, GuardRail,
+                  TrainingDiverged, adapt, load_dataset, no_da, score_tables)
 
 __all__ = ["adapt", "no_da", "load_dataset", "score_tables",
-           "AdaptationResult", "__version__"]
+           "AdaptationResult", "ChaosConfig", "Events", "GuardRail",
+           "TrainingDiverged", "__version__"]

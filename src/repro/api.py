@@ -21,6 +21,7 @@ from .data import ERDataset, target_da_split
 from .datasets import load_dataset
 from .matcher import MlpMatcher
 from .pretrain import fresh_copy, pretrained_lm
+from .resilience import ChaosConfig, Events, GuardRail, TrainingDiverged
 from .train import (AdaptationResult, TrainConfig, train_gan, train_joint,
                     train_source_only)
 

@@ -96,6 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="where to persist the bench pipeline "
                                   "snapshot (default .cache/serve_bench_pipeline)")
     serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.add_argument("--inject-fault", default=None,
+                             choices=("worker_crash", "hang", "garbage"),
+                             help="run an extra parallel pass with one "
+                                  "deterministic injected fault and record "
+                                  "the recovery overhead")
     return parser
 
 
@@ -159,7 +164,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     report = run_serve_bench(num_pairs=args.pairs, num_workers=args.workers,
                              pipeline_dir=args.pipeline_dir,
                              output=args.output, batch_size=args.batch_size,
-                             seed=args.seed)
+                             seed=args.seed, inject_fault=args.inject_fault)
     print(format_report(report))
     print(f"report written to {args.output}")
     return 0

@@ -1,0 +1,70 @@
+"""Capped exponential backoff with deterministic, seedable jitter.
+
+Retries need spacing (a worker OOM-killed by a transient memory spike will
+be OOM-killed again if re-hit instantly) but the repo's testing policy bans
+wall-clock randomness: the delay sequence must be a pure function of the
+policy configuration and seed.  Jitter therefore comes from a seeded
+``numpy`` generator, so two runs with the same policy produce byte-identical
+delay schedules — the chaos tier asserts recovery behaviour without ever
+sampling ``time.time()``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+import numpy as np
+
+
+class BackoffPolicy:
+    """``delay(attempt) = min(cap, base * factor**attempt) * (1 + jitter*u)``
+
+    where ``u`` is drawn from a generator seeded at construction, so the
+    whole schedule is deterministic.  ``base=0`` disables sleeping entirely
+    (the chaos tests run with instant retries).
+    """
+
+    def __init__(self, base: float = 0.05, factor: float = 2.0,
+                 cap: float = 2.0, jitter: float = 0.25, seed: int = 0):
+        if base < 0 or cap < 0:
+            raise ValueError("base and cap must be non-negative")
+        if factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.base = base
+        self.factor = factor
+        self.cap = cap
+        self.jitter = jitter
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    @classmethod
+    def instant(cls) -> "BackoffPolicy":
+        """No-sleep policy for tests and in-process fallbacks."""
+        return cls(base=0.0, jitter=0.0)
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before re-running attempt ``attempt + 1``."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        raw = min(self.cap, self.base * self.factor ** attempt)
+        if raw <= 0.0:
+            return 0.0
+        if self.jitter > 0.0:
+            raw *= 1.0 + self.jitter * float(self._rng.random())
+        return min(raw, self.cap * (1.0 + self.jitter))
+
+    def preview(self, attempts: int) -> List[float]:
+        """The delay schedule a fresh copy of this policy would produce."""
+        clone = BackoffPolicy(self.base, self.factor, self.cap, self.jitter,
+                              self.seed)
+        return [clone.delay(i) for i in range(attempts)]
+
+    def sleep(self, attempt: int) -> float:
+        """Sleep for ``delay(attempt)``; returns the slept duration."""
+        duration = self.delay(attempt)
+        if duration > 0.0:
+            time.sleep(duration)
+        return duration

@@ -1,0 +1,77 @@
+"""Recovery-event counters shared by the serving and training guards.
+
+Every recovery action the resilience layer takes — a retried batch, a
+killed-and-respawned worker, a quarantined poison batch, a training
+rollback — increments exactly one counter here, so "did the system heal
+itself, and how often?" is a first-class observable.  The serving engines
+surface a per-run snapshot through :class:`repro.serve.metrics.ServeMetrics`
+(and therefore ``BENCH_serve.json``); the trainers attach their counters to
+:class:`repro.train.config.AdaptationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict
+
+
+@dataclass
+class Events:
+    """Counters for every recovery path in :mod:`repro.resilience`.
+
+    Serving-side:
+
+    * ``retries`` — batch re-submissions after a failed/timed-out attempt;
+    * ``timeouts`` — batches whose worker blew the per-batch deadline;
+    * ``crashes`` — workers that died (segfault/OOM-kill/``os._exit``) while
+      holding a batch;
+    * ``garbage`` — worker results rejected by output validation;
+    * ``respawns`` — replacement workers spawned into a dead slot;
+    * ``quarantined`` — poison batches re-scored in-process after exhausting
+      their retry budget;
+    * ``pool_fallbacks`` — whole-pool deaths that degraded the engine to
+      sequential in-process scoring.
+
+    Training-side:
+
+    * ``rollbacks`` — restorations of the last good snapshot after a
+      non-finite or diverged step;
+    * ``lr_halvings`` — learning-rate halvings applied on rollback.
+    """
+
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    garbage: int = 0
+    respawns: int = 0
+    quarantined: int = 0
+    pool_fallbacks: int = 0
+    rollbacks: int = 0
+    lr_halvings: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def copy(self) -> "Events":
+        return Events(**self.to_dict())
+
+    def total(self) -> int:
+        """Total recovery actions of any kind (0 == a fault-free run)."""
+        return sum(self.to_dict().values())
+
+    def __bool__(self) -> bool:
+        return self.total() > 0
+
+    def __add__(self, other: "Events") -> "Events":
+        return Events(**{f.name: getattr(self, f.name) + getattr(other, f.name)
+                         for f in fields(self)})
+
+    def __sub__(self, other: "Events") -> "Events":
+        """Per-run delta: ``after - before`` for a cumulative counter."""
+        return Events(**{f.name: getattr(self, f.name) - getattr(other, f.name)
+                         for f in fields(self)})
+
+    def merge(self, other: "Events") -> None:
+        """In-place accumulation of ``other`` into this record."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))

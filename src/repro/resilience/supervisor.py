@@ -1,0 +1,545 @@
+"""A supervised multiprocess worker pool with retry, deadline, and quarantine.
+
+``multiprocessing.Pool`` is throughput plumbing, not a supervisor: a worker
+that segfaults loses its task silently, a hung worker stalls ``imap`` forever,
+and a poisoned input aborts the whole run.  :class:`SupervisedPool` replaces
+it with an explicit supervision tree:
+
+* every worker is a dedicated :class:`multiprocessing.Process` with its own
+  duplex pipe, so the parent always knows *which* task each worker holds;
+* worker death is detected immediately through the process sentinel (no
+  deadline wait needed for crashes) and the victim's task is retried
+  elsewhere with capped, deterministic backoff;
+* every batch runs under a per-batch deadline — a worker that blows it is
+  killed and replaced, and the batch is retried;
+* worker results pass an output validator before they count (a worker that
+  returns garbage is indistinguishable from a crashed one to the caller);
+* a batch that exhausts its attempt budget is a **poison batch**: it is
+  quarantined and re-scored in-process through the ``fallback`` callable, so
+  one bad input degrades throughput, never correctness;
+* replacement workers re-run the full initializer (for the serving engine
+  that means re-verifying ``manifest_digest()``), and when the respawn
+  budget is exhausted and every slot is dead the pool **degrades
+  gracefully**: all remaining work is computed in-process via ``fallback``
+  and the event is counted, instead of raising mid-run.
+
+Faults for the chaos tier are injected worker-side from a deterministic
+:class:`~repro.resilience.chaos.ChaosConfig`; recovery actions are counted
+in a shared :class:`~repro.resilience.events.Events` record.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import (Any, Callable, Iterator, List, Optional, Sequence, Tuple)
+
+import numpy as np
+
+from .backoff import BackoffPolicy
+from .chaos import ChaosConfig
+from .events import Events
+
+logger = logging.getLogger("repro.resilience")
+
+
+class PoolDied(RuntimeError):
+    """Raised when every worker slot is dead and no fallback is available."""
+
+
+@dataclass
+class RetryPolicy:
+    """Supervision knobs: deadlines, retry budget, respawn budget, backoff.
+
+    ``max_attempts`` counts total tries per batch (first run included);
+    once exhausted the batch is quarantined to the in-process fallback.
+    ``max_respawns`` is the pool-wide budget of replacement workers; a slot
+    that cannot be refilled stays dead, and when every slot is dead the
+    pool degrades to sequential in-process execution.
+    """
+
+    batch_timeout: Optional[float] = 120.0
+    max_attempts: int = 3
+    max_respawns: int = 8
+    init_timeout: float = 120.0
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+
+    def __post_init__(self) -> None:
+        if self.batch_timeout is not None and self.batch_timeout <= 0:
+            raise ValueError("batch_timeout must be positive or None")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be non-negative")
+        if self.init_timeout <= 0:
+            raise ValueError("init_timeout must be positive")
+
+
+# --------------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------------- #
+
+def _garble(result: Any) -> Any:
+    """What a 'garbage' chaos fault returns instead of the real result."""
+    if isinstance(result, np.ndarray):
+        return np.full_like(result, np.nan)
+    return None
+
+
+def _worker_main(worker_id: int, conn, setup: Callable[..., Any],
+                 setup_args: Tuple, handle: Callable[[Any, Any], Any],
+                 chaos: Optional[ChaosConfig]) -> None:
+    """Worker loop: initialize once, then score tasks until told to stop.
+
+    Protocol (worker -> parent): ``("ready", slot, pid)`` or
+    ``("init_error", slot, reason)`` once, then one
+    ``("ok", slot, run, seq, attempt, result, busy_seconds, pid)`` per task.
+    Parent -> worker messages are ``(run, seq, attempt, payload)`` tasks or
+    ``None`` for graceful shutdown.
+    """
+    try:
+        try:
+            state = setup(*setup_args)
+        except BaseException as exc:  # noqa: BLE001 - report, then die
+            conn.send(("init_error", worker_id,
+                       f"{type(exc).__name__}: {exc}"))
+            return
+        conn.send(("ready", worker_id, os.getpid()))
+        while True:
+            message = conn.recv()
+            if message is None:
+                return
+            run, seq, attempt, payload = message
+            fault = (chaos.fault_for(worker_id, seq, attempt)
+                     if chaos is not None else None)
+            if fault is not None and fault.kind == "crash":
+                os._exit(13)
+            if fault is not None and fault.kind == "hang":
+                time.sleep(fault.hang_seconds)
+            started = time.perf_counter()
+            result = handle(state, payload)
+            busy = time.perf_counter() - started
+            if fault is not None and fault.kind == "garbage":
+                result = _garble(result)
+            conn.send(("ok", worker_id, run, seq, attempt, result, busy,
+                       os.getpid()))
+    except (EOFError, BrokenPipeError, OSError, KeyboardInterrupt):
+        return  # parent went away or shutdown race; nothing to report to
+
+
+class _Worker:
+    """Parent-side record of one worker slot."""
+
+    __slots__ = ("slot", "proc", "conn", "ready", "task", "deadline")
+
+    def __init__(self, slot: int):
+        self.slot = slot
+        self.proc = None
+        self.conn = None
+        self.ready = False
+        self.task: Optional[Tuple[int, int, int]] = None  # (run, seq, attempt)
+        self.deadline: Optional[float] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.is_alive()
+
+
+# --------------------------------------------------------------------------- #
+# parent side
+# --------------------------------------------------------------------------- #
+
+class SupervisedPool:
+    """Supervise ``num_workers`` processes running ``handle`` over payloads.
+
+    Parameters
+    ----------
+    setup / setup_args:
+        Run once in each (re)spawned worker; the return value is the
+        worker-local state passed to every ``handle`` call.  Raising here
+        marks the spawn as failed (it counts against the respawn budget).
+    handle:
+        ``handle(state, payload) -> result``, executed worker-side.
+    validate:
+        Optional ``validate(payload, result) -> Optional[str]``; a non-None
+        reason rejects the result as garbage and retries the task.
+    fallback:
+        ``fallback(payload) -> result`` computed **in-process**; used for
+        quarantined poison batches and for everything left when the whole
+        pool has died.  Without it those paths raise :class:`PoolDied` /
+        :class:`RuntimeError` instead of degrading.
+    events:
+        Shared cumulative :class:`Events` record (one is created if absent).
+    """
+
+    def __init__(self, setup: Callable[..., Any], setup_args: Tuple,
+                 handle: Callable[[Any, Any], Any], num_workers: int,
+                 policy: Optional[RetryPolicy] = None,
+                 events: Optional[Events] = None,
+                 validate: Optional[Callable[[Any, Any], Optional[str]]] = None,
+                 fallback: Optional[Callable[[Any], Any]] = None,
+                 chaos: Optional[ChaosConfig] = None,
+                 mp_context=None):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self._setup = setup
+        self._setup_args = tuple(setup_args)
+        self._handle = handle
+        self.num_workers = num_workers
+        self.policy = policy or RetryPolicy()
+        self.events = events if events is not None else Events()
+        self._validate = validate
+        self._fallback = fallback
+        self._chaos = chaos
+        self._ctx = mp_context or multiprocessing.get_context()
+        self._workers: List[_Worker] = []
+        self._respawns_left = self.policy.max_respawns
+        self._started = False
+        self._closed = False
+        self._dead = False
+        self._run = 0
+
+    # -- lifecycle --------------------------------------------------------- #
+    def start(self) -> None:
+        """Spawn the initial workers (idempotent; returns immediately)."""
+        if self._closed:
+            raise RuntimeError("SupervisedPool is closed")
+        if self._started:
+            return
+        self._workers = [_Worker(slot) for slot in range(self.num_workers)]
+        for worker in self._workers:
+            self._spawn(worker)
+        self._started = True
+
+    def _spawn(self, worker: _Worker) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(worker.slot, child_conn, self._setup, self._setup_args,
+                  self._handle, self._chaos),
+            daemon=True)
+        proc.start()
+        child_conn.close()
+        worker.proc = proc
+        worker.conn = parent_conn
+        worker.ready = False
+        worker.task = None
+        worker.deadline = time.monotonic() + self.policy.init_timeout
+
+    def _kill(self, worker: _Worker) -> None:
+        if worker.proc is not None:
+            if worker.proc.is_alive():
+                worker.proc.kill()
+            worker.proc.join(timeout=5.0)
+            worker.proc = None
+        if worker.conn is not None:
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+            worker.conn = None
+        worker.ready = False
+        worker.deadline = None
+
+    def _live_workers(self) -> List[_Worker]:
+        return [w for w in self._workers if w.proc is not None]
+
+    @property
+    def degraded(self) -> bool:
+        """True once the pool died and execution moved in-process."""
+        return self._dead
+
+    def wait_ready(self, timeout: Optional[float] = None) -> int:
+        """Block until every live worker reports ready; returns that count.
+
+        Useful to exclude model-loading time from benchmark timings.  Worker
+        deaths during warm-up are handled exactly like mid-run deaths
+        (respawn or retire the slot).
+        """
+        self.start()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self._dead:
+            starting = [w for w in self._live_workers() if not w.ready]
+            if not starting:
+                break
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            self._supervise_once([], deque(), [], [], remaining)
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+        return len([w for w in self._live_workers() if w.ready])
+
+    def close(self) -> None:
+        """Tear the pool down deterministically (terminate + join + close)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            if worker.proc is None:
+                continue
+            if worker.ready and worker.task is None and worker.conn is not None:
+                try:  # polite stop for idle workers; killed below if deaf
+                    worker.conn.send(None)
+                except (OSError, BrokenPipeError):
+                    pass
+        for worker in self._workers:
+            if worker.proc is None:
+                continue
+            worker.proc.join(timeout=0.5)
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+                worker.proc.join(timeout=2.0)
+            if worker.proc.is_alive():  # pragma: no cover - very stuck child
+                worker.proc.kill()
+                worker.proc.join(timeout=5.0)
+            worker.proc = None
+            if worker.conn is not None:
+                try:
+                    worker.conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+                worker.conn = None
+        self._workers = []
+
+    def __enter__(self) -> "SupervisedPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- supervision core --------------------------------------------------- #
+    def _fallback_result(self, seq: int, payload: Any) -> Tuple[int, Any,
+                                                                float, int]:
+        if self._fallback is None:
+            raise PoolDied(
+                f"batch {seq} cannot be recovered: no in-process fallback "
+                f"was provided")
+        started = time.perf_counter()
+        result = self._fallback(payload)
+        return seq, result, time.perf_counter() - started, os.getpid()
+
+    def _declare_dead_if_empty(self) -> None:
+        if not self._dead and not self._live_workers():
+            self._dead = True
+            self.events.pool_fallbacks += 1
+            logger.warning(
+                "resilience pool-died respawn budget exhausted; degrading "
+                "to in-process execution")
+
+    def _retire(self, worker: _Worker, cause: str, reason: str,
+                pending: deque, done: List[bool], completed: List) -> None:
+        """Kill/bury a worker, fail its task, and respawn or retire the slot.
+
+        ``cause`` is ``"crash"``, ``"timeout"`` or ``"init"`` (event
+        classification); ``reason`` is the human log line.
+        """
+        task = worker.task
+        worker.task = None
+        self._kill(worker)
+        if task is not None:
+            __, seq, attempt = task
+            if cause == "timeout":
+                self.events.timeouts += 1
+            elif cause == "crash":
+                self.events.crashes += 1
+            self._task_failed(seq, attempt, reason, pending, done, completed)
+        logger.warning("resilience worker-%s slot=%d reason=%s",
+                       cause, worker.slot, reason)
+        if self._closed or self._dead:
+            return
+        if self._respawns_left > 0:
+            self._respawns_left -= 1
+            self.events.respawns += 1
+            logger.warning("resilience worker-respawn slot=%d budget_left=%d",
+                           worker.slot, self._respawns_left)
+            self._spawn(worker)
+        else:
+            self._declare_dead_if_empty()
+
+    def _task_failed(self, seq: int, attempt: int, reason: str,
+                     pending: deque, done: List[bool],
+                     completed: List) -> None:
+        if done is None or not done or seq >= len(done) or done[seq]:
+            return
+        if attempt + 1 >= self.policy.max_attempts:
+            self.events.quarantined += 1
+            logger.warning(
+                "resilience poison-batch seq=%d quarantined after %d "
+                "attempts (%s); scoring in-process", seq, attempt + 1, reason)
+            completed.append(("quarantine", seq))
+        else:
+            self.events.retries += 1
+            self.policy.backoff.sleep(attempt)
+            pending.append((seq, attempt + 1))
+
+    def _on_message(self, worker: _Worker, message: Tuple, payloads: List,
+                    pending: deque, done: List[bool], completed: List) -> None:
+        kind = message[0]
+        if kind == "ready":
+            worker.ready = True
+            worker.deadline = None
+        elif kind == "init_error":
+            # The process will exit on its own; classify now so the caller
+            # sees a respawn (the sentinel will find a clean corpse).
+            self._retire(worker, "init", f"initialization failed: "
+                         f"{message[2]}", pending, done, completed)
+        elif kind == "ok":
+            __, slot, run, seq, attempt, result, busy, pid = message
+            worker.task = None
+            worker.deadline = None
+            if run != self._run or seq >= len(done) or done[seq]:
+                return  # stale result from an abandoned run
+            reason = (self._validate(payloads[seq], result)
+                      if self._validate is not None else None)
+            if reason is not None:
+                self.events.garbage += 1
+                logger.warning("resilience garbage-result seq=%d slot=%d "
+                               "reason=%s", seq, slot, reason)
+                self._task_failed(seq, attempt, f"garbage result: {reason}",
+                                  pending, done, completed)
+            else:
+                completed.append(("ok", seq, result, busy, pid))
+
+    def _supervise_once(self, payloads: List, pending: deque,
+                        done: List[bool], completed: List,
+                        timeout_cap: Optional[float]) -> None:
+        """One wait-and-react cycle: results, deaths, deadlines."""
+        now = time.monotonic()
+        deadlines = [w.deadline for w in self._live_workers()
+                     if w.deadline is not None]
+        timeout = None
+        if deadlines:
+            timeout = max(0.0, min(deadlines) - now)
+        if timeout_cap is not None:
+            timeout = timeout_cap if timeout is None else min(timeout,
+                                                              timeout_cap)
+        objects, by_object = [], {}
+        for worker in self._live_workers():
+            objects.append(worker.conn)
+            by_object[worker.conn] = worker
+            objects.append(worker.proc.sentinel)
+            by_object[worker.proc.sentinel] = worker
+        if not objects:
+            self._declare_dead_if_empty()
+            return
+        ready = mp_connection.wait(objects, timeout)
+        touched = set()
+        for obj in ready:
+            worker = by_object[obj]
+            if id(worker) in touched or worker.proc is None:
+                continue
+            touched.add(id(worker))
+            died = False
+            try:
+                while worker.conn.poll():
+                    self._on_message(worker, worker.conn.recv(), payloads,
+                                     pending, done, completed)
+            except (EOFError, OSError):
+                died = True
+            if died or not worker.proc.is_alive():
+                # Drain happened above, so any result sent just before death
+                # was already consumed; what's left is a genuine loss.
+                self._retire(worker, "crash",
+                             "worker process died unexpectedly",
+                             pending, done, completed)
+        # Deadline sweep: hung batches and hung initializations.
+        now = time.monotonic()
+        for worker in list(self._live_workers()):
+            if worker.deadline is None or worker.deadline > now:
+                continue
+            if worker.proc is None:
+                continue
+            # One last chance: a slow-but-alive worker whose result is
+            # already in the pipe is not hung.
+            drained = False
+            try:
+                while worker.conn.poll():
+                    self._on_message(worker, worker.conn.recv(), payloads,
+                                     pending, done, completed)
+                    drained = True
+            except (EOFError, OSError):
+                pass
+            if worker.task is None and drained:
+                continue
+            if not worker.ready:
+                self._retire(worker, "init", "initialization timed out",
+                             pending, done, completed)
+            else:
+                deadline = self.policy.batch_timeout
+                self._retire(worker, "timeout",
+                             f"batch deadline ({deadline}s) exceeded",
+                             pending, done, completed)
+
+    # -- public mapping ------------------------------------------------------ #
+    def map_unordered(self, payloads: Sequence[Any]
+                      ) -> Iterator[Tuple[int, Any, float, int]]:
+        """Yield ``(seq, result, busy_seconds, pid)`` per payload, any order.
+
+        Every payload is answered exactly once, whatever faults occur —
+        worker-computed, retried, quarantined to the fallback, or (after
+        total pool death) computed in-process.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return
+        if self._closed:
+            raise RuntimeError("SupervisedPool is closed")
+        self.start()
+        self._run += 1
+        run = self._run
+        pending = deque((seq, 0) for seq in range(len(payloads)))
+        done = [False] * len(payloads)
+        remaining = len(payloads)
+        completed: List[Tuple] = []
+
+        while remaining > 0:
+            if self._dead:
+                for seq in range(len(payloads)):
+                    if not done[seq]:
+                        done[seq] = True
+                        remaining -= 1
+                        yield self._fallback_result(seq, payloads[seq])
+                return
+            # Hand pending work to idle, ready workers.
+            idle = [w for w in self._live_workers()
+                    if w.ready and w.task is None]
+            while pending and idle:
+                seq, attempt = pending.popleft()
+                if done[seq]:
+                    continue
+                worker = idle.pop(0)
+                worker.task = (run, seq, attempt)
+                worker.deadline = (
+                    time.monotonic() + self.policy.batch_timeout
+                    if self.policy.batch_timeout is not None else None)
+                try:
+                    worker.conn.send((run, seq, attempt, payloads[seq]))
+                except (OSError, BrokenPipeError):
+                    self._retire(worker, "crash", "worker pipe closed",
+                                 pending, done, completed)
+            if not completed:
+                self._supervise_once(payloads, pending, done, completed, None)
+            # Deliver whatever this cycle produced.
+            while completed:
+                item = completed.pop(0)
+                if item[0] == "quarantine":
+                    seq = item[1]
+                    if done[seq]:
+                        continue
+                    done[seq] = True
+                    remaining -= 1
+                    yield self._fallback_result(seq, payloads[seq])
+                else:
+                    __, seq, result, busy, pid = item
+                    if done[seq]:
+                        continue
+                    done[seq] = True
+                    remaining -= 1
+                    yield seq, result, busy, pid

@@ -22,6 +22,7 @@ run over run.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import platform
 import time
@@ -35,6 +36,7 @@ from ..data import Entity, EntityPair
 from ..matcher import MlpMatcher
 from ..pipeline import ERPipeline
 from ..pretrain import fresh_copy, pretrained_lm
+from ..resilience import BackoffPolicy, ChaosConfig, Fault, RetryPolicy
 from .engine import ParallelScorer, SequentialScorer
 from .metrics import ServeMetrics, ThroughputMeter
 
@@ -42,6 +44,14 @@ from .metrics import ServeMetrics, ThroughputMeter
 #: the checkpoint cache is shared with a normal test run).
 BENCH_LM = dict(dim=32, num_layers=1, num_heads=2, max_len=96,
                 corpus_scale=0.01, steps=80, seed=0)
+
+#: ``--inject-fault`` plans: one deterministic fault on scheduler batch 1,
+#: each exercising a different recovery path of the supervised pool.
+INJECTABLE_FAULTS = {
+    "worker_crash": Fault("crash", batch=1),
+    "hang": Fault("hang", batch=1, hang_seconds=30.0),
+    "garbage": Fault("garbage", batch=1),
+}
 
 _WORDS = ("acoustic", "baseline", "canonical", "digital", "electric",
           "fluent", "gradient", "harmonic", "ivory", "jasper", "kinetic",
@@ -102,16 +112,24 @@ def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
                     pipeline_dir: Optional[Union[str, Path]] = None,
                     output: Union[str, Path] = "BENCH_serve.json",
                     batch_size: int = 64, seed: int = 0,
-                    lm_kwargs: Optional[dict] = None) -> Dict:
+                    lm_kwargs: Optional[dict] = None,
+                    inject_fault: Optional[str] = None) -> Dict:
     """Run the three-engine race and write ``BENCH_serve.json``.
 
     Returns the report dict (also persisted atomically to ``output``).
     Raises ``AssertionError`` if the engines' decisions deviate from each
     other or from the sequential reference — a wrong fast path must never
     report a number.
+
+    With ``inject_fault`` (one of :data:`INJECTABLE_FAULTS`), a fourth pass
+    runs the parallel engine under a deterministic injected fault and records
+    the recovery overhead; its decisions must still be bit-identical.
     """
     if num_pairs <= 0:
         raise ValueError("num_pairs must be positive")
+    if inject_fault is not None and inject_fault not in INJECTABLE_FAULTS:
+        raise ValueError(f"unknown fault {inject_fault!r}; "
+                         f"choose from {sorted(INJECTABLE_FAULTS)}")
     pipeline_dir = Path(pipeline_dir or Path(".cache") / "serve_bench_pipeline")
     build_bench_pipeline(pipeline_dir, seed=seed, lm_kwargs=lm_kwargs)
     pipeline = ERPipeline.load(pipeline_dir)
@@ -126,8 +144,9 @@ def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
     sequential_decisions = sequential.score_pairs(pairs)
 
     # 3. parallel engine, same scheduler configuration (pool spin-up excluded
-    #    from scoring wall time by entering the context first)
+    #    from scoring wall time by warming the pool first)
     with ParallelScorer(pipeline_dir, num_workers=num_workers) as scorer:
+        scorer.warm_up()
         parallel_decisions = scorer.score_pairs(pairs)
         parallel_metrics = scorer.last_metrics
 
@@ -144,8 +163,41 @@ def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
         [d.is_match for d in reference], \
         "bucketed policy flips a match decision against the reference"
 
-    engines = {m.engine: m.to_dict() for m in
-               (reference_metrics, sequential.last_metrics, parallel_metrics)}
+    metrics = [reference_metrics, sequential.last_metrics, parallel_metrics]
+
+    # 4. optional chaos pass: same workload, one injected fault.  Recovery
+    #    must be invisible in the decisions — only the clock may notice.
+    fault_record = None
+    if inject_fault is not None:
+        fault = INJECTABLE_FAULTS[inject_fault]
+        # Hangs are detected by the batch deadline, so tighten it; other
+        # faults surface on their own.  Retry instantly — the backoff pause
+        # would otherwise dominate the measured recovery overhead.
+        timeout = 2.0 if fault.kind == "hang" else 30.0
+        policy = RetryPolicy(batch_timeout=timeout,
+                             backoff=BackoffPolicy.instant())
+        with ParallelScorer(pipeline_dir, num_workers=num_workers,
+                            retry=policy,
+                            chaos=ChaosConfig((fault,))) as scorer:
+            scorer.warm_up()
+            faulted_decisions = scorer.score_pairs(pairs)
+            faulted_metrics = scorer.last_metrics
+        assert faulted_decisions == sequential_decisions, \
+            f"decisions changed under injected fault {inject_fault!r}"
+        faulted_metrics = dataclasses.replace(faulted_metrics,
+                                              engine="parallel-faulted")
+        metrics.append(faulted_metrics)
+        clean_pps = parallel_metrics.pairs_per_second
+        fault_record = {
+            "fault": inject_fault,
+            "bit_identical_to_sequential": True,
+            "events": {k: v for k, v in faulted_metrics.events.items() if v},
+            "recovery_overhead": (
+                clean_pps / faulted_metrics.pairs_per_second - 1.0
+                if faulted_metrics.pairs_per_second else 0.0),
+        }
+
+    engines = {m.engine: m.to_dict() for m in metrics}
     baseline_pps = engines["sequential-reference"]["pairs_per_second"]
     for record in engines.values():
         record["speedup_vs_reference"] = (
@@ -165,6 +217,8 @@ def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
         "max_abs_diff_vs_reference": max_diff,
         "engines": engines,
     }
+    if fault_record is not None:
+        report["injected_fault"] = fault_record
     atomic_write(Path(output),
                  lambda tmp: tmp.write_text(json.dumps(report, indent=2)))
     return report
@@ -181,4 +235,11 @@ def format_report(report: Dict) -> str:
             f"p95 {record['p95_batch_seconds'] * 1e3:6.1f} ms  "
             f"util {record['worker_utilization'] * 100:5.1f}%  "
             f"speedup {record['speedup_vs_reference']:.2f}x")
+    fault = report.get("injected_fault")
+    if fault:
+        events = ", ".join(f"{k}={v}" for k, v in sorted(fault["events"].items()))
+        lines.append(
+            f"  injected fault {fault['fault']!r}: decisions bit-identical, "
+            f"recovery overhead {fault['recovery_overhead'] * 100:.1f}%  "
+            f"[{events or 'no events'}]")
     return "\n".join(lines)

@@ -1,4 +1,4 @@
-"""Batched sequential and multiprocess-parallel scoring engines.
+"""Batched sequential and supervised-parallel scoring engines.
 
 Two engines drive a persisted :class:`~repro.pipeline.ERPipeline` at
 throughput:
@@ -7,24 +7,27 @@ throughput:
   length-bucketing :class:`~repro.serve.scheduler.BatchScheduler` instead of
   the legacy fixed-stride/full-padding loop;
 * :class:`ParallelScorer` — the same scheduler fanned out over a
-  ``multiprocessing`` pool, one warm pipeline per worker loaded through
-  :mod:`repro.artifacts` (per-artifact lock held during load, manifest
-  digest checked so every worker provably scores with the same snapshot).
+  :class:`~repro.resilience.SupervisedPool` of warm-model workers, each
+  loaded through :mod:`repro.artifacts` (per-artifact lock held during
+  load, manifest digest checked — and re-checked on every worker respawn —
+  so every worker provably scores with the same snapshot).
 
 Batch formation is a pure function of the pair sequence and the scheduler
 configuration, so two engines given the same scheduler produce
 **bit-identical** :class:`~repro.pipeline.MatchDecision` lists regardless
-of worker count — the serve test tier asserts exactly that, including
-against ``ERPipeline.__call__`` driven by the same scheduler.  Every run
-records :class:`~repro.serve.metrics.ServeMetrics` (pairs/sec, p50/p95
-batch latency, worker utilization).
+of worker count — and regardless of faults: a crashed, hung, or
+garbage-returning worker costs retries and respawns (counted in
+:class:`~repro.resilience.Events`), a poison batch is quarantined to an
+in-process re-score, and a fully dead pool degrades the run to sequential
+execution, but the decision list never changes.  Every run records
+:class:`~repro.serve.metrics.ServeMetrics` (pairs/sec, p50/p95 batch
+latency, worker utilization, recovery events).
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
-import multiprocessing.pool
-import os
 import time
 from pathlib import Path
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
@@ -35,8 +38,11 @@ from ..artifacts import ArtifactError, ArtifactStore
 from ..blocking import OverlapBlocker
 from ..data import Entity, EntityPair
 from ..pipeline import ERPipeline, MatchDecision
+from ..resilience import ChaosConfig, Events, RetryPolicy, SupervisedPool
 from .metrics import ServeMetrics, ThroughputMeter
 from .scheduler import BatchScheduler
+
+logger = logging.getLogger("repro.serve")
 
 #: Default number of candidate pairs buffered per streaming window.
 STREAM_WINDOW = 2048
@@ -77,6 +83,9 @@ class SequentialScorer:
 
     def score_pairs(self, pairs: Sequence[EntityPair]) -> List[MatchDecision]:
         meter = ThroughputMeter("sequential", num_workers=1)
+        if not pairs:
+            self.last_metrics = meter.finalize()
+            return []
         probabilities = np.empty(len(pairs), dtype=np.float64)
         extractor, matcher = self.pipeline.extractor, self.pipeline.matcher
         for batch in self.scheduler.schedule(pairs):
@@ -91,7 +100,7 @@ class SequentialScorer:
 
 
 # --------------------------------------------------------------------------- #
-# worker-side plumbing (module-level so the pool can pickle it)
+# worker-side plumbing (module-level so worker processes can run it)
 # --------------------------------------------------------------------------- #
 
 _WORKER_PIPELINE: Optional[ERPipeline] = None
@@ -100,10 +109,10 @@ _WORKER_PIPELINE: Optional[ERPipeline] = None
 def _init_worker(directory: str, expected_digest: Optional[str]) -> None:
     """Load one warm pipeline per worker, under the store's artifact lock.
 
-    The manifest digest recorded by the parent is re-read here: if a
-    concurrent writer republished the snapshot between parent startup and
-    worker startup, the digests disagree and the worker refuses to serve a
-    mixed fleet.
+    The manifest digest recorded by the parent is re-read here — on initial
+    startup *and on every supervisor respawn*: if a concurrent writer
+    republished the snapshot in between, the digests disagree and the worker
+    refuses to serve a mixed fleet.
     """
     global _WORKER_PIPELINE
     store = ArtifactStore(directory)
@@ -118,19 +127,38 @@ def _init_worker(directory: str, expected_digest: Optional[str]) -> None:
         _WORKER_PIPELINE = ERPipeline.load(directory)
 
 
-def _score_batch(payload: Tuple[int, np.ndarray, np.ndarray]
-                 ) -> Tuple[int, np.ndarray, float, int]:
-    """Score one padded batch; returns (seq, probs, busy_seconds, pid)."""
-    seq, ids, mask = payload
-    assert _WORKER_PIPELINE is not None, "worker initialized without a model"
-    started = time.perf_counter()
-    features = _WORKER_PIPELINE.extractor.encode(ids, mask)
-    probs = _WORKER_PIPELINE.matcher.probabilities(features)
-    return seq, probs, time.perf_counter() - started, os.getpid()
+def _worker_setup(directory: str, expected_digest: Optional[str]) -> ERPipeline:
+    """Supervisor initializer: digest-verified warm pipeline as worker state."""
+    _init_worker(directory, expected_digest)
+    assert _WORKER_PIPELINE is not None
+    return _WORKER_PIPELINE
+
+
+def _score_payload(pipeline: ERPipeline,
+                   payload: Tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+    """Score one padded ``(ids, mask)`` batch with a warm pipeline."""
+    ids, mask = payload
+    return pipeline.matcher.probabilities(pipeline.extractor.encode(ids, mask))
+
+
+def _validate_probabilities(payload: Tuple[np.ndarray, np.ndarray],
+                            result) -> Optional[str]:
+    """Reject garbage worker output before it can corrupt a decision list."""
+    ids, __ = payload
+    expected = int(ids.shape[0])
+    if not isinstance(result, np.ndarray):
+        return f"expected ndarray, got {type(result).__name__}"
+    if result.shape != (expected,):
+        return f"shape {result.shape} != ({expected},)"
+    if not np.all(np.isfinite(result)):
+        return "non-finite probabilities"
+    if float(result.min()) < -1e-9 or float(result.max()) > 1.0 + 1e-9:
+        return "probabilities outside [0, 1]"
+    return None
 
 
 class ParallelScorer:
-    """Shard scheduled batches across a pool of warm-model workers.
+    """Shard scheduled batches across a supervised pool of warm workers.
 
     Parameters
     ----------
@@ -139,14 +167,26 @@ class ParallelScorer:
         loads its own copy through :mod:`repro.artifacts`.
     num_workers:
         Pool size; must be >= 1.
+    retry:
+        :class:`~repro.resilience.RetryPolicy` for deadlines, retry budget,
+        respawn budget, and backoff (defaults are production-lenient).
+    chaos:
+        Optional :class:`~repro.resilience.ChaosConfig` fault plan; when
+        ``None`` the ``REPRO_CHAOS`` environment variable is consulted.
     scheduler_kwargs:
         Forwarded to :class:`BatchScheduler` (caps, bucket rounding...).
 
     Use as a context manager (or call :meth:`close`) so the pool is torn
-    down deterministically.
+    down deterministically — including on error paths.  Worker processes are
+    spawned lazily on the first non-empty scoring call (or explicitly via
+    :meth:`warm_up`); zero-work calls never spin up a pool.  A closed scorer
+    refuses further parallel work with a clear error instead of silently
+    recreating its pool.
     """
 
     def __init__(self, directory: Union[str, Path], num_workers: int = 4,
+                 retry: Optional[RetryPolicy] = None,
+                 chaos: Optional[ChaosConfig] = None,
                  **scheduler_kwargs):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -166,25 +206,65 @@ class ParallelScorer:
         self.scheduler = BatchScheduler(vocab, config["extractor"]["max_len"],
                                         **scheduler_kwargs)
         self._digest = store.manifest_digest()
-        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self.retry = retry or RetryPolicy()
+        self.chaos = chaos if chaos is not None else ChaosConfig.from_env()
+        #: Cumulative recovery counters across every run of this scorer;
+        #: ``last_metrics.events`` carries the per-run delta.
+        self.events = Events()
+        self._supervisor: Optional[SupervisedPool] = None
+        self._fallback_pipeline: Optional[ERPipeline] = None
+        self._closed = False
         self.last_metrics: Optional[ServeMetrics] = None
 
     # -- pool lifecycle ---------------------------------------------------- #
-    def _ensure_pool(self) -> multiprocessing.pool.Pool:
-        if self._pool is None:
-            self._pool = _mp_context().Pool(
-                processes=self.num_workers, initializer=_init_worker,
-                initargs=(str(self.directory), self._digest))
-        return self._pool
+    def _fallback_score(self, payload: Tuple[np.ndarray, np.ndarray]
+                        ) -> np.ndarray:
+        """In-process scoring for quarantined batches and pool death."""
+        if self._fallback_pipeline is None:
+            self._fallback_pipeline = ERPipeline.load(self.directory)
+        return _score_payload(self._fallback_pipeline, payload)
+
+    def _ensure_pool(self) -> SupervisedPool:
+        if self._closed:
+            raise RuntimeError(
+                "ParallelScorer is closed; construct a new scorer instead of "
+                "reusing one whose pool has been torn down")
+        if self._supervisor is None:
+            self._supervisor = SupervisedPool(
+                setup=_worker_setup,
+                setup_args=(str(self.directory), self._digest),
+                handle=_score_payload,
+                num_workers=self.num_workers,
+                policy=self.retry,
+                events=self.events,
+                validate=_validate_probabilities,
+                fallback=self._fallback_score,
+                chaos=self.chaos,
+                mp_context=_mp_context())
+            self._supervisor.start()
+        return self._supervisor
+
+    def warm_up(self, timeout: Optional[float] = None) -> int:
+        """Spawn the pool and block until workers are warm; returns how many.
+
+        Benchmarks call this so model-loading time is excluded from scoring
+        wall time; serving paths can rely on lazy spin-up instead.
+        """
+        return self._ensure_pool().wait_ready(timeout=timeout)
+
+    @property
+    def degraded(self) -> bool:
+        """True once the pool died and scoring fell back to in-process."""
+        return self._supervisor is not None and self._supervisor.degraded
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Terminate and join every worker; safe to call twice or on error."""
+        if self._supervisor is not None:
+            self._supervisor.close()
+            self._supervisor = None
+        self._closed = True
 
     def __enter__(self) -> "ParallelScorer":
-        self._ensure_pool()
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -193,27 +273,33 @@ class ParallelScorer:
     # -- scoring ----------------------------------------------------------- #
     def score_pairs(self, pairs: Sequence[EntityPair]) -> List[MatchDecision]:
         """Scores bit-identical to a sequential engine with the same
-        scheduler configuration, in input order."""
+        scheduler configuration, in input order — faults included."""
         meter = ThroughputMeter("parallel", num_workers=self.num_workers)
-        if not pairs:
-            self.last_metrics = meter.finalize()
+        if not pairs:  # zero work: never touch (or spin up) the pool
+            self.last_metrics = meter.finalize(events={})
             return []
         batches = list(self.scheduler.schedule(pairs))
-        payloads = [(seq, batch.ids, batch.mask)
-                    for seq, batch in enumerate(batches)]
+        payloads = [(batch.ids, batch.mask) for batch in batches]
+        supervisor = self._ensure_pool()
+        before = self.events.copy()
         probabilities = np.empty(len(pairs), dtype=np.float64)
-        pool = self._ensure_pool()
-        for seq, probs, busy, __pid in pool.imap_unordered(
-                _score_batch, payloads, chunksize=1):
+        for seq, probs, busy, __pid in supervisor.map_unordered(payloads):
             probabilities[batches[seq].indices] = probs
             meter.record_batch(batches[seq].num_pairs, busy)
-        self.last_metrics = meter.finalize()
+        run_events = self.events - before
+        if run_events:
+            logger.warning("serve recovered-run events=%s",
+                           run_events.to_dict())
+        self.last_metrics = meter.finalize(events=run_events.to_dict())
         return _decisions(pairs, probabilities)
 
     def score_tables(self, left_table: Sequence[Entity],
                      right_table: Sequence[Entity],
                      window: int = STREAM_WINDOW) -> Iterator[MatchDecision]:
-        """Stream decisions for every blocked candidate pair."""
+        """Stream decisions for every blocked candidate pair.
+
+        An empty blocker output streams nothing and never spins up workers.
+        """
         yield from _stream_tables(self, self.blocker, left_table, right_table,
                                   window)
 
@@ -251,14 +337,17 @@ def score_tables(pipeline: Union[ERPipeline, str, Path],
                  right_table: Sequence[Entity],
                  num_workers: int = 0,
                  window: int = STREAM_WINDOW,
+                 retry: Optional[RetryPolicy] = None,
+                 chaos: Optional[ChaosConfig] = None,
                  **scheduler_kwargs) -> Iterator[MatchDecision]:
     """Stream a :class:`MatchDecision` for every blocked candidate pair.
 
     ``pipeline`` is either a live :class:`ERPipeline` or a snapshot
     directory.  ``num_workers=0`` scores in-process through the batched
     :class:`SequentialScorer`; ``num_workers >= 1`` shards the windows over
-    a :class:`ParallelScorer` pool (directory input required, since each
-    worker loads its own model).  Decisions stream in blocker order with at
+    a supervised :class:`ParallelScorer` pool (directory input required,
+    since each worker loads its own model) — ``retry`` and ``chaos`` tune
+    its fault-tolerance policy.  Decisions stream in blocker order with at
     most ``window`` candidates buffered, so two large tables never
     materialize their full candidate set.  Filter on ``d.probability`` (or
     ``d.is_match``) to keep matches only.
@@ -268,8 +357,8 @@ def score_tables(pipeline: Union[ERPipeline, str, Path],
             raise ValueError(
                 "parallel score_tables needs a pipeline snapshot directory "
                 "(each worker loads its own warm model)")
-        with ParallelScorer(pipeline, num_workers=num_workers,
-                            **scheduler_kwargs) as scorer:
+        with ParallelScorer(pipeline, num_workers=num_workers, retry=retry,
+                            chaos=chaos, **scheduler_kwargs) as scorer:
             yield from scorer.score_tables(left_table, right_table,
                                            window=window)
         return

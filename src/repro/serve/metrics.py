@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 
 def percentile(values: List[float], q: float) -> float:
@@ -37,6 +37,9 @@ class ServeMetrics:
     wall_seconds: float
     busy_seconds: float  # summed per-batch compute time across workers
     batch_latencies: List[float] = field(default_factory=list)
+    #: Per-run recovery counters from :class:`repro.resilience.Events`
+    #: (retries, respawns, quarantines...); empty == fault-free run.
+    events: Dict[str, int] = field(default_factory=dict)
 
     @property
     def pairs_per_second(self) -> float:
@@ -68,6 +71,7 @@ class ServeMetrics:
             "p50_batch_seconds": self.p50_batch_seconds,
             "p95_batch_seconds": self.p95_batch_seconds,
             "worker_utilization": self.worker_utilization,
+            "events": {k: v for k, v in self.events.items() if v},
         }
 
 
@@ -87,10 +91,11 @@ class ThroughputMeter:
         self._busy += seconds
         self._pairs += num_pairs
 
-    def finalize(self) -> ServeMetrics:
+    def finalize(self, events: Optional[Dict[str, int]] = None) -> ServeMetrics:
         wall = time.perf_counter() - self._start
         return ServeMetrics(engine=self.engine, num_pairs=self._pairs,
                             num_batches=len(self._latencies),
                             num_workers=self.num_workers,
                             wall_seconds=wall, busy_seconds=self._busy,
-                            batch_latencies=list(self._latencies))
+                            batch_latencies=list(self._latencies),
+                            events=dict(events or {}))

@@ -28,6 +28,11 @@ class TrainConfig:
     iterations_per_epoch: Optional[int] = None
     seed: int = 0
     track_sets: bool = False  # record per-epoch source/target-test F1 (Fig. 7-8)
+    # -- resilience guard-rail (repro.resilience.GuardRail) ----------------- #
+    guardrail: bool = True          # per-step NaN/divergence guard on trainers
+    guard_max_recoveries: int = 4   # rollbacks before TrainingDiverged
+    guard_patience: float = 25.0    # divergence bound: loss > patience * EMA
+    chaos: Optional[object] = None  # resilience.ChaosConfig fault plan (tests)
 
     def __post_init__(self) -> None:
         if self.epochs <= 0 or self.batch_size <= 0:
@@ -36,6 +41,10 @@ class TrainConfig:
             raise ValueError("learning_rate must be positive")
         if self.beta < 0:
             raise ValueError("beta must be non-negative")
+        if self.guard_max_recoveries < 0:
+            raise ValueError("guard_max_recoveries must be non-negative")
+        if self.guard_patience <= 1.0:
+            raise ValueError("guard_patience must be > 1")
 
     BETA_GRID = (0.001, 0.01, 0.1, 1.0, 5.0)
 
@@ -68,6 +77,9 @@ class AdaptationResult:
     history: List[EpochRecord] = field(default_factory=list)
     extractor: object = None
     matcher: object = None
+    #: Recovery counters from the training guard-rail
+    #: (:class:`repro.resilience.Events`); ``None`` when the guard was off.
+    events: object = None
 
     @property
     def best_f1(self) -> float:

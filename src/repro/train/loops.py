@@ -10,6 +10,15 @@
 Every trainer follows §6.1's evaluation protocol: after each epoch the
 current (F, M) snapshot is scored on the target validation set, and the
 best-scoring snapshot is restored before final test scoring.
+
+Every trainer also runs under a :class:`repro.resilience.GuardRail`
+(``config.guardrail``, on by default): each step's loss and gradients are
+checked for finiteness and divergence between ``backward()`` and
+``optimizer.step()``, a bad step rolls the models back to the last good
+epoch snapshot (persisted through :mod:`repro.artifacts`) and halves the
+learning rate, and a run that cannot be stabilized raises a structured
+:class:`repro.resilience.TrainingDiverged` instead of silently serializing
+a NaN extractor.  Recovery counters land on ``AdaptationResult.events``.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from ..data import ERDataset
 from ..extractors import FeatureExtractor
 from ..matcher import MlpMatcher
 from ..nn import Adam, Tensor, clip_grad_norm, functional as F
+from ..resilience import GuardRail
 from ..text import InfiniteSampler
 from .config import AdaptationResult, EpochRecord, TrainConfig
 from .metrics import evaluate
@@ -98,6 +108,22 @@ class _EpochTracker:
             matcher=self.matcher)
 
 
+def _guardrail(config: TrainConfig, modules: Dict[str, object],
+               optimizers: List[object], method: str) -> Optional[GuardRail]:
+    """The configured per-step divergence guard, or ``None`` when disabled."""
+    if not config.guardrail:
+        return None
+    return GuardRail(modules, optimizers,
+                     max_recoveries=config.guard_max_recoveries,
+                     patience=config.guard_patience,
+                     chaos=config.chaos, method=method)
+
+
+def _mean(losses: List[float]) -> float:
+    """Epoch-mean loss; 0.0 when every step of the epoch was rolled back."""
+    return float(np.mean(losses)) if losses else 0.0
+
+
 def _iterations(config: TrainConfig, source_size: int) -> int:
     if config.iterations_per_epoch is not None:
         return max(1, config.iterations_per_epoch)
@@ -126,23 +152,37 @@ def train_source_only(extractor: FeatureExtractor, matcher: MlpMatcher,
     tracker = _EpochTracker(matcher, target_valid, config,
                             source_eval=source, target_eval=target_test)
     iterations = _iterations(config, len(source))
+    guard = _guardrail(config, {"extractor": extractor, "matcher": matcher},
+                       [optimizer], "noda")
     extractor.train()
     matcher.train()
-    for epoch in range(config.epochs):
-        losses = []
-        for __ in range(iterations):
-            pairs, labels = _source_batch(source, sampler)
-            optimizer.zero_grad()
-            logits = matcher(extractor(pairs))
-            loss = F.cross_entropy(logits, labels)
-            loss.backward()
-            clip_grad_norm(params, config.clip_norm)
-            optimizer.step()
-            losses.append(loss.item())
-        tracker.end_epoch(epoch, extractor, float(np.mean(losses)), 0.0)
-        extractor.train()
-        matcher.train()
-    return tracker.finish("noda", extractor, target_test)
+    try:
+        for epoch in range(config.epochs):
+            losses = []
+            for step in range(iterations):
+                pairs, labels = _source_batch(source, sampler)
+                optimizer.zero_grad()
+                logits = matcher(extractor(pairs))
+                loss = F.cross_entropy(logits, labels)
+                loss.backward()
+                if guard is not None and not guard.observe(
+                        loss.item(), epoch, step, params):
+                    continue  # rolled back + LR halved; skip the bad step
+                clip_grad_norm(params, config.clip_norm)
+                optimizer.step()
+                losses.append(loss.item())
+            tracker.end_epoch(epoch, extractor, _mean(losses), 0.0)
+            if guard is not None:
+                guard.snapshot(epoch)
+            extractor.train()
+            matcher.train()
+    finally:
+        if guard is not None:
+            guard.close()
+    result = tracker.finish("noda", extractor, target_test)
+    if guard is not None:
+        result.events = guard.events
+    return result
 
 
 def train_joint(extractor: FeatureExtractor, matcher: MlpMatcher,
@@ -169,41 +209,56 @@ def train_joint(extractor: FeatureExtractor, matcher: MlpMatcher,
     tracker = _EpochTracker(matcher, target_valid, config,
                             source_eval=source, target_eval=target_test)
     iterations = _iterations(config, len(source))
+    guard = _guardrail(config, {"extractor": extractor, "matcher": matcher,
+                                "aligner": aligner}, [optimizer],
+                       aligner.name)
     extractor.train()
     matcher.train()
     aligner.train()
-    for epoch in range(config.epochs):
-        match_losses, align_losses = [], []
-        for __ in range(iterations):
-            pairs_s, labels = _source_batch(source, source_sampler)
-            idx_t = target_sampler.next_batch()
-            pairs_t = [target_train.pairs[int(i)] for i in idx_t]
+    try:
+        for epoch in range(config.epochs):
+            match_losses, align_losses = [], []
+            for step in range(iterations):
+                pairs_s, labels = _source_batch(source, source_sampler)
+                idx_t = target_sampler.next_batch()
+                pairs_t = [target_train.pairs[int(i)] for i in idx_t]
 
-            ids_s, mask_s = extractor.batch_ids(pairs_s)
-            ids_t, mask_t = extractor.batch_ids(pairs_t)
-            features_s = extractor.encode(ids_s, mask_s)
-            features_t = extractor.encode(ids_t, mask_t)
+                ids_s, mask_s = extractor.batch_ids(pairs_s)
+                ids_t, mask_t = extractor.batch_ids(pairs_t)
+                features_s = extractor.encode(ids_s, mask_s)
+                features_t = extractor.encode(ids_t, mask_t)
 
-            matching_loss = F.cross_entropy(matcher(features_s), labels)
-            alignment_loss = aligner.alignment_loss(AlignmentBatch(
-                source_features=features_s, target_features=features_t,
-                source_ids=ids_s, source_mask=mask_s,
-                target_ids=ids_t, target_mask=mask_t,
-                extractor=extractor))
-            total = matching_loss + alignment_loss * config.beta
+                matching_loss = F.cross_entropy(matcher(features_s), labels)
+                alignment_loss = aligner.alignment_loss(AlignmentBatch(
+                    source_features=features_s, target_features=features_t,
+                    source_ids=ids_s, source_mask=mask_s,
+                    target_ids=ids_t, target_mask=mask_t,
+                    extractor=extractor))
+                total = matching_loss + alignment_loss * config.beta
 
-            optimizer.zero_grad()
-            total.backward()
-            clip_grad_norm(params, config.clip_norm)
-            optimizer.step()
-            match_losses.append(matching_loss.item())
-            align_losses.append(alignment_loss.item())
-        tracker.end_epoch(epoch, extractor, float(np.mean(match_losses)),
-                          float(np.mean(align_losses)))
-        extractor.train()
-        matcher.train()
-        aligner.train()
-    return tracker.finish(aligner.name, extractor, target_test)
+                optimizer.zero_grad()
+                total.backward()
+                if guard is not None and not guard.observe(
+                        total.item(), epoch, step, params):
+                    continue  # rolled back + LR halved; skip the bad step
+                clip_grad_norm(params, config.clip_norm)
+                optimizer.step()
+                match_losses.append(matching_loss.item())
+                align_losses.append(alignment_loss.item())
+            tracker.end_epoch(epoch, extractor, _mean(match_losses),
+                              _mean(align_losses))
+            if guard is not None:
+                guard.snapshot(epoch)
+            extractor.train()
+            matcher.train()
+            aligner.train()
+    finally:
+        if guard is not None:
+            guard.close()
+    result = tracker.finish(aligner.name, extractor, target_test)
+    if guard is not None:
+        result.events = guard.events
+    return result
 
 
 def train_gan(extractor: FeatureExtractor, matcher: MlpMatcher,
@@ -230,16 +285,28 @@ def train_gan(extractor: FeatureExtractor, matcher: MlpMatcher,
     optimizer = Adam(params, lr=config.learning_rate)
     sampler = InfiniteSampler(len(source), config.batch_size, rng)
     iterations = _iterations(config, len(source))
+    pre_guard = _guardrail(config, {"extractor": extractor,
+                                    "matcher": matcher}, [optimizer],
+                           f"{aligner.name}-pretrain")
     extractor.train()
     matcher.train()
-    for __ in range(config.pretrain_epochs):
-        for __ in range(iterations):
-            pairs, labels = _source_batch(source, sampler)
-            optimizer.zero_grad()
-            loss = F.cross_entropy(matcher(extractor(pairs)), labels)
-            loss.backward()
-            clip_grad_norm(params, config.clip_norm)
-            optimizer.step()
+    try:
+        for pre_epoch in range(config.pretrain_epochs):
+            for step in range(iterations):
+                pairs, labels = _source_batch(source, sampler)
+                optimizer.zero_grad()
+                loss = F.cross_entropy(matcher(extractor(pairs)), labels)
+                loss.backward()
+                if pre_guard is not None and not pre_guard.observe(
+                        loss.item(), pre_epoch, step, params):
+                    continue  # rolled back + LR halved; skip the bad step
+                clip_grad_norm(params, config.clip_norm)
+                optimizer.step()
+            if pre_guard is not None:
+                pre_guard.snapshot(pre_epoch)
+    finally:
+        if pre_guard is not None:
+            pre_guard.close()
 
     # ---- Step 2: adversarial adaptation of the clone F' (lines 8-16).
     adapted = copy.deepcopy(extractor)
@@ -254,50 +321,67 @@ def train_gan(extractor: FeatureExtractor, matcher: MlpMatcher,
     target_sampler = InfiniteSampler(len(target_train), config.batch_size, rng)
     tracker = _EpochTracker(matcher, target_valid, config,
                             source_eval=source, target_eval=target_test)
+    guard = _guardrail(config, {"adapted": adapted, "aligner": aligner},
+                       [disc_optimizer, gen_optimizer], aligner.name)
     extractor.eval()  # the teacher F stays frozen
     matcher.eval()
     adapted.train()
     aligner.train()
-    for epoch in range(config.epochs):
-        disc_losses, gen_losses = [], []
-        for __ in range(iterations):
-            pairs_s, __labels = _source_batch(source, source_sampler)
-            idx_t = target_sampler.next_batch()
-            pairs_t = [target_train.pairs[int(i)] for i in idx_t]
+    try:
+        for epoch in range(config.epochs):
+            disc_losses, gen_losses = [], []
+            for step in range(iterations):
+                pairs_s, __labels = _source_batch(source, source_sampler)
+                idx_t = target_sampler.next_batch()
+                pairs_t = [target_train.pairs[int(i)] for i in idx_t]
 
-            # -- discriminator step (Eq. 10 for InvGAN, Eq. 13 for +KD)
-            if use_kd:
-                real = adapted(pairs_s).detach()
-            else:
-                real = extractor(pairs_s).detach()
-            fake = adapted(pairs_t).detach()
-            disc_optimizer.zero_grad()
-            disc_loss = aligner.discriminator_loss(real, fake)
-            disc_loss.backward()
-            clip_grad_norm(aligner.parameters(), config.clip_norm)
-            disc_optimizer.step()
+                # -- discriminator step (Eq. 10 for InvGAN, Eq. 13 for +KD)
+                if use_kd:
+                    real = adapted(pairs_s).detach()
+                else:
+                    real = extractor(pairs_s).detach()
+                fake = adapted(pairs_t).detach()
+                disc_optimizer.zero_grad()
+                disc_loss = aligner.discriminator_loss(real, fake)
+                disc_loss.backward()
+                if guard is None or guard.observe(disc_loss.item(), epoch,
+                                                  step, aligner.parameters()):
+                    clip_grad_norm(aligner.parameters(), config.clip_norm)
+                    disc_optimizer.step()
+                    disc_losses.append(disc_loss.item())
 
-            # -- generator step (Eq. 11 for InvGAN, Eq. 14 for +KD)
-            gen_optimizer.zero_grad()
-            fake_live = adapted(pairs_t)
-            gen_loss = aligner.generator_loss(fake_live)
-            if use_kd:
-                teacher_logits = matcher(extractor(pairs_s)).detach()
-                student_logits = matcher(adapted(pairs_s))
-                gen_loss = gen_loss + aligner.kd_loss(Tensor(teacher_logits.data),
-                                                      student_logits)
-            gen_loss.backward()
-            clip_grad_norm(adapted.parameters(), config.clip_norm)
-            gen_optimizer.step()
-            # A and M accumulated pass-through gradients; drop them so the
-            # next discriminator step starts clean.
-            aligner.zero_grad()
-            matcher.zero_grad()
-            extractor.zero_grad()
-            disc_losses.append(disc_loss.item())
-            gen_losses.append(gen_loss.item())
-        tracker.end_epoch(epoch, adapted, float(np.mean(gen_losses)),
-                          float(np.mean(disc_losses)))
-        adapted.train()
-        matcher.eval()
-    return tracker.finish(aligner.name, adapted, target_test)
+                # -- generator step (Eq. 11 for InvGAN, Eq. 14 for +KD)
+                gen_optimizer.zero_grad()
+                fake_live = adapted(pairs_t)
+                gen_loss = aligner.generator_loss(fake_live)
+                if use_kd:
+                    teacher_logits = matcher(extractor(pairs_s)).detach()
+                    student_logits = matcher(adapted(pairs_s))
+                    gen_loss = gen_loss + aligner.kd_loss(
+                        Tensor(teacher_logits.data), student_logits)
+                gen_loss.backward()
+                if guard is None or guard.observe(gen_loss.item(), epoch,
+                                                  step, adapted.parameters()):
+                    clip_grad_norm(adapted.parameters(), config.clip_norm)
+                    gen_optimizer.step()
+                    gen_losses.append(gen_loss.item())
+                # A and M accumulated pass-through gradients; drop them so the
+                # next discriminator step starts clean.
+                aligner.zero_grad()
+                matcher.zero_grad()
+                extractor.zero_grad()
+            tracker.end_epoch(epoch, adapted, _mean(gen_losses),
+                              _mean(disc_losses))
+            if guard is not None:
+                guard.snapshot(epoch)
+            adapted.train()
+            matcher.eval()
+    finally:
+        if guard is not None:
+            guard.close()
+    result = tracker.finish(aligner.name, adapted, target_test)
+    if guard is not None:
+        result.events = guard.events
+        if pre_guard is not None:
+            result.events = pre_guard.events + guard.events
+    return result

@@ -1,4 +1,8 @@
-"""Failure-injection tests: corrupt caches, malformed inputs, edge shapes.
+"""Failure-injection tests: corrupt caches, malformed inputs, edge shapes —
+plus the chaos tier (``pytest -m chaos``), which injects deterministic
+worker crashes, hangs, poison batches, pool death, and NaN losses through
+:mod:`repro.resilience.chaos` and asserts every recovery path ends in final
+decisions **bit-identical** to a fault-free run.
 
 A library that trains for minutes must fail *fast and loud* on bad inputs;
 these tests pin the error behaviour.
@@ -12,6 +16,8 @@ from repro.datasets import load_dataset
 from repro.matcher import MlpMatcher
 from repro.nn import Tensor, save_state
 from repro.pretrain.cache import _load_vocab, pretrained_lm
+from repro.resilience import (BackoffPolicy, ChaosConfig, Fault, RetryPolicy,
+                              TrainingDiverged)
 from repro.text import Vocabulary, pad_sequences
 from repro.train import TrainConfig, evaluate, match_metrics, train_source_only
 
@@ -114,3 +120,156 @@ class TestEdgeShapes:
         result = train_source_only(lm_copy, matcher, sub, valid, test,
                                    config)
         assert len(result.history) == 1
+
+
+# --------------------------------------------------------------------------- #
+# chaos tier: injected faults, bit-identical recovery (`pytest -m chaos`)
+# --------------------------------------------------------------------------- #
+
+#: Small batches so a ~60-pair workload spans several scheduler batches —
+#: enough distinct (worker, batch) targets for every fault scenario.
+_SCHED = dict(max_batch_pairs=16)
+
+
+def _chaos_pairs(count=60, seed=3):
+    rng = np.random.default_rng(seed)
+    words = ["mesa", "rook", "tide", "volt", "wick", "yarn", "zinc",
+             "opal", "pine", "quay"]
+    pairs = []
+    for i in range(count):
+        left = Entity(f"l{i}", {"name": " ".join(
+            rng.choice(words, int(rng.integers(1, 12))))})
+        right = Entity(f"r{i}", {"name": " ".join(
+            rng.choice(words, int(rng.integers(1, 12))))})
+        pairs.append(EntityPair(left, right))
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def chaos_served(tmp_path_factory, tiny_lm):
+    """Snapshot dir + the fault-free decision list every scenario must match."""
+    from repro.pipeline import ERPipeline
+    from repro.pretrain import fresh_copy
+    from repro.serve import SequentialScorer
+    extractor = fresh_copy(tiny_lm[0], seed=0)
+    extractor.eval()
+    matcher = MlpMatcher(extractor.feature_dim, np.random.default_rng(0))
+    matcher.eval()
+    directory = tmp_path_factory.mktemp("chaos") / "pipeline"
+    ERPipeline(extractor, matcher).save(directory)
+    pairs = _chaos_pairs()
+    baseline = SequentialScorer.from_directory(
+        directory, **_SCHED).score_pairs(pairs)
+    assert len(baseline) == len(pairs)
+    return directory, pairs, baseline
+
+
+def _instant_retry(**kwargs):
+    return RetryPolicy(backoff=BackoffPolicy.instant(), **kwargs)
+
+
+def _run_with_faults(chaos_served, chaos, retry, num_workers=2):
+    from repro.serve import ParallelScorer
+    directory, pairs, baseline = chaos_served
+    with ParallelScorer(directory, num_workers=num_workers, retry=retry,
+                        chaos=chaos, **_SCHED) as scorer:
+        decisions = scorer.score_pairs(pairs)
+        events = scorer.events.copy()
+        metrics = scorer.last_metrics
+        degraded = scorer.degraded
+    assert decisions == baseline, \
+        "decisions drifted from the fault-free run"
+    return events, metrics, degraded
+
+
+@pytest.mark.chaos
+class TestServeChaos:
+    def test_worker_crash_mid_run_is_retried_elsewhere(self, chaos_served):
+        events, metrics, degraded = _run_with_faults(
+            chaos_served, ChaosConfig((Fault("crash", batch=2),)),
+            _instant_retry())
+        assert events.crashes == 1
+        assert events.respawns == 1
+        assert events.retries == 1
+        assert events.timeouts == 0 and events.quarantined == 0
+        assert not degraded
+        assert metrics.events["crashes"] == 1  # surfaced per-run
+
+    def test_hung_worker_is_killed_at_the_deadline(self, chaos_served):
+        events, metrics, degraded = _run_with_faults(
+            chaos_served,
+            ChaosConfig((Fault("hang", batch=1, hang_seconds=20.0),)),
+            _instant_retry(batch_timeout=2.0))
+        assert events.timeouts == 1
+        assert events.respawns == 1
+        assert events.retries == 1
+        assert events.crashes == 0
+        assert not degraded
+
+    def test_poison_batch_is_quarantined_in_process(self, chaos_served):
+        # times=None: the batch returns garbage on EVERY attempt, on any
+        # worker — the definition of poison.  After max_attempts the
+        # supervisor must quarantine it to the in-process fallback.
+        events, metrics, degraded = _run_with_faults(
+            chaos_served,
+            ChaosConfig((Fault("garbage", batch=0, times=None),)),
+            _instant_retry(max_attempts=3))
+        assert events.garbage == 3
+        assert events.retries == 2
+        assert events.quarantined == 1
+        assert events.respawns == 0  # garbage does not kill the worker
+        assert not degraded
+
+    def test_total_pool_death_degrades_to_sequential(self, chaos_served):
+        # Every batch crashes every worker; after the respawn budget is
+        # spent the pool is dead and the run must complete in-process.
+        events, metrics, degraded = _run_with_faults(
+            chaos_served, ChaosConfig((Fault("crash", times=None),)),
+            _instant_retry(max_respawns=2))
+        assert events.pool_fallbacks == 1
+        assert events.crashes >= 2
+        assert events.respawns == 2  # the whole budget
+        assert degraded
+
+    def test_env_var_plan_reaches_the_workers(self, chaos_served,
+                                              monkeypatch):
+        from repro.serve import ParallelScorer
+        directory, pairs, baseline = chaos_served
+        monkeypatch.setenv("REPRO_CHAOS", "crash:batch=1")
+        with ParallelScorer(directory, num_workers=2,
+                            retry=_instant_retry(), **_SCHED) as scorer:
+            assert scorer.score_pairs(pairs) == baseline
+            assert scorer.events.crashes == 1
+
+
+@pytest.mark.chaos
+class TestTrainingChaos:
+    def test_nan_at_step_k_rolls_back_and_converges(self, lm_copy,
+                                                    matcher_factory,
+                                                    books_restaurants):
+        source, __, valid, test = books_restaurants
+        matcher = matcher_factory(lm_copy.feature_dim)
+        config = TrainConfig(epochs=2, batch_size=16, iterations_per_epoch=4,
+                             seed=0,
+                             chaos=ChaosConfig((Fault("nan_loss", step=3),)))
+        result = train_source_only(lm_copy, matcher, source, valid, test,
+                                   config)
+        assert result.events.rollbacks == 1
+        assert result.events.lr_halvings == 1
+        assert np.isfinite(result.best_f1)
+        assert len(result.history) == 2  # training ran to completion
+
+    def test_persistent_nan_raises_structured_diagnosis(self, lm_copy,
+                                                        matcher_factory,
+                                                        books_restaurants):
+        source, __, valid, test = books_restaurants
+        matcher = matcher_factory(lm_copy.feature_dim)
+        config = TrainConfig(epochs=1, batch_size=16, iterations_per_epoch=4,
+                             seed=0, guard_max_recoveries=2,
+                             chaos=ChaosConfig((Fault("nan_loss"),)))
+        with pytest.raises(TrainingDiverged) as exc_info:
+            train_source_only(lm_copy, matcher, source, valid, test, config)
+        diverged = exc_info.value
+        assert diverged.recoveries == 2
+        assert len(diverged.incidents) == 3
+        assert diverged.method == "noda"
