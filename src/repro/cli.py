@@ -7,15 +7,27 @@ Subcommands::
     python -m repro table2
     python -m repro adapt dblp_acm dblp_scholar --aligner mmd --scale 0.1
     python -m repro distance books2 fodors_zagats
+    python -m repro serve-bench --pairs 10000 --workers 4 --telemetry
+    python -m repro trace-summary adapt_fz_am_mmd
+
+Installed as the ``repro`` console script (``[project.scripts]``), which
+enters here directly — so the BLAS single-thread guard from
+``repro.__main__`` is replicated before numpy loads.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
-import numpy as np
+# One process = one BLAS thread (see repro.__main__); the console-script
+# entry point bypasses __main__.py, so the guard must also live here.
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+os.environ.setdefault("OMP_NUM_THREADS", "1")
+
+import numpy as np  # noqa: E402  (env must be set before numpy loads)
 
 
 def _add_lm_arguments(parser: argparse.ArgumentParser) -> None:
@@ -65,6 +77,11 @@ def build_parser() -> argparse.ArgumentParser:
     adapt.add_argument("--seed", type=int, default=0)
     adapt.add_argument("--no-da", action="store_true",
                        help="run the NoDA baseline instead")
+    adapt.add_argument("--telemetry", action="store_true",
+                       help="trace the run (spans + autograd profiler) and "
+                            "export <trace-dir>/<run>.trace.jsonl")
+    adapt.add_argument("--trace-dir", default="traces",
+                       help="trace export directory (default traces)")
     _add_lm_arguments(adapt)
 
     report = commands.add_parser(
@@ -101,6 +118,22 @@ def build_parser() -> argparse.ArgumentParser:
                              help="run an extra parallel pass with one "
                                   "deterministic injected fault and record "
                                   "the recovery overhead")
+    serve_bench.add_argument("--telemetry", action="store_true",
+                             help="trace the race and embed a metrics "
+                                  "snapshot into the report")
+    serve_bench.add_argument("--trace-dir", default="traces",
+                             help="trace export directory (default traces)")
+
+    trace_summary = commands.add_parser(
+        "trace-summary",
+        help="render an exported trace: span tree, op table, metrics")
+    trace_summary.add_argument(
+        "run", help="run id (looked up under --trace-dir) or a path to a "
+                    ".trace.jsonl file")
+    trace_summary.add_argument("--trace-dir", default="traces",
+                               help="trace directory (default traces)")
+    trace_summary.add_argument("--top", type=int, default=10,
+                               help="rows in the per-op table (default 10)")
     return parser
 
 
@@ -130,20 +163,38 @@ def cmd_table2(args: argparse.Namespace) -> int:
 def cmd_adapt(args: argparse.Namespace) -> int:
     from .api import adapt, no_da
     from .datasets import load_dataset
+    from .telemetry import PROFILER, TelemetrySession
     from .train import TrainConfig
     source = load_dataset(args.source, scale=args.scale, seed=args.seed)
     target = load_dataset(args.target, scale=args.scale, seed=args.seed)
     config = TrainConfig(epochs=args.epochs, beta=args.beta, seed=args.seed)
-    if args.no_da:
-        result = no_da(source, target, config=config,
-                       lm_kwargs=_lm_kwargs(args))
-    else:
-        result = adapt(source, target, aligner=args.aligner, config=config,
-                       seed=args.seed, lm_kwargs=_lm_kwargs(args))
+    method = "noda" if args.no_da else args.aligner
+    session = (TelemetrySession(
+        f"adapt_{args.source}_{args.target}_{method}",
+        trace_dir=args.trace_dir, profile=True)
+        if args.telemetry else None)
+    if session is not None:
+        session.__enter__()
+    try:
+        if args.no_da:
+            result = no_da(source, target, config=config,
+                           lm_kwargs=_lm_kwargs(args))
+        else:
+            result = adapt(source, target, aligner=args.aligner,
+                           config=config, seed=args.seed,
+                           lm_kwargs=_lm_kwargs(args))
+    finally:
+        if session is not None:
+            session.__exit__(None, None, None)
     metrics = result.test_metrics
     print(f"method={result.method} best_epoch={result.best_epoch}")
     print(f"target F1={result.best_f1:.1f} "
           f"precision={metrics.precision:.3f} recall={metrics.recall:.3f}")
+    if session is not None:
+        path = session.export()
+        print()
+        print(PROFILER.format_top(10))
+        print(f"trace written to {path}")
     return 0
 
 
@@ -164,9 +215,23 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     report = run_serve_bench(num_pairs=args.pairs, num_workers=args.workers,
                              pipeline_dir=args.pipeline_dir,
                              output=args.output, batch_size=args.batch_size,
-                             seed=args.seed, inject_fault=args.inject_fault)
+                             seed=args.seed, inject_fault=args.inject_fault,
+                             telemetry=args.telemetry,
+                             trace_dir=args.trace_dir)
     print(format_report(report))
+    if "telemetry" in report:
+        print(f"trace written to {report['telemetry']['trace']}")
     print(f"report written to {args.output}")
+    return 0
+
+
+def cmd_trace_summary(args: argparse.Namespace) -> int:
+    from .telemetry import summarize
+    try:
+        print(summarize(args.run, trace_dir=args.trace_dir, top_k=args.top))
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -184,6 +249,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_distance(args)
     if args.command == "serve-bench":
         return cmd_serve_bench(args)
+    if args.command == "trace-summary":
+        return cmd_trace_summary(args)
     if args.command == "report":
         from .experiments import render_report
         print(render_report(profile_name=args.profile))

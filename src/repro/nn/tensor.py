@@ -19,6 +19,28 @@ import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
+#: The tape operations the autograd profiler may wrap, as
+#: ``method name -> op label`` (dunder aliases share a label, so ``a + b``
+#: and ``b + a`` aggregate together).  :class:`repro.telemetry.profiler.
+#: AutogradProfiler` patches exactly these methods while installed and
+#: restores the originals on uninstall — when it is off, this module runs
+#: byte-for-byte unmodified, which is the zero-overhead contract.  Timings
+#: are *inclusive*: composite ops (``__sub__``, ``mean``) also count the
+#: primitive ops they are built from.
+PROFILED_OPS = {
+    "__add__": "add", "__radd__": "add", "__neg__": "neg",
+    "__sub__": "sub", "__rsub__": "sub",
+    "__mul__": "mul", "__rmul__": "mul",
+    "__truediv__": "div", "__rtruediv__": "div",
+    "__pow__": "pow", "__matmul__": "matmul",
+    "exp": "exp", "log": "log", "sqrt": "sqrt", "tanh": "tanh",
+    "sigmoid": "sigmoid", "relu": "relu", "leaky_relu": "leaky_relu",
+    "abs": "abs", "clip": "clip",
+    "sum": "sum", "mean": "mean", "max": "max",
+    "reshape": "reshape", "transpose": "transpose",
+    "__getitem__": "getitem",
+}
+
 
 def _as_array(value: ArrayLike) -> np.ndarray:
     """Coerce ``value`` to a float64 ndarray (ints stay ints for indices)."""

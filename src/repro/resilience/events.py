@@ -7,6 +7,16 @@ itself, and how often?" is a first-class observable.  The serving engines
 surface a per-run snapshot through :class:`repro.serve.metrics.ServeMetrics`
 (and therefore ``BENCH_serve.json``); the trainers attach their counters to
 :class:`repro.train.config.AdaptationResult`.
+
+Counters are migrated onto the telemetry registry: every live increment
+(made through :meth:`Events.bump`, the only increment path the resilience
+layer uses) is mirrored into the process-global
+:data:`repro.telemetry.REGISTRY` as ``resilience.<field>``, so one
+``REGISTRY.snapshot()`` exports the cumulative recovery history of the
+process alongside the serve metrics — the single export path
+``serve-bench --telemetry`` embeds into ``BENCH_serve.json``.  Derived
+records (``copy()``, ``__add__``, ``__sub__`` deltas) never mirror;
+only actions that actually happened count once.
 """
 
 from __future__ import annotations
@@ -48,6 +58,15 @@ class Events:
     pool_fallbacks: int = 0
     rollbacks: int = 0
     lr_halvings: int = 0
+
+    def bump(self, field: str, amount: int = 1) -> None:
+        """Count a recovery action: increment + mirror to the telemetry
+        registry (``resilience.<field>``) so the process-wide export path
+        sees it.  All resilience-layer increments go through here."""
+        current = getattr(self, field)  # AttributeError on a bad field name
+        setattr(self, field, current + amount)
+        from ..telemetry import REGISTRY
+        REGISTRY.counter(f"resilience.{field}").inc(amount)
 
     def to_dict(self) -> Dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..artifacts import ArtifactStore
 from .chaos import ChaosConfig
 from .events import Events
@@ -199,11 +200,15 @@ class GuardRail:
             raise TrainingDiverged(self.method, epoch, step, loss,
                                    self._recoveries, self._incidents)
         self._recoveries += 1
-        self.events.rollbacks += 1
+        self.events.bump("rollbacks")
         self._rollback()
         for optimizer in self.optimizers:
             optimizer.lr = optimizer.lr * 0.5
-            self.events.lr_halvings += 1
+            self.events.bump("lr_halvings")
+        telemetry.event("resilience.rollback", method=self.method,
+                        epoch=epoch, step=step, reason=reason,
+                        restored_epoch=self._snapshot_epoch,
+                        recoveries=self._recoveries)
         self._ema = None  # re-warm the divergence bound after rollback
         self._healthy_steps = 0
         logger.warning(

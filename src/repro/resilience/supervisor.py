@@ -41,6 +41,7 @@ from typing import (Any, Callable, Iterator, List, Optional, Sequence, Tuple)
 
 import numpy as np
 
+from .. import telemetry
 from .backoff import BackoffPolicy
 from .chaos import ChaosConfig
 from .events import Events
@@ -225,6 +226,7 @@ class SupervisedPool:
             daemon=True)
         proc.start()
         child_conn.close()
+        telemetry.event("resilience.spawn", slot=worker.slot, pid=proc.pid)
         worker.proc = proc
         worker.conn = parent_conn
         worker.ready = False
@@ -328,7 +330,8 @@ class SupervisedPool:
     def _declare_dead_if_empty(self) -> None:
         if not self._dead and not self._live_workers():
             self._dead = True
-            self.events.pool_fallbacks += 1
+            self.events.bump("pool_fallbacks")
+            telemetry.event("resilience.pool_fallback")
             logger.warning(
                 "resilience pool-died respawn budget exhausted; degrading "
                 "to in-process execution")
@@ -346,17 +349,21 @@ class SupervisedPool:
         if task is not None:
             __, seq, attempt = task
             if cause == "timeout":
-                self.events.timeouts += 1
+                self.events.bump("timeouts")
             elif cause == "crash":
-                self.events.crashes += 1
+                self.events.bump("crashes")
             self._task_failed(seq, attempt, reason, pending, done, completed)
+        telemetry.event("resilience.retire", cause=cause, slot=worker.slot,
+                        reason=reason)
         logger.warning("resilience worker-%s slot=%d reason=%s",
                        cause, worker.slot, reason)
         if self._closed or self._dead:
             return
         if self._respawns_left > 0:
             self._respawns_left -= 1
-            self.events.respawns += 1
+            self.events.bump("respawns")
+            telemetry.event("resilience.respawn", slot=worker.slot,
+                            budget_left=self._respawns_left)
             logger.warning("resilience worker-respawn slot=%d budget_left=%d",
                            worker.slot, self._respawns_left)
             self._spawn(worker)
@@ -369,13 +376,17 @@ class SupervisedPool:
         if done is None or not done or seq >= len(done) or done[seq]:
             return
         if attempt + 1 >= self.policy.max_attempts:
-            self.events.quarantined += 1
+            self.events.bump("quarantined")
+            telemetry.event("resilience.quarantine", seq=seq,
+                            attempts=attempt + 1, reason=reason)
             logger.warning(
                 "resilience poison-batch seq=%d quarantined after %d "
                 "attempts (%s); scoring in-process", seq, attempt + 1, reason)
             completed.append(("quarantine", seq))
         else:
-            self.events.retries += 1
+            self.events.bump("retries")
+            telemetry.event("resilience.retry", seq=seq, attempt=attempt + 1,
+                            reason=reason)
             self.policy.backoff.sleep(attempt)
             pending.append((seq, attempt + 1))
 
@@ -399,7 +410,7 @@ class SupervisedPool:
             reason = (self._validate(payloads[seq], result)
                       if self._validate is not None else None)
             if reason is not None:
-                self.events.garbage += 1
+                self.events.bump("garbage")
                 logger.warning("resilience garbage-result seq=%d slot=%d "
                                "reason=%s", seq, slot, reason)
                 self._task_failed(seq, attempt, f"garbage result: {reason}",

@@ -25,7 +25,6 @@ from __future__ import annotations
 import dataclasses
 import json
 import platform
-import time
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -37,6 +36,7 @@ from ..matcher import MlpMatcher
 from ..pipeline import ERPipeline
 from ..pretrain import fresh_copy, pretrained_lm
 from ..resilience import BackoffPolicy, ChaosConfig, Fault, RetryPolicy
+from ..telemetry import DEFAULT_TRACE_DIR, REGISTRY, TelemetrySession, span
 from .engine import ParallelScorer, SequentialScorer
 from .metrics import ServeMetrics, ThroughputMeter
 
@@ -102,9 +102,10 @@ def _reference_metrics(pipeline: ERPipeline, pairs: List[EntityPair],
     meter = ThroughputMeter("sequential-reference", num_workers=1)
     for start in range(0, len(pairs), batch_size):
         batch = pairs[start:start + batch_size]
-        t0 = time.perf_counter()
-        pipeline(batch, batch_size=batch_size)
-        meter.record_batch(len(batch), time.perf_counter() - t0)
+        with span("serve.batch", engine="sequential-reference",
+                  num_pairs=len(batch)) as sp:
+            pipeline(batch, batch_size=batch_size)
+        meter.record_batch(len(batch), sp.duration)
     return meter.finalize()
 
 
@@ -113,7 +114,9 @@ def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
                     output: Union[str, Path] = "BENCH_serve.json",
                     batch_size: int = 64, seed: int = 0,
                     lm_kwargs: Optional[dict] = None,
-                    inject_fault: Optional[str] = None) -> Dict:
+                    inject_fault: Optional[str] = None,
+                    telemetry: bool = False,
+                    trace_dir: Union[str, Path] = DEFAULT_TRACE_DIR) -> Dict:
     """Run the three-engine race and write ``BENCH_serve.json``.
 
     Returns the report dict (also persisted atomically to ``output``).
@@ -124,6 +127,13 @@ def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
     With ``inject_fault`` (one of :data:`INJECTABLE_FAULTS`), a fourth pass
     runs the parallel engine under a deterministic injected fault and records
     the recovery overhead; its decisions must still be bit-identical.
+
+    With ``telemetry=True`` the race runs inside a
+    :class:`repro.telemetry.TelemetrySession`: every engine's spans are
+    exported to ``<trace_dir>/serve_bench_<pairs>x<workers>.trace.jsonl``
+    and the report gains a ``"telemetry"`` section embedding the registry
+    snapshot (serve counters/histograms plus any ``resilience.*`` recovery
+    counters the run produced) and the trace path.
     """
     if num_pairs <= 0:
         raise ValueError("num_pairs must be positive")
@@ -135,67 +145,78 @@ def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
     pipeline = ERPipeline.load(pipeline_dir)
     pairs = synthetic_candidates(num_pairs, seed=seed)
 
-    # 1. legacy sequential reference (ERPipeline.__call__)
-    reference_metrics = _reference_metrics(pipeline, pairs, batch_size)
-    reference = pipeline(pairs, batch_size=batch_size)
+    session = (TelemetrySession(f"serve_bench_{num_pairs}x{num_workers}",
+                                trace_dir=trace_dir)
+               if telemetry else None)
+    if session is not None:
+        session.__enter__()
+    try:
+        # 1. legacy sequential reference (ERPipeline.__call__)
+        reference_metrics = _reference_metrics(pipeline, pairs, batch_size)
+        reference = pipeline(pairs, batch_size=batch_size)
 
-    # 2. batched sequential engine
-    sequential = SequentialScorer(pipeline)
-    sequential_decisions = sequential.score_pairs(pairs)
+        # 2. batched sequential engine
+        sequential = SequentialScorer(pipeline)
+        sequential_decisions = sequential.score_pairs(pairs)
 
-    # 3. parallel engine, same scheduler configuration (pool spin-up excluded
-    #    from scoring wall time by warming the pool first)
-    with ParallelScorer(pipeline_dir, num_workers=num_workers) as scorer:
-        scorer.warm_up()
-        parallel_decisions = scorer.score_pairs(pairs)
-        parallel_metrics = scorer.last_metrics
-
-    # Same scheduling policy => bit-identical, no tolerance.
-    assert parallel_decisions == sequential_decisions, \
-        "parallel engine deviates bit-wise from the sequential engine"
-    # Different batching policy => within 1 ulp of the legacy reference.
-    max_diff = max((abs(a.probability - b.probability)
-                    for a, b in zip(sequential_decisions, reference)),
-                   default=0.0)
-    assert max_diff <= 1e-9, \
-        f"bucketed policy drifts {max_diff} from the reference"
-    assert [d.is_match for d in sequential_decisions] == \
-        [d.is_match for d in reference], \
-        "bucketed policy flips a match decision against the reference"
-
-    metrics = [reference_metrics, sequential.last_metrics, parallel_metrics]
-
-    # 4. optional chaos pass: same workload, one injected fault.  Recovery
-    #    must be invisible in the decisions — only the clock may notice.
-    fault_record = None
-    if inject_fault is not None:
-        fault = INJECTABLE_FAULTS[inject_fault]
-        # Hangs are detected by the batch deadline, so tighten it; other
-        # faults surface on their own.  Retry instantly — the backoff pause
-        # would otherwise dominate the measured recovery overhead.
-        timeout = 2.0 if fault.kind == "hang" else 30.0
-        policy = RetryPolicy(batch_timeout=timeout,
-                             backoff=BackoffPolicy.instant())
-        with ParallelScorer(pipeline_dir, num_workers=num_workers,
-                            retry=policy,
-                            chaos=ChaosConfig((fault,))) as scorer:
+        # 3. parallel engine, same scheduler configuration (pool spin-up
+        #    excluded from scoring wall time by warming the pool first)
+        with ParallelScorer(pipeline_dir, num_workers=num_workers) as scorer:
             scorer.warm_up()
-            faulted_decisions = scorer.score_pairs(pairs)
-            faulted_metrics = scorer.last_metrics
-        assert faulted_decisions == sequential_decisions, \
-            f"decisions changed under injected fault {inject_fault!r}"
-        faulted_metrics = dataclasses.replace(faulted_metrics,
-                                              engine="parallel-faulted")
-        metrics.append(faulted_metrics)
-        clean_pps = parallel_metrics.pairs_per_second
-        fault_record = {
-            "fault": inject_fault,
-            "bit_identical_to_sequential": True,
-            "events": {k: v for k, v in faulted_metrics.events.items() if v},
-            "recovery_overhead": (
-                clean_pps / faulted_metrics.pairs_per_second - 1.0
-                if faulted_metrics.pairs_per_second else 0.0),
-        }
+            parallel_decisions = scorer.score_pairs(pairs)
+            parallel_metrics = scorer.last_metrics
+
+        # Same scheduling policy => bit-identical, no tolerance.
+        assert parallel_decisions == sequential_decisions, \
+            "parallel engine deviates bit-wise from the sequential engine"
+        # Different batching policy => within 1 ulp of the legacy reference.
+        max_diff = max((abs(a.probability - b.probability)
+                        for a, b in zip(sequential_decisions, reference)),
+                       default=0.0)
+        assert max_diff <= 1e-9, \
+            f"bucketed policy drifts {max_diff} from the reference"
+        assert [d.is_match for d in sequential_decisions] == \
+            [d.is_match for d in reference], \
+            "bucketed policy flips a match decision against the reference"
+
+        metrics = [reference_metrics, sequential.last_metrics,
+                   parallel_metrics]
+
+        # 4. optional chaos pass: same workload, one injected fault.  Recovery
+        #    must be invisible in the decisions — only the clock may notice.
+        fault_record = None
+        if inject_fault is not None:
+            fault = INJECTABLE_FAULTS[inject_fault]
+            # Hangs are detected by the batch deadline, so tighten it; other
+            # faults surface on their own.  Retry instantly — the backoff
+            # pause would otherwise dominate the measured recovery overhead.
+            timeout = 2.0 if fault.kind == "hang" else 30.0
+            policy = RetryPolicy(batch_timeout=timeout,
+                                 backoff=BackoffPolicy.instant())
+            with ParallelScorer(pipeline_dir, num_workers=num_workers,
+                                retry=policy,
+                                chaos=ChaosConfig((fault,))) as scorer:
+                scorer.warm_up()
+                faulted_decisions = scorer.score_pairs(pairs)
+                faulted_metrics = scorer.last_metrics
+            assert faulted_decisions == sequential_decisions, \
+                f"decisions changed under injected fault {inject_fault!r}"
+            faulted_metrics = dataclasses.replace(faulted_metrics,
+                                                  engine="parallel-faulted")
+            metrics.append(faulted_metrics)
+            clean_pps = parallel_metrics.pairs_per_second
+            fault_record = {
+                "fault": inject_fault,
+                "bit_identical_to_sequential": True,
+                "events": {k: v for k, v in faulted_metrics.events.items()
+                           if v},
+                "recovery_overhead": (
+                    clean_pps / faulted_metrics.pairs_per_second - 1.0
+                    if faulted_metrics.pairs_per_second else 0.0),
+            }
+    finally:
+        if session is not None:
+            session.__exit__(None, None, None)
 
     engines = {m.engine: m.to_dict() for m in metrics}
     baseline_pps = engines["sequential-reference"]["pairs_per_second"]
@@ -219,6 +240,10 @@ def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
     }
     if fault_record is not None:
         report["injected_fault"] = fault_record
+    if session is not None:
+        trace_path = session.export()
+        report["telemetry"] = {"trace": str(trace_path),
+                               "metrics": REGISTRY.snapshot()}
     atomic_write(Path(output),
                  lambda tmp: tmp.write_text(json.dumps(report, indent=2)))
     return report

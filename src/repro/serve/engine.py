@@ -28,12 +28,12 @@ from __future__ import annotations
 
 import logging
 import multiprocessing
-import time
 from pathlib import Path
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import telemetry
 from ..artifacts import ArtifactError, ArtifactStore
 from ..blocking import OverlapBlocker
 from ..data import Entity, EntityPair
@@ -89,11 +89,12 @@ class SequentialScorer:
         probabilities = np.empty(len(pairs), dtype=np.float64)
         extractor, matcher = self.pipeline.extractor, self.pipeline.matcher
         for batch in self.scheduler.schedule(pairs):
-            started = time.perf_counter()
-            probs = matcher.probabilities(extractor.encode(batch.ids,
-                                                           batch.mask))
-            meter.record_batch(batch.num_pairs,
-                               time.perf_counter() - started)
+            with telemetry.span("serve.batch", engine="sequential",
+                                num_pairs=batch.num_pairs,
+                                padded_length=batch.padded_length) as sp:
+                probs = matcher.probabilities(extractor.encode(batch.ids,
+                                                               batch.mask))
+            meter.record_batch(batch.num_pairs, sp.duration)
             probabilities[batch.indices] = probs
         self.last_metrics = meter.finalize()
         return _decisions(pairs, probabilities)
@@ -250,7 +251,8 @@ class ParallelScorer:
         Benchmarks call this so model-loading time is excluded from scoring
         wall time; serving paths can rely on lazy spin-up instead.
         """
-        return self._ensure_pool().wait_ready(timeout=timeout)
+        with telemetry.span("serve.warm_up", num_workers=self.num_workers):
+            return self._ensure_pool().wait_ready(timeout=timeout)
 
     @property
     def degraded(self) -> bool:
@@ -278,14 +280,19 @@ class ParallelScorer:
         if not pairs:  # zero work: never touch (or spin up) the pool
             self.last_metrics = meter.finalize(events={})
             return []
-        batches = list(self.scheduler.schedule(pairs))
+        with telemetry.span("serve.schedule", num_pairs=len(pairs)):
+            batches = list(self.scheduler.schedule(pairs))
         payloads = [(batch.ids, batch.mask) for batch in batches]
         supervisor = self._ensure_pool()
         before = self.events.copy()
         probabilities = np.empty(len(pairs), dtype=np.float64)
-        for seq, probs, busy, __pid in supervisor.map_unordered(payloads):
+        for seq, probs, busy, pid in supervisor.map_unordered(payloads):
             probabilities[batches[seq].indices] = probs
             meter.record_batch(batches[seq].num_pairs, busy)
+            telemetry.event("serve.batch", engine="parallel", seq=seq,
+                            num_pairs=batches[seq].num_pairs,
+                            padded_length=batches[seq].padded_length,
+                            busy_seconds=busy, worker_pid=pid)
         run_events = self.events - before
         if run_events:
             logger.warning("serve recovered-run events=%s",

@@ -5,13 +5,21 @@ latency percentiles, and worker utilization — so perf changes to the hot
 path show up as numbers, not vibes.  ``python -m repro serve-bench`` and
 ``benchmarks/test_bench_serve.py`` persist these records to
 ``BENCH_serve.json`` to start the perf trajectory.
+
+Timekeeping is delegated to :mod:`repro.telemetry`: the meter's wall clock
+is a ``serve.run`` span (so every scoring run shows up in exported traces
+for free) and each recorded batch feeds the global registry's
+``serve.pairs`` / ``serve.batches`` counters and ``serve.batch_seconds``
+histogram — the same export path ``serve-bench --telemetry`` embeds into
+``BENCH_serve.json``.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
+
+from ..telemetry import REGISTRY, span
 
 
 def percentile(values: List[float], q: float) -> float:
@@ -76,7 +84,13 @@ class ServeMetrics:
 
 
 class ThroughputMeter:
-    """Collects per-batch latencies during a run and finalizes to metrics."""
+    """Collects per-batch latencies during a run and finalizes to metrics.
+
+    The run's wall clock *is* a ``serve.run`` telemetry span (opened at
+    construction, finished by :meth:`finalize`), and every recorded batch
+    also lands in the global metrics registry — there is no second
+    ``perf_counter`` bookkeeping path.
+    """
 
     def __init__(self, engine: str, num_workers: int = 1):
         self.engine = engine
@@ -84,18 +98,24 @@ class ThroughputMeter:
         self._latencies: List[float] = []
         self._busy = 0.0
         self._pairs = 0
-        self._start = time.perf_counter()
+        self._span = span("serve.run", engine=engine,
+                          num_workers=num_workers)
 
     def record_batch(self, num_pairs: int, seconds: float) -> None:
         self._latencies.append(seconds)
         self._busy += seconds
         self._pairs += num_pairs
+        REGISTRY.counter("serve.pairs").inc(num_pairs)
+        REGISTRY.counter("serve.batches").inc()
+        REGISTRY.histogram("serve.batch_seconds").observe(seconds)
 
     def finalize(self, events: Optional[Dict[str, int]] = None) -> ServeMetrics:
-        wall = time.perf_counter() - self._start
+        self._span.set(num_pairs=self._pairs,
+                       num_batches=len(self._latencies)).finish()
         return ServeMetrics(engine=self.engine, num_pairs=self._pairs,
                             num_batches=len(self._latencies),
                             num_workers=self.num_workers,
-                            wall_seconds=wall, busy_seconds=self._busy,
+                            wall_seconds=self._span.duration,
+                            busy_seconds=self._busy,
                             batch_latencies=list(self._latencies),
                             events=dict(events or {}))

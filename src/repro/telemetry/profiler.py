@@ -1,0 +1,182 @@
+"""Opt-in autograd profiler: per-op forward/backward wall time and bytes.
+
+Answers the question every ``adapt`` perf investigation starts with — *is
+MMD or the encoder the hot path?* — without touching the training loop.
+While installed, the profiler patches the :class:`repro.nn.Tensor` methods
+listed in :data:`repro.nn.tensor.PROFILED_OPS` with thin timing wrappers:
+
+* **forward** — the wrapper times the original op call and records the
+  produced array's ``nbytes``;
+* **backward** — if the op recorded a tape closure, the wrapper replaces
+  ``out._backward`` with a timed shim attributed to the same op, so the
+  backward pass is profiled with no change to :meth:`Tensor.backward`.
+
+The wrappers change *when the clock is read*, never what is computed: with
+the profiler on, training numerics are **bit-identical** to a profiler-off
+run (asserted by ``tests/test_telemetry.py``).  Timings are inclusive —
+composite ops also count the primitives they call.
+
+The zero-overhead contract: uninstalled, the ``Tensor`` class holds its
+original, unwrapped methods — there is no flag check on the hot path, so
+the fast path costs exactly nothing.  Install/uninstall are idempotent and
+re-entrant via the context-manager form::
+
+    from repro.telemetry import AutogradProfiler
+
+    profiler = AutogradProfiler()
+    with profiler:
+        result = adapt(source, target, aligner="mmd")
+    print(profiler.format_top(10))
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..nn.tensor import PROFILED_OPS, Tensor
+
+
+@dataclass
+class OpStat:
+    """Aggregate cost of one op label across a profiled region."""
+
+    op: str
+    calls: int = 0
+    forward_seconds: float = 0.0
+    backward_calls: int = 0
+    backward_seconds: float = 0.0
+    bytes_produced: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.forward_seconds + self.backward_seconds
+
+    def to_record(self) -> Dict[str, Any]:
+        return {"type": "op", "op": self.op, "calls": self.calls,
+                "forward_seconds": self.forward_seconds,
+                "backward_calls": self.backward_calls,
+                "backward_seconds": self.backward_seconds,
+                "total_seconds": self.total_seconds,
+                "bytes_produced": self.bytes_produced}
+
+
+class AutogradProfiler:
+    """Patch-in/patch-out per-op profiler over the numpy autograd tape."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, OpStat] = {}
+        self._lock = threading.Lock()
+        self._originals: Dict[str, Any] = {}
+
+    @property
+    def installed(self) -> bool:
+        return bool(self._originals)
+
+    # -- recording ---------------------------------------------------------- #
+    def _stat(self, op: str) -> OpStat:
+        stat = self._stats.get(op)
+        if stat is None:
+            stat = self._stats[op] = OpStat(op)
+        return stat
+
+    def _record_forward(self, op: str, seconds: float, nbytes: int) -> None:
+        with self._lock:
+            stat = self._stat(op)
+            stat.calls += 1
+            stat.forward_seconds += seconds
+            stat.bytes_produced += nbytes
+
+    def _record_backward(self, op: str, seconds: float) -> None:
+        with self._lock:
+            stat = self._stat(op)
+            stat.backward_calls += 1
+            stat.backward_seconds += seconds
+
+    # -- patching ----------------------------------------------------------- #
+    def _wrap(self, op: str, original):
+        profiler = self
+
+        def wrapper(tensor, *args, **kwargs):
+            started = time.perf_counter()
+            out = original(tensor, *args, **kwargs)
+            profiler._record_forward(op, time.perf_counter() - started,
+                                     int(out.data.nbytes))
+            tape = out._backward
+            if tape is not None:
+                def timed_backward(grad, __tape=tape):
+                    t0 = time.perf_counter()
+                    __tape(grad)
+                    profiler._record_backward(op, time.perf_counter() - t0)
+                out._backward = timed_backward
+            return out
+
+        wrapper.__name__ = getattr(original, "__name__", op)
+        wrapper.__qualname__ = getattr(original, "__qualname__", op)
+        wrapper.__doc__ = original.__doc__
+        return wrapper
+
+    def install(self) -> "AutogradProfiler":
+        """Patch the tape methods in (idempotent)."""
+        if self._originals:
+            return self
+        for method, op in PROFILED_OPS.items():
+            original = Tensor.__dict__[method]
+            self._originals[method] = original
+            setattr(Tensor, method, self._wrap(op, original))
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the original, unwrapped methods (idempotent)."""
+        for method, original in self._originals.items():
+            setattr(Tensor, method, original)
+        self._originals = {}
+
+    def __enter__(self) -> "AutogradProfiler":
+        return self.install()
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()
+
+    # -- results ------------------------------------------------------------ #
+    def reset(self) -> None:
+        with self._lock:
+            self._stats = {}
+
+    def stats(self) -> Dict[str, OpStat]:
+        with self._lock:
+            return dict(self._stats)
+
+    def top(self, k: int = 10) -> List[OpStat]:
+        """The ``k`` most expensive ops by total (forward + backward) time."""
+        ordered = sorted(self.stats().values(),
+                         key=lambda s: (-s.total_seconds, s.op))
+        return ordered[:max(0, k)]
+
+    def records(self, k: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Op aggregates as trace-file records (top-``k`` or all)."""
+        stats = self.top(k) if k is not None else sorted(
+            self.stats().values(), key=lambda s: (-s.total_seconds, s.op))
+        return [stat.to_record() for stat in stats]
+
+    def format_top(self, k: int = 10) -> str:
+        """The per-op top-K table, human-readable."""
+        rows = self.top(k)
+        if not rows:
+            return "autograd profiler: no ops recorded"
+        lines = [f"{'op':<12s} {'calls':>8s} {'fwd ms':>10s} {'bwd ms':>10s} "
+                 f"{'total ms':>10s} {'MB':>9s}"]
+        for stat in rows:
+            lines.append(
+                f"{stat.op:<12s} {stat.calls:>8d} "
+                f"{stat.forward_seconds * 1e3:>10.1f} "
+                f"{stat.backward_seconds * 1e3:>10.1f} "
+                f"{stat.total_seconds * 1e3:>10.1f} "
+                f"{stat.bytes_produced / 1e6:>9.1f}")
+        return "\n".join(lines)
+
+
+#: Shared default instance used by the CLI's ``--telemetry`` flag.
+PROFILER = AutogradProfiler()

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..aligners import AlignmentBatch, FeatureAligner
 from ..data import ERDataset
 from ..extractors import FeatureExtractor
@@ -156,27 +157,37 @@ def train_source_only(extractor: FeatureExtractor, matcher: MlpMatcher,
                        [optimizer], "noda")
     extractor.train()
     matcher.train()
+    run_span = telemetry.span("train.run", method="noda",
+                              epochs=config.epochs, iterations=iterations)
     try:
         for epoch in range(config.epochs):
-            losses = []
-            for step in range(iterations):
-                pairs, labels = _source_batch(source, sampler)
-                optimizer.zero_grad()
-                logits = matcher(extractor(pairs))
-                loss = F.cross_entropy(logits, labels)
-                loss.backward()
-                if guard is not None and not guard.observe(
-                        loss.item(), epoch, step, params):
-                    continue  # rolled back + LR halved; skip the bad step
-                clip_grad_norm(params, config.clip_norm)
-                optimizer.step()
-                losses.append(loss.item())
-            tracker.end_epoch(epoch, extractor, _mean(losses), 0.0)
-            if guard is not None:
-                guard.snapshot(epoch)
-            extractor.train()
-            matcher.train()
+            with telemetry.span("train.epoch", epoch=epoch):
+                losses = []
+                with telemetry.span("train.phase", phase="steps"):
+                    for step in range(iterations):
+                        with telemetry.span("train.step", step=step):
+                            pairs, labels = _source_batch(source, sampler)
+                            optimizer.zero_grad()
+                            logits = matcher(extractor(pairs))
+                            loss = F.cross_entropy(logits, labels)
+                            loss.backward()
+                            telemetry.REGISTRY.counter("train.steps").inc()
+                            if guard is not None and not guard.observe(
+                                    loss.item(), epoch, step, params):
+                                # rolled back + LR halved; skip the bad step
+                                continue
+                            clip_grad_norm(params, config.clip_norm)
+                            optimizer.step()
+                            losses.append(loss.item())
+                with telemetry.span("train.phase", phase="evaluate"):
+                    tracker.end_epoch(epoch, extractor, _mean(losses), 0.0)
+                telemetry.REGISTRY.counter("train.epochs").inc()
+                if guard is not None:
+                    guard.snapshot(epoch)
+                extractor.train()
+                matcher.train()
     finally:
+        run_span.finish()
         if guard is not None:
             guard.close()
     result = tracker.finish("noda", extractor, target_test)
@@ -215,44 +226,60 @@ def train_joint(extractor: FeatureExtractor, matcher: MlpMatcher,
     extractor.train()
     matcher.train()
     aligner.train()
+    run_span = telemetry.span("train.run", method=aligner.name,
+                              algorithm="joint", epochs=config.epochs,
+                              iterations=iterations)
     try:
         for epoch in range(config.epochs):
-            match_losses, align_losses = [], []
-            for step in range(iterations):
-                pairs_s, labels = _source_batch(source, source_sampler)
-                idx_t = target_sampler.next_batch()
-                pairs_t = [target_train.pairs[int(i)] for i in idx_t]
+            with telemetry.span("train.epoch", epoch=epoch):
+                match_losses, align_losses = [], []
+                with telemetry.span("train.phase", phase="steps"):
+                    for step in range(iterations):
+                        with telemetry.span("train.step", step=step):
+                            pairs_s, labels = _source_batch(source,
+                                                            source_sampler)
+                            idx_t = target_sampler.next_batch()
+                            pairs_t = [target_train.pairs[int(i)]
+                                       for i in idx_t]
 
-                ids_s, mask_s = extractor.batch_ids(pairs_s)
-                ids_t, mask_t = extractor.batch_ids(pairs_t)
-                features_s = extractor.encode(ids_s, mask_s)
-                features_t = extractor.encode(ids_t, mask_t)
+                            ids_s, mask_s = extractor.batch_ids(pairs_s)
+                            ids_t, mask_t = extractor.batch_ids(pairs_t)
+                            features_s = extractor.encode(ids_s, mask_s)
+                            features_t = extractor.encode(ids_t, mask_t)
 
-                matching_loss = F.cross_entropy(matcher(features_s), labels)
-                alignment_loss = aligner.alignment_loss(AlignmentBatch(
-                    source_features=features_s, target_features=features_t,
-                    source_ids=ids_s, source_mask=mask_s,
-                    target_ids=ids_t, target_mask=mask_t,
-                    extractor=extractor))
-                total = matching_loss + alignment_loss * config.beta
+                            matching_loss = F.cross_entropy(
+                                matcher(features_s), labels)
+                            alignment_loss = aligner.alignment_loss(
+                                AlignmentBatch(
+                                    source_features=features_s,
+                                    target_features=features_t,
+                                    source_ids=ids_s, source_mask=mask_s,
+                                    target_ids=ids_t, target_mask=mask_t,
+                                    extractor=extractor))
+                            total = matching_loss + alignment_loss * config.beta
 
-                optimizer.zero_grad()
-                total.backward()
-                if guard is not None and not guard.observe(
-                        total.item(), epoch, step, params):
-                    continue  # rolled back + LR halved; skip the bad step
-                clip_grad_norm(params, config.clip_norm)
-                optimizer.step()
-                match_losses.append(matching_loss.item())
-                align_losses.append(alignment_loss.item())
-            tracker.end_epoch(epoch, extractor, _mean(match_losses),
-                              _mean(align_losses))
-            if guard is not None:
-                guard.snapshot(epoch)
-            extractor.train()
-            matcher.train()
-            aligner.train()
+                            optimizer.zero_grad()
+                            total.backward()
+                            telemetry.REGISTRY.counter("train.steps").inc()
+                            if guard is not None and not guard.observe(
+                                    total.item(), epoch, step, params):
+                                # rolled back + LR halved; skip the bad step
+                                continue
+                            clip_grad_norm(params, config.clip_norm)
+                            optimizer.step()
+                            match_losses.append(matching_loss.item())
+                            align_losses.append(alignment_loss.item())
+                with telemetry.span("train.phase", phase="evaluate"):
+                    tracker.end_epoch(epoch, extractor, _mean(match_losses),
+                                      _mean(align_losses))
+                telemetry.REGISTRY.counter("train.epochs").inc()
+                if guard is not None:
+                    guard.snapshot(epoch)
+                extractor.train()
+                matcher.train()
+                aligner.train()
     finally:
+        run_span.finish()
         if guard is not None:
             guard.close()
     result = tracker.finish(aligner.name, extractor, target_test)
@@ -290,20 +317,30 @@ def train_gan(extractor: FeatureExtractor, matcher: MlpMatcher,
                            f"{aligner.name}-pretrain")
     extractor.train()
     matcher.train()
+    run_span = telemetry.span("train.run", method=aligner.name,
+                              algorithm="gan", epochs=config.epochs,
+                              pretrain_epochs=config.pretrain_epochs,
+                              iterations=iterations)
     try:
-        for pre_epoch in range(config.pretrain_epochs):
-            for step in range(iterations):
-                pairs, labels = _source_batch(source, sampler)
-                optimizer.zero_grad()
-                loss = F.cross_entropy(matcher(extractor(pairs)), labels)
-                loss.backward()
-                if pre_guard is not None and not pre_guard.observe(
-                        loss.item(), pre_epoch, step, params):
-                    continue  # rolled back + LR halved; skip the bad step
-                clip_grad_norm(params, config.clip_norm)
-                optimizer.step()
-            if pre_guard is not None:
-                pre_guard.snapshot(pre_epoch)
+        with telemetry.span("train.phase", phase="pretrain"):
+            for pre_epoch in range(config.pretrain_epochs):
+                with telemetry.span("train.epoch", epoch=pre_epoch):
+                    for step in range(iterations):
+                        with telemetry.span("train.step", step=step):
+                            pairs, labels = _source_batch(source, sampler)
+                            optimizer.zero_grad()
+                            loss = F.cross_entropy(
+                                matcher(extractor(pairs)), labels)
+                            loss.backward()
+                            telemetry.REGISTRY.counter("train.steps").inc()
+                            if pre_guard is not None and not pre_guard.observe(
+                                    loss.item(), pre_epoch, step, params):
+                                # rolled back + LR halved; skip the bad step
+                                continue
+                            clip_grad_norm(params, config.clip_norm)
+                            optimizer.step()
+                    if pre_guard is not None:
+                        pre_guard.snapshot(pre_epoch)
     finally:
         if pre_guard is not None:
             pre_guard.close()
@@ -329,54 +366,71 @@ def train_gan(extractor: FeatureExtractor, matcher: MlpMatcher,
     aligner.train()
     try:
         for epoch in range(config.epochs):
-            disc_losses, gen_losses = [], []
-            for step in range(iterations):
-                pairs_s, __labels = _source_batch(source, source_sampler)
-                idx_t = target_sampler.next_batch()
-                pairs_t = [target_train.pairs[int(i)] for i in idx_t]
+            with telemetry.span("train.epoch", epoch=epoch):
+                disc_losses, gen_losses = [], []
+                with telemetry.span("train.phase", phase="steps"):
+                    for step in range(iterations):
+                        with telemetry.span("train.step", step=step):
+                            pairs_s, __labels = _source_batch(source,
+                                                              source_sampler)
+                            idx_t = target_sampler.next_batch()
+                            pairs_t = [target_train.pairs[int(i)]
+                                       for i in idx_t]
 
-                # -- discriminator step (Eq. 10 for InvGAN, Eq. 13 for +KD)
-                if use_kd:
-                    real = adapted(pairs_s).detach()
-                else:
-                    real = extractor(pairs_s).detach()
-                fake = adapted(pairs_t).detach()
-                disc_optimizer.zero_grad()
-                disc_loss = aligner.discriminator_loss(real, fake)
-                disc_loss.backward()
-                if guard is None or guard.observe(disc_loss.item(), epoch,
-                                                  step, aligner.parameters()):
-                    clip_grad_norm(aligner.parameters(), config.clip_norm)
-                    disc_optimizer.step()
-                    disc_losses.append(disc_loss.item())
+                            # -- discriminator step (Eq. 10 for InvGAN,
+                            # Eq. 13 for +KD)
+                            if use_kd:
+                                real = adapted(pairs_s).detach()
+                            else:
+                                real = extractor(pairs_s).detach()
+                            fake = adapted(pairs_t).detach()
+                            disc_optimizer.zero_grad()
+                            disc_loss = aligner.discriminator_loss(real, fake)
+                            disc_loss.backward()
+                            if guard is None or guard.observe(
+                                    disc_loss.item(), epoch, step,
+                                    aligner.parameters()):
+                                clip_grad_norm(aligner.parameters(),
+                                               config.clip_norm)
+                                disc_optimizer.step()
+                                disc_losses.append(disc_loss.item())
 
-                # -- generator step (Eq. 11 for InvGAN, Eq. 14 for +KD)
-                gen_optimizer.zero_grad()
-                fake_live = adapted(pairs_t)
-                gen_loss = aligner.generator_loss(fake_live)
-                if use_kd:
-                    teacher_logits = matcher(extractor(pairs_s)).detach()
-                    student_logits = matcher(adapted(pairs_s))
-                    gen_loss = gen_loss + aligner.kd_loss(
-                        Tensor(teacher_logits.data), student_logits)
-                gen_loss.backward()
-                if guard is None or guard.observe(gen_loss.item(), epoch,
-                                                  step, adapted.parameters()):
-                    clip_grad_norm(adapted.parameters(), config.clip_norm)
-                    gen_optimizer.step()
-                    gen_losses.append(gen_loss.item())
-                # A and M accumulated pass-through gradients; drop them so the
-                # next discriminator step starts clean.
-                aligner.zero_grad()
-                matcher.zero_grad()
-                extractor.zero_grad()
-            tracker.end_epoch(epoch, adapted, _mean(gen_losses),
-                              _mean(disc_losses))
-            if guard is not None:
-                guard.snapshot(epoch)
-            adapted.train()
-            matcher.eval()
+                            # -- generator step (Eq. 11 for InvGAN,
+                            # Eq. 14 for +KD)
+                            gen_optimizer.zero_grad()
+                            fake_live = adapted(pairs_t)
+                            gen_loss = aligner.generator_loss(fake_live)
+                            if use_kd:
+                                teacher_logits = matcher(
+                                    extractor(pairs_s)).detach()
+                                student_logits = matcher(adapted(pairs_s))
+                                gen_loss = gen_loss + aligner.kd_loss(
+                                    Tensor(teacher_logits.data),
+                                    student_logits)
+                            gen_loss.backward()
+                            telemetry.REGISTRY.counter("train.steps").inc()
+                            if guard is None or guard.observe(
+                                    gen_loss.item(), epoch, step,
+                                    adapted.parameters()):
+                                clip_grad_norm(adapted.parameters(),
+                                               config.clip_norm)
+                                gen_optimizer.step()
+                                gen_losses.append(gen_loss.item())
+                            # A and M accumulated pass-through gradients; drop
+                            # them so the next discriminator step starts clean.
+                            aligner.zero_grad()
+                            matcher.zero_grad()
+                            extractor.zero_grad()
+                with telemetry.span("train.phase", phase="evaluate"):
+                    tracker.end_epoch(epoch, adapted, _mean(gen_losses),
+                                      _mean(disc_losses))
+                telemetry.REGISTRY.counter("train.epochs").inc()
+                if guard is not None:
+                    guard.snapshot(epoch)
+                adapted.train()
+                matcher.eval()
     finally:
+        run_span.finish()
         if guard is not None:
             guard.close()
     result = tracker.finish(aligner.name, adapted, target_test)

@@ -103,6 +103,56 @@ class TestBatchScheduler:
                                    pipeline.extractor.max_len)
         assert list(scheduler.schedule([])) == []
 
+    def test_overlong_pair_gets_its_own_batch(self, served):
+        # A pair whose (truncated) length fills the whole token budget must
+        # still be scheduled — alone, at max_len, never dropped or split.
+        pipeline, __ = served
+        max_len = pipeline.extractor.max_len
+        long_name = " ".join(["mesa"] * (3 * max_len))
+        pairs = [EntityPair(Entity(f"l{i}", {"name": long_name}),
+                            Entity(f"r{i}", {"name": long_name}))
+                 for i in range(3)]
+        scheduler = BatchScheduler(pipeline.extractor.vocab, max_len,
+                                   max_batch_tokens=max_len)  # minimum legal
+        batches = list(scheduler.schedule(pairs))
+        assert [b.num_pairs for b in batches] == [1, 1, 1]
+        assert all(b.padded_length == max_len for b in batches)
+        seen = np.concatenate([b.indices for b in batches])
+        assert sorted(seen.tolist()) == [0, 1, 2]
+
+    def test_exact_capacity_bucket_fills_without_spill(self, served):
+        # Uniform-length pairs whose bucket exactly fills both caps must cut
+        # into full batches with no off-by-one spill batch.
+        pipeline, __ = served
+        pairs = [EntityPair(Entity(f"l{i}", {"name": "mesa rook tide"}),
+                            Entity(f"r{i}", {"name": "volt wick yarn"}))
+                 for i in range(12)]
+        probe = BatchScheduler(pipeline.extractor.vocab,
+                               pipeline.extractor.max_len)
+        padded = next(iter(probe.schedule(pairs))).padded_length
+        scheduler = BatchScheduler(pipeline.extractor.vocab, padded,
+                                   max_batch_pairs=4,
+                                   max_batch_tokens=4 * padded)
+        batches = list(scheduler.schedule(pairs))
+        assert [b.num_pairs for b in batches] == [4, 4, 4]
+        assert all(b.num_pairs * b.padded_length == 4 * padded
+                   for b in batches)
+
+    def test_pair_order_is_stable_within_buckets(self, served):
+        # Within every batch the original positions must appear in input
+        # order — bucketing may regroup pairs but never reorders a bucket.
+        pipeline, __ = served
+        pairs = _ragged_pairs(64, seed=3)
+        scheduler = BatchScheduler(pipeline.extractor.vocab,
+                                   pipeline.extractor.max_len,
+                                   max_batch_pairs=7, max_batch_tokens=512)
+        batches = list(scheduler.schedule(pairs))
+        assert len(batches) > 1
+        for batch in batches:
+            idx = batch.indices.tolist()
+            assert idx == sorted(idx)
+            assert len(set(idx)) == len(idx)
+
     def test_validation(self, served):
         pipeline, __ = served
         vocab = pipeline.extractor.vocab
