@@ -118,6 +118,18 @@ def build_parser() -> argparse.ArgumentParser:
                              help="run an extra parallel pass with one "
                                   "deterministic injected fault and record "
                                   "the recovery overhead")
+    serve_bench.add_argument("--cache", dest="cache", action="store_true",
+                             default=True,
+                             help="race the content-addressed score cache "
+                                  "on duplicate-heavy traffic and record "
+                                  "hit rates + warm speedup (default on)")
+    serve_bench.add_argument("--no-cache", dest="cache", action="store_false",
+                             help="skip the score-cache passes")
+    serve_bench.add_argument("--cache-dir", default=None,
+                             help="exercise the persistent cache tier: "
+                                  "flush cold-pass scores to this directory "
+                                  "and serve the warm pass from a fresh "
+                                  "cache over the same shard")
     serve_bench.add_argument("--telemetry", action="store_true",
                              help="trace the race and embed a metrics "
                                   "snapshot into the report")
@@ -216,6 +228,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                              pipeline_dir=args.pipeline_dir,
                              output=args.output, batch_size=args.batch_size,
                              seed=args.seed, inject_fault=args.inject_fault,
+                             cache=args.cache, cache_dir=args.cache_dir,
                              telemetry=args.telemetry,
                              trace_dir=args.trace_dir)
     print(format_report(report))

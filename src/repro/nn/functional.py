@@ -28,6 +28,23 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 
+def _check_labels(labels: np.ndarray, num_classes: int,
+                  name: str = "labels") -> None:
+    """Reject class indices outside ``[0, num_classes)``.
+
+    Numpy fancy indexing would silently *wrap* a negative label (and raise
+    an opaque IndexError past C), turning a data bug into a wrong loss; the
+    error here names the first offending position and value instead.
+    """
+    bad = (labels < 0) | (labels >= num_classes)
+    if bad.any():
+        index = int(np.argmax(bad.reshape(-1)))
+        value = int(labels.reshape(-1)[index])
+        raise ValueError(
+            f"{name}[{index}] = {value} is outside [0, {num_classes}); "
+            f"{int(bad.sum())} of {labels.size} labels are invalid")
+
+
 def cross_entropy(logits: Tensor, labels: np.ndarray,
                   weights: Optional[np.ndarray] = None) -> Tensor:
     """Mean cross-entropy between ``logits`` (N, C) and integer ``labels`` (N,).
@@ -40,6 +57,7 @@ def cross_entropy(logits: Tensor, labels: np.ndarray,
         raise ValueError(f"cross_entropy expects 2-D logits, got {logits.shape}")
     if labels.shape[0] != logits.shape[0]:
         raise ValueError("labels and logits disagree on batch size")
+    _check_labels(labels, logits.shape[1])
     log_probs = log_softmax(logits, axis=-1)
     picked = log_probs[np.arange(len(labels)), labels]
     if weights is not None:
@@ -54,13 +72,19 @@ def cross_entropy(logits: Tensor, labels: np.ndarray,
 def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
     """Mean BCE on raw logits; stable for large magnitudes.
 
-    Uses the identity ``BCE = max(z,0) - z*y + log(1+exp(-|z|))``.
+    Uses the identity ``BCE = max(z,0) - z*y + log(1+exp(-|z|))``, built
+    from one constant sign mask instead of a ``where`` over a freshly
+    allocated zeros tensor.  The sign convention matters at ``z == 0``:
+    pairing ``1{z>0}`` (0 at the origin) with ``d|z|/dz := -1`` there makes
+    the two kinks cancel exactly, so the analytic gradient is
+    ``sigmoid(z) - y`` *everywhere* — the old ``where``/``abs`` pairing
+    returned ``-y`` at the origin, off by 0.5.
     """
     targets = np.asarray(targets, dtype=np.float64)
-    zeros = Tensor(np.zeros_like(logits.data))
-    from .tensor import where
-    positive_part = where(logits.data > 0, logits, zeros)
-    softplus = (1.0 + (-logits.abs()).exp()).log()
+    sign = np.where(logits.data > 0, 1.0, -1.0)
+    abs_z = logits * Tensor(sign)
+    positive_part = logits * Tensor((sign + 1.0) * 0.5)
+    softplus = (1.0 + (-abs_z).exp()).log()
     return (positive_part - logits * Tensor(targets) + softplus).mean()
 
 
@@ -98,6 +122,7 @@ def token_cross_entropy(logits: Tensor, targets: np.ndarray,
     n, t, v = logits.shape
     flat_logits = logits.reshape(n * t, v)
     flat_targets = targets.reshape(n * t)
+    _check_labels(flat_targets, v, name="targets")
     log_probs = log_softmax(flat_logits, axis=-1)
     picked = log_probs[np.arange(n * t), flat_targets]
     if mask is None:
@@ -119,6 +144,7 @@ def focal_loss(logits: Tensor, labels: np.ndarray, gamma: float = 2.0,
     if gamma < 0:
         raise ValueError("gamma must be non-negative")
     labels = np.asarray(labels, dtype=np.int64)
+    _check_labels(labels, logits.shape[-1])
     log_probs = log_softmax(logits, axis=-1)
     picked = log_probs[np.arange(len(labels)), labels]
     p_t = picked.exp()

@@ -60,6 +60,10 @@ class ERPipeline:
         self.matcher = matcher
         self.blocker = blocker or OverlapBlocker()
         self.threshold = threshold
+        #: SHA-256 over the snapshot manifest — the identity half of every
+        #: :mod:`repro.serve.cache` key.  Set by :meth:`save` and
+        #: :meth:`load`; ``None`` for a pipeline that was never persisted.
+        self.manifest_digest: Optional[str] = None
 
     # -- scoring ---------------------------------------------------------- #
     def score_pairs(self, pairs: Sequence[EntityPair],
@@ -78,10 +82,15 @@ class ERPipeline:
         if scheduler is None:
             scheduler = BatchScheduler.reference(
                 self.extractor.vocab, self.extractor.max_len, batch_size)
-        probabilities = np.empty(len(pairs), dtype=np.float64)
+        probabilities = np.full(len(pairs), np.nan, dtype=np.float64)
         for batch in scheduler.schedule(pairs):
-            probabilities[batch.indices] = self.matcher.probabilities(
-                self.extractor.encode(batch.ids, batch.mask))
+            batch.scatter(probabilities, self.matcher.probabilities(
+                self.extractor.encode(batch.ids, batch.mask)))
+        missing = np.flatnonzero(np.isnan(probabilities))
+        if missing.size:
+            raise RuntimeError(
+                f"scheduler left {missing.size} of {len(pairs)} pairs "
+                f"unscored (first positions {missing[:8].tolist()})")
         return [MatchDecision(pair.left.entity_id, pair.right.entity_id,
                               float(p))
                 for pair, p in zip(pairs, probabilities)]
@@ -131,6 +140,7 @@ class ERPipeline:
                             "stop_fraction": self.blocker.stop_fraction},
             }
             store.write_json("pipeline.json", config, indent=2)
+        self.manifest_digest = store.manifest_digest()
 
     @classmethod
     def load(cls, directory: Union[str, Path]) -> "ERPipeline":
@@ -160,6 +170,7 @@ class ERPipeline:
         blocker = OverlapBlocker(**config["blocker"])
         pipeline = cls(extractor, matcher, blocker,
                        threshold=config["threshold"])
+        pipeline.manifest_digest = store.manifest_digest()
         pipeline.extractor.eval()
         pipeline.matcher.eval()
         return pipeline

@@ -11,6 +11,7 @@ architecture") for the batching and worker-pool design, and
 
 from .bench import (build_bench_pipeline, format_report, run_serve_bench,
                     synthetic_candidates)
+from .cache import DEFAULT_CAPACITY, ScoreCache, pair_key
 from .engine import (STREAM_WINDOW, ParallelScorer, SequentialScorer,
                      score_tables)
 from .metrics import ServeMetrics, ThroughputMeter, percentile
@@ -18,6 +19,7 @@ from .scheduler import BatchScheduler, ScheduledBatch
 
 __all__ = [
     "BatchScheduler", "ScheduledBatch",
+    "ScoreCache", "pair_key", "DEFAULT_CAPACITY",
     "SequentialScorer", "ParallelScorer", "score_tables", "STREAM_WINDOW",
     "ServeMetrics", "ThroughputMeter", "percentile",
     "run_serve_bench", "build_bench_pipeline", "synthetic_candidates",

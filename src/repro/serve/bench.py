@@ -37,6 +37,7 @@ from ..pipeline import ERPipeline
 from ..pretrain import fresh_copy, pretrained_lm
 from ..resilience import BackoffPolicy, ChaosConfig, Fault, RetryPolicy
 from ..telemetry import DEFAULT_TRACE_DIR, REGISTRY, TelemetrySession, span
+from .cache import ScoreCache
 from .engine import ParallelScorer, SequentialScorer
 from .metrics import ServeMetrics, ThroughputMeter
 
@@ -45,12 +46,18 @@ from .metrics import ServeMetrics, ThroughputMeter
 BENCH_LM = dict(dim=32, num_layers=1, num_heads=2, max_len=96,
                 corpus_scale=0.01, steps=80, seed=0)
 
-#: ``--inject-fault`` plans: one deterministic fault on scheduler batch 1,
-#: each exercising a different recovery path of the supervised pool.
+#: Share of the cache-pass workload resampled from already-seen pairs — the
+#: duplicate-heavy shape blocking emits across overlapping streaming windows.
+CACHE_DUPLICATE_FRACTION = 0.75
+
+#: ``--inject-fault`` plans: one deterministic fault on the first scheduled
+#: batch (batch 0 exists for any workload size — dedup can collapse a small
+#: duplicate-heavy run to a single batch), each exercising a different
+#: recovery path of the supervised pool.
 INJECTABLE_FAULTS = {
-    "worker_crash": Fault("crash", batch=1),
-    "hang": Fault("hang", batch=1, hang_seconds=30.0),
-    "garbage": Fault("garbage", batch=1),
+    "worker_crash": Fault("crash", batch=0),
+    "hang": Fault("hang", batch=0, hang_seconds=30.0),
+    "garbage": Fault("garbage", batch=0),
 }
 
 _WORDS = ("acoustic", "baseline", "canonical", "digital", "electric",
@@ -61,25 +68,37 @@ _WORDS = ("acoustic", "baseline", "canonical", "digital", "electric",
 
 
 def synthetic_candidates(num_pairs: int, seed: int = 0,
-                         tokens_per_side: int = 6) -> List[EntityPair]:
+                         tokens_per_side: int = 6,
+                         duplicate_fraction: float = 0.0) -> List[EntityPair]:
     """Short product-style candidate pairs — the serving-traffic shape.
 
     Real blocked candidates are dominated by short serializations; keeping
     them well under ``max_len`` is what gives the bucketing scheduler its
-    headroom over full-length padding.
+    headroom over full-length padding.  ``duplicate_fraction`` resamples
+    that share of the workload from the unique pairs (fresh entity ids,
+    identical text) — the shape blocking emits across overlapping streaming
+    windows, and what the score cache and dedup pass feed on.
     """
+    if not 0.0 <= duplicate_fraction < 1.0:
+        raise ValueError("duplicate_fraction must be in [0, 1)")
     rng = np.random.default_rng(seed)
-    pairs = []
-    for i in range(num_pairs):
+    num_unique = max(1, int(round(num_pairs * (1.0 - duplicate_fraction))))
+    attributes = []
+    for __ in range(num_unique):
         base = rng.choice(_WORDS, size=tokens_per_side)
         noisy = base.copy()
         if rng.random() < 0.5:  # half the pairs perturb one token
             noisy[rng.integers(len(noisy))] = rng.choice(_WORDS)
-        left = Entity(f"l{i}", {"name": " ".join(base[:3]),
-                                "maker": " ".join(base[3:])})
-        right = Entity(f"r{i}", {"name": " ".join(noisy[:3]),
-                                 "maker": " ".join(noisy[3:])})
-        pairs.append(EntityPair(left, right))
+        attributes.append(({"name": " ".join(base[:3]),
+                            "maker": " ".join(base[3:])},
+                           {"name": " ".join(noisy[:3]),
+                            "maker": " ".join(noisy[3:])}))
+    pairs = []
+    for i in range(num_pairs):
+        left_attrs, right_attrs = attributes[
+            i if i < num_unique else int(rng.integers(num_unique))]
+        pairs.append(EntityPair(Entity(f"l{i}", left_attrs),
+                                Entity(f"r{i}", right_attrs)))
     return pairs
 
 
@@ -109,12 +128,95 @@ def _reference_metrics(pipeline: ERPipeline, pairs: List[EntityPair],
     return meter.finalize()
 
 
+def _timed_sequential(pipeline: ERPipeline, pairs: List[EntityPair],
+                      score_cache: Optional[ScoreCache]):
+    scorer = SequentialScorer(pipeline, cache=score_cache)
+    return scorer.score_pairs(pairs), scorer.last_metrics
+
+
+def _run_cache_passes(pipeline: ERPipeline, pipeline_dir: Path,
+                      num_pairs: int, num_workers: int, seed: int,
+                      cache_dir: Optional[Union[str, Path]]) -> Dict:
+    """Race uncached / cold-cached / warm-cached over duplicate-heavy traffic.
+
+    Correctness gates every number: all three cached decision lists
+    (sequential cold, sequential warm, parallel warm) must be bit-identical
+    to the uncached run, and the warm hit rate must clear 0.9 — a cache that
+    changes a decision or barely hits must never report a speedup.  With
+    ``cache_dir`` set, the cold pass is flushed to the persistent tier and
+    the warm pass starts from a **fresh** :class:`ScoreCache` instance, so
+    the hits it reports are genuinely served by the on-disk shard.
+    """
+    dup_pairs = synthetic_candidates(
+        num_pairs, seed=seed + 1,
+        duplicate_fraction=CACHE_DUPLICATE_FRACTION)
+    uncached_decisions, uncached_metrics = _timed_sequential(
+        pipeline, dup_pairs, None)
+
+    store_dir = Path(cache_dir) if cache_dir is not None else None
+    cold_cache = ScoreCache(directory=store_dir)
+    cold_decisions, cold_metrics = _timed_sequential(
+        pipeline, dup_pairs, cold_cache)
+    assert cold_decisions == uncached_decisions, \
+        "cold cached decisions deviate bit-wise from the uncached run"
+
+    if store_dir is not None:
+        cold_cache.flush()
+        warm_cache = ScoreCache(directory=store_dir)
+    else:
+        warm_cache = cold_cache
+    warm_decisions, warm_metrics = _timed_sequential(
+        pipeline, dup_pairs, warm_cache)
+    assert warm_decisions == uncached_decisions, \
+        "warm cached decisions deviate bit-wise from the uncached run"
+    warm_hit_rate = warm_metrics.cache.get("hit_rate", 0.0)
+    assert warm_hit_rate >= 0.9, \
+        f"warm hit rate {warm_hit_rate:.3f} < 0.9 on duplicate-heavy traffic"
+
+    # Same warm cache through the parallel engine: the pool must agree
+    # bit-for-bit too (and, fully warm, never even spins up).
+    with ParallelScorer(pipeline_dir, num_workers=num_workers,
+                        cache=warm_cache) as scorer:
+        parallel_decisions = scorer.score_pairs(dup_pairs)
+        parallel_metrics = scorer.last_metrics
+    assert parallel_decisions == uncached_decisions, \
+        "parallel cached decisions deviate bit-wise from the uncached run"
+
+    def _pass(metrics: ServeMetrics) -> Dict:
+        return {"pairs_per_second": metrics.pairs_per_second,
+                "wall_seconds": metrics.wall_seconds,
+                "num_batches": metrics.num_batches,
+                **metrics.cache}
+
+    cold_pps = cold_metrics.pairs_per_second
+    warm_pps = warm_metrics.pairs_per_second
+    uncached_pps = uncached_metrics.pairs_per_second
+    return {
+        "num_pairs": len(dup_pairs),
+        "duplicate_fraction": CACHE_DUPLICATE_FRACTION,
+        "persistent_dir": str(store_dir) if store_dir is not None else None,
+        # asserted above, recorded for readers:
+        "bit_identical_to_uncached": True,
+        "uncached": {"pairs_per_second": uncached_pps,
+                     "wall_seconds": uncached_metrics.wall_seconds},
+        "cold": _pass(cold_metrics),
+        "warm": _pass(warm_metrics),
+        "parallel_warm": _pass(parallel_metrics),
+        "warm_hit_rate": warm_hit_rate,
+        "warm_speedup_vs_cold": warm_pps / cold_pps if cold_pps else 0.0,
+        "warm_speedup_vs_uncached": (warm_pps / uncached_pps
+                                     if uncached_pps else 0.0),
+    }
+
+
 def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
                     pipeline_dir: Optional[Union[str, Path]] = None,
                     output: Union[str, Path] = "BENCH_serve.json",
                     batch_size: int = 64, seed: int = 0,
                     lm_kwargs: Optional[dict] = None,
                     inject_fault: Optional[str] = None,
+                    cache: bool = True,
+                    cache_dir: Optional[Union[str, Path]] = None,
                     telemetry: bool = False,
                     trace_dir: Union[str, Path] = DEFAULT_TRACE_DIR) -> Dict:
     """Run the three-engine race and write ``BENCH_serve.json``.
@@ -127,6 +229,15 @@ def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
     With ``inject_fault`` (one of :data:`INJECTABLE_FAULTS`), a fourth pass
     runs the parallel engine under a deterministic injected fault and records
     the recovery overhead; its decisions must still be bit-identical.
+
+    With ``cache=True`` (the default) an extra set of passes races the
+    content-addressed :class:`ScoreCache` on a duplicate-heavy workload —
+    uncached vs cold-cached vs warm-cached, sequential and parallel — and
+    records hit rates and warm-vs-cold speedup under the report's
+    ``"cache"`` key.  ``cache_dir`` additionally exercises the persistent
+    tier: the warm pass re-opens the flushed shard from a fresh cache
+    instance.  All cached decision lists are asserted bit-identical to the
+    uncached run before any number is reported.
 
     With ``telemetry=True`` the race runs inside a
     :class:`repro.telemetry.TelemetrySession`: every engine's spans are
@@ -214,6 +325,14 @@ def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
                     clean_pps / faulted_metrics.pairs_per_second - 1.0
                     if faulted_metrics.pairs_per_second else 0.0),
             }
+
+        # 5. optional cache passes over duplicate-heavy traffic (uncached vs
+        #    cold vs warm, sequential and parallel) — see _run_cache_passes.
+        cache_record = None
+        if cache:
+            cache_record = _run_cache_passes(pipeline, pipeline_dir,
+                                             num_pairs, num_workers, seed,
+                                             cache_dir)
     finally:
         if session is not None:
             session.__exit__(None, None, None)
@@ -240,6 +359,8 @@ def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
     }
     if fault_record is not None:
         report["injected_fault"] = fault_record
+    if cache_record is not None:
+        report["cache"] = cache_record
     if session is not None:
         trace_path = session.export()
         report["telemetry"] = {"trace": str(trace_path),
@@ -267,4 +388,15 @@ def format_report(report: Dict) -> str:
             f"  injected fault {fault['fault']!r}: decisions bit-identical, "
             f"recovery overhead {fault['recovery_overhead'] * 100:.1f}%  "
             f"[{events or 'no events'}]")
+    cached = report.get("cache")
+    if cached:
+        tier = (f"persistent ({cached['persistent_dir']})"
+                if cached["persistent_dir"] else "in-memory")
+        lines.append(
+            f"  score cache ({tier}, {cached['duplicate_fraction'] * 100:.0f}% "
+            f"duplicates): decisions bit-identical, "
+            f"warm hit rate {cached['warm_hit_rate'] * 100:.1f}%, "
+            f"warm {cached['warm']['pairs_per_second']:.0f} pairs/s "
+            f"({cached['warm_speedup_vs_cold']:.2f}x vs cold, "
+            f"{cached['warm_speedup_vs_uncached']:.2f}x vs uncached)")
     return "\n".join(lines)

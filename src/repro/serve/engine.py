@@ -22,6 +22,14 @@ in-process re-score, and a fully dead pool degrades the run to sequential
 execution, but the decision list never changes.  Every run records
 :class:`~repro.serve.metrics.ServeMetrics` (pairs/sec, p50/p95 batch
 latency, worker utilization, recovery events).
+
+Both engines optionally front their scheduler with a content-addressed
+:class:`~repro.serve.cache.ScoreCache` keyed by ``(manifest digest, token
+ids)``: hits are scattered straight into the decision vector, only misses
+are batched (and, for the parallel engine, shipped to the pool), and the
+probability vector is NaN-initialized with a full-coverage assertion after
+the scatter loop so a scheduling bug can never surface as an uninitialized
+"probability".
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ from ..blocking import OverlapBlocker
 from ..data import Entity, EntityPair
 from ..pipeline import ERPipeline, MatchDecision
 from ..resilience import ChaosConfig, Events, RetryPolicy, SupervisedPool
+from .cache import ScoreCache, pair_key
 from .metrics import ServeMetrics, ThroughputMeter
 from .scheduler import BatchScheduler
 
@@ -62,41 +71,118 @@ def _decisions(pairs: Sequence[EntityPair],
             for pair, p in zip(pairs, probabilities)]
 
 
+def _assert_covered(probabilities: np.ndarray, engine: str) -> None:
+    """Refuse to emit any position the scatter loop never filled.
+
+    The probability vector starts as all-NaN; a scheduler or dedup bug that
+    skips a pair must surface as a loud error here, never as an
+    uninitialized-memory "probability" in a decision list.
+    """
+    missing = np.flatnonzero(np.isnan(probabilities))
+    if missing.size:
+        preview = ", ".join(str(i) for i in missing[:8].tolist())
+        suffix = ", ..." if missing.size > 8 else ""
+        raise RuntimeError(
+            f"{engine} scoring left {missing.size} of {probabilities.size} "
+            f"pairs unscored (positions {preview}{suffix})")
+
+
+def _cache_lookup(cache: ScoreCache, digest: str,
+                  encoded: Sequence[Sequence[int]],
+                  probabilities: np.ndarray,
+                  meter: ThroughputMeter) -> Tuple[np.ndarray, List[str]]:
+    """Fill cache hits into ``probabilities``; returns (miss positions, keys)."""
+    with telemetry.span("serve.cache.lookup", num_pairs=len(encoded)):
+        keys = [pair_key(seq) for seq in encoded]
+        cached = cache.lookup(digest, keys)
+    hit = np.isfinite(cached)
+    probabilities[hit] = cached[hit]
+    meter.record_cached(int(hit.sum()))
+    return np.flatnonzero(~hit), keys
+
+
+def _run_cache_stats(cache: Optional[ScoreCache],
+                     before: Optional[dict]) -> Optional[dict]:
+    """Per-run delta of the cache counters (None when caching is off)."""
+    if cache is None or before is None:
+        return None
+    after = cache.stats()
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    total = hits + misses
+    return {"hits": hits, "misses": misses,
+            "evictions": after["evictions"] - before["evictions"],
+            "hit_rate": hits / total if total else 0.0,
+            "entries": after["entries"]}
+
+
 class SequentialScorer:
-    """Single-process scoring through the length-bucketing scheduler."""
+    """Single-process scoring through the length-bucketing scheduler.
+
+    With ``cache`` set, every request consults the content-addressed
+    :class:`~repro.serve.cache.ScoreCache` before batch formation — only
+    misses are encoded into batches — and newly scored probabilities are
+    admitted back.  The pipeline must carry a ``manifest_digest`` (any
+    pipeline saved or loaded through :class:`ERPipeline` does), because the
+    snapshot identity is half of every cache key.
+    """
 
     def __init__(self, pipeline: ERPipeline,
-                 scheduler: Optional[BatchScheduler] = None):
+                 scheduler: Optional[BatchScheduler] = None,
+                 cache: Optional[ScoreCache] = None):
         self.pipeline = pipeline
         self.scheduler = scheduler or BatchScheduler(
             pipeline.extractor.vocab, pipeline.extractor.max_len)
+        self.cache = cache
+        self._digest = getattr(pipeline, "manifest_digest", None)
+        if cache is not None and self._digest is None:
+            raise ValueError(
+                "a ScoreCache needs the pipeline's snapshot identity; save "
+                "or load the pipeline through ERPipeline so it carries a "
+                "manifest_digest")
         self.last_metrics: Optional[ServeMetrics] = None
 
     @classmethod
     def from_directory(cls, directory: Union[str, Path],
+                       cache: Optional[ScoreCache] = None,
                        **scheduler_kwargs) -> "SequentialScorer":
         pipeline = ERPipeline.load(directory)
         scheduler = BatchScheduler(pipeline.extractor.vocab,
                                    pipeline.extractor.max_len,
                                    **scheduler_kwargs)
-        return cls(pipeline, scheduler)
+        return cls(pipeline, scheduler, cache=cache)
 
     def score_pairs(self, pairs: Sequence[EntityPair]) -> List[MatchDecision]:
         meter = ThroughputMeter("sequential", num_workers=1)
         if not pairs:
             self.last_metrics = meter.finalize()
             return []
-        probabilities = np.empty(len(pairs), dtype=np.float64)
+        cache_before = self.cache.stats() if self.cache is not None else None
+        probabilities = np.full(len(pairs), np.nan, dtype=np.float64)
+        encoded = self.scheduler.encode(pairs)
+        keys: List[str] = []
+        if self.cache is not None:
+            positions, keys = _cache_lookup(self.cache, self._digest, encoded,
+                                            probabilities, meter)
+            encoded = [encoded[i] for i in positions]
+        else:
+            positions = None
         extractor, matcher = self.pipeline.extractor, self.pipeline.matcher
-        for batch in self.scheduler.schedule(pairs):
+        for batch in self.scheduler.schedule_encoded(encoded, positions):
             with telemetry.span("serve.batch", engine="sequential",
                                 num_pairs=batch.num_pairs,
                                 padded_length=batch.padded_length) as sp:
                 probs = matcher.probabilities(extractor.encode(batch.ids,
                                                                batch.mask))
-            meter.record_batch(batch.num_pairs, sp.duration)
-            probabilities[batch.indices] = probs
-        self.last_metrics = meter.finalize()
+            meter.record_batch(batch.num_covered, sp.duration)
+            batch.scatter(probabilities, probs)
+            if self.cache is not None:
+                self.cache.put_many(
+                    self._digest,
+                    [keys[i] for i in batch.row_positions.tolist()], probs)
+        _assert_covered(probabilities, "sequential")
+        self.last_metrics = meter.finalize(
+            cache=_run_cache_stats(self.cache, cache_before))
         return _decisions(pairs, probabilities)
 
 
@@ -174,6 +260,12 @@ class ParallelScorer:
     chaos:
         Optional :class:`~repro.resilience.ChaosConfig` fault plan; when
         ``None`` the ``REPRO_CHAOS`` environment variable is consulted.
+    cache:
+        Optional :class:`~repro.serve.cache.ScoreCache` consulted before
+        batch formation; only cache misses are batched and shipped to the
+        pool, and a fully warm request never spins the pool up at all.
+        Keys are derived from this snapshot's manifest digest, so a
+        republished snapshot can never serve stale probabilities.
     scheduler_kwargs:
         Forwarded to :class:`BatchScheduler` (caps, bucket rounding...).
 
@@ -188,9 +280,11 @@ class ParallelScorer:
     def __init__(self, directory: Union[str, Path], num_workers: int = 4,
                  retry: Optional[RetryPolicy] = None,
                  chaos: Optional[ChaosConfig] = None,
+                 cache: Optional[ScoreCache] = None,
                  **scheduler_kwargs):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        self.cache = cache
         self.directory = Path(directory)
         self.num_workers = num_workers
         store = ArtifactStore(self.directory)
@@ -280,24 +374,42 @@ class ParallelScorer:
         if not pairs:  # zero work: never touch (or spin up) the pool
             self.last_metrics = meter.finalize(events={})
             return []
-        with telemetry.span("serve.schedule", num_pairs=len(pairs)):
-            batches = list(self.scheduler.schedule(pairs))
-        payloads = [(batch.ids, batch.mask) for batch in batches]
-        supervisor = self._ensure_pool()
+        cache_before = self.cache.stats() if self.cache is not None else None
+        probabilities = np.full(len(pairs), np.nan, dtype=np.float64)
+        encoded = self.scheduler.encode(pairs)
+        keys: List[str] = []
+        if self.cache is not None:
+            positions, keys = _cache_lookup(self.cache, self._digest, encoded,
+                                            probabilities, meter)
+            encoded = [encoded[i] for i in positions]
+        else:
+            positions = None
+        with telemetry.span("serve.schedule", num_pairs=len(encoded)):
+            batches = list(self.scheduler.schedule_encoded(encoded, positions))
         before = self.events.copy()
-        probabilities = np.empty(len(pairs), dtype=np.float64)
-        for seq, probs, busy, pid in supervisor.map_unordered(payloads):
-            probabilities[batches[seq].indices] = probs
-            meter.record_batch(batches[seq].num_pairs, busy)
-            telemetry.event("serve.batch", engine="parallel", seq=seq,
-                            num_pairs=batches[seq].num_pairs,
-                            padded_length=batches[seq].padded_length,
-                            busy_seconds=busy, worker_pid=pid)
+        if batches:  # a fully warm request never spins up the pool
+            payloads = [(batch.ids, batch.mask) for batch in batches]
+            supervisor = self._ensure_pool()
+            for seq, probs, busy, pid in supervisor.map_unordered(payloads):
+                batches[seq].scatter(probabilities, probs)
+                meter.record_batch(batches[seq].num_covered, busy)
+                if self.cache is not None:
+                    self.cache.put_many(
+                        self._digest,
+                        [keys[i] for i in batches[seq].row_positions.tolist()],
+                        probs)
+                telemetry.event("serve.batch", engine="parallel", seq=seq,
+                                num_pairs=batches[seq].num_pairs,
+                                padded_length=batches[seq].padded_length,
+                                busy_seconds=busy, worker_pid=pid)
+        _assert_covered(probabilities, "parallel")
         run_events = self.events - before
         if run_events:
             logger.warning("serve recovered-run events=%s",
                            run_events.to_dict())
-        self.last_metrics = meter.finalize(events=run_events.to_dict())
+        self.last_metrics = meter.finalize(
+            events=run_events.to_dict(),
+            cache=_run_cache_stats(self.cache, cache_before))
         return _decisions(pairs, probabilities)
 
     def score_tables(self, left_table: Sequence[Entity],
@@ -346,6 +458,7 @@ def score_tables(pipeline: Union[ERPipeline, str, Path],
                  window: int = STREAM_WINDOW,
                  retry: Optional[RetryPolicy] = None,
                  chaos: Optional[ChaosConfig] = None,
+                 cache: Optional[ScoreCache] = None,
                  **scheduler_kwargs) -> Iterator[MatchDecision]:
     """Stream a :class:`MatchDecision` for every blocked candidate pair.
 
@@ -357,7 +470,8 @@ def score_tables(pipeline: Union[ERPipeline, str, Path],
     its fault-tolerance policy.  Decisions stream in blocker order with at
     most ``window`` candidates buffered, so two large tables never
     materialize their full candidate set.  Filter on ``d.probability`` (or
-    ``d.is_match``) to keep matches only.
+    ``d.is_match``) to keep matches only.  ``cache`` memoizes probabilities
+    across windows and calls — overlapping candidate sets are scored once.
     """
     if num_workers > 0:
         if isinstance(pipeline, ERPipeline):
@@ -365,7 +479,8 @@ def score_tables(pipeline: Union[ERPipeline, str, Path],
                 "parallel score_tables needs a pipeline snapshot directory "
                 "(each worker loads its own warm model)")
         with ParallelScorer(pipeline, num_workers=num_workers, retry=retry,
-                            chaos=chaos, **scheduler_kwargs) as scorer:
+                            chaos=chaos, cache=cache,
+                            **scheduler_kwargs) as scorer:
             yield from scorer.score_tables(left_table, right_table,
                                            window=window)
         return
@@ -373,6 +488,6 @@ def score_tables(pipeline: Union[ERPipeline, str, Path],
         pipeline = ERPipeline.load(pipeline)
     scorer = SequentialScorer(pipeline, BatchScheduler(
         pipeline.extractor.vocab, pipeline.extractor.max_len,
-        **scheduler_kwargs))
+        **scheduler_kwargs), cache=cache)
     yield from _stream_tables(scorer, pipeline.blocker, left_table,
                               right_table, window)

@@ -48,6 +48,9 @@ class ServeMetrics:
     #: Per-run recovery counters from :class:`repro.resilience.Events`
     #: (retries, respawns, quarantines...); empty == fault-free run.
     events: Dict[str, int] = field(default_factory=dict)
+    #: Per-run score-cache counters (hits/misses/hit_rate...); empty when
+    #: the engine ran without a :class:`repro.serve.cache.ScoreCache`.
+    cache: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def pairs_per_second(self) -> float:
@@ -80,6 +83,7 @@ class ServeMetrics:
             "p95_batch_seconds": self.p95_batch_seconds,
             "worker_utilization": self.worker_utilization,
             "events": {k: v for k, v in self.events.items() if v},
+            "cache": dict(self.cache),
         }
 
 
@@ -109,7 +113,14 @@ class ThroughputMeter:
         REGISTRY.counter("serve.batches").inc()
         REGISTRY.histogram("serve.batch_seconds").observe(seconds)
 
-    def finalize(self, events: Optional[Dict[str, int]] = None) -> ServeMetrics:
+    def record_cached(self, num_pairs: int) -> None:
+        """Count pairs served straight from the score cache (no batch)."""
+        if num_pairs:
+            self._pairs += num_pairs
+            REGISTRY.counter("serve.pairs").inc(num_pairs)
+
+    def finalize(self, events: Optional[Dict[str, int]] = None,
+                 cache: Optional[Dict[str, Any]] = None) -> ServeMetrics:
         self._span.set(num_pairs=self._pairs,
                        num_batches=len(self._latencies)).finish()
         return ServeMetrics(engine=self.engine, num_pairs=self._pairs,
@@ -118,4 +129,5 @@ class ThroughputMeter:
                             wall_seconds=self._span.duration,
                             busy_seconds=self._busy,
                             batch_latencies=list(self._latencies),
-                            events=dict(events or {}))
+                            events=dict(events or {}),
+                            cache=dict(cache or {}))

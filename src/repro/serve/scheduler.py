@@ -8,25 +8,34 @@ length (multiples of ``bucket_rounding``), and each bucket is cut into
 batches capped both by pair count and by total padded tokens, so one batch
 never blows past the memory/latency budget regardless of sequence length.
 
+Exact duplicates are common in serving traffic (overlapping blocking
+windows, repeated ``score_tables`` calls, near-clone records), so
+:meth:`BatchScheduler.schedule` additionally runs a dedup pass: pairs whose
+*encoded, truncated* token sequences are identical are scored once and the
+single probability is scattered to every original position through the
+batch's ``(indices, rows)`` mapping.  The reference policy keeps dedup off
+— it must stay byte-for-byte the legacy loop.
+
 Numerics: padding with ``[PAD]`` positions is masked with a ``-1e9``
 additive bias whose softmax weight underflows to exactly ``0.0`` in
 float64, so a pair's feature vector does not depend on how far its bucket
-pads it.  Batch *size*, however, is not bit-neutral — BLAS picks different
-GEMM kernels for very small matrices, which can move a probability by an
-ulp.  The engines therefore guarantee bit-identical output for identical
-scheduler configuration (that is what the equivalence tier asserts across
-worker counts), and cross-policy agreement (bucketed vs the full-padding
-reference) is locked to 1e-9 instead.
+pads it.  Batch *size* is likewise neutral on the supported single-threaded
+BLAS configurations (the cache/dedup equivalence tier asserts bit-identical
+decisions with dedup on and off), but the cross-*policy* guarantee stays
+conservative: engines promise bit-identical output for identical scheduler
+configuration, and agreement between the bucketed and full-padding
+reference policies is locked to 1e-9.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data import EntityPair
+from ..telemetry import REGISTRY
 from ..text import Vocabulary, bucket_by_length, pad_sequences
 
 
@@ -34,22 +43,52 @@ from ..text import Vocabulary, bucket_by_length, pad_sequences
 class ScheduledBatch:
     """One ready-to-score numpy batch plus its provenance.
 
-    ``indices[i]`` is the position of row ``i`` in the original pair
-    sequence — consumers scatter scores back through it, so any bucketing
-    or reordering inside the scheduler is invisible to callers.
+    Row ``rows[j]`` of the batch produces the probability for position
+    ``indices[j]`` of the original pair sequence — consumers scatter scores
+    back through :meth:`scatter`, so any bucketing, reordering, or
+    deduplication inside the scheduler is invisible to callers.  Without
+    duplicates ``rows`` is simply ``arange(num_pairs)`` and ``indices`` has
+    one entry per scored row; a deduplicated batch covers more positions
+    than it scores rows.
     """
 
-    indices: np.ndarray   # (n,) int64 positions into the scheduled sequence
+    indices: np.ndarray   # (k,) int64 positions into the scheduled sequence
     ids: np.ndarray       # (n, T) int64 token ids
     mask: np.ndarray      # (n, T) float64 padding mask
+    rows: np.ndarray = field(default=None)  # (k,) int64 batch row per position
+
+    def __post_init__(self):
+        if self.rows is None:
+            object.__setattr__(
+                self, "rows", np.arange(self.ids.shape[0], dtype=np.int64))
 
     @property
     def num_pairs(self) -> int:
+        """Rows actually scored (unique sequences in this batch)."""
         return int(self.ids.shape[0])
+
+    @property
+    def num_covered(self) -> int:
+        """Original positions this batch resolves (>= ``num_pairs``)."""
+        return int(self.indices.shape[0])
 
     @property
     def padded_length(self) -> int:
         return int(self.ids.shape[1])
+
+    @property
+    def row_positions(self) -> np.ndarray:
+        """One representative original position per scored row (first wins)."""
+        __, first = np.unique(self.rows, return_index=True)
+        return self.indices[first]
+
+    def scatter(self, out: np.ndarray, probabilities: np.ndarray) -> None:
+        """Write per-row ``probabilities`` to every position this batch covers."""
+        if probabilities.shape != (self.num_pairs,):
+            raise ValueError(
+                f"probabilities shape {probabilities.shape} does not match "
+                f"{self.num_pairs} scheduled rows")
+        out[self.indices] = probabilities[self.rows]
 
 
 class BatchScheduler:
@@ -75,11 +114,17 @@ class BatchScheduler:
         input order with a fixed stride — byte-for-byte the legacy
         ``ERPipeline`` batching.  This is the *reference* policy the
         equivalence tests compare against.
+    dedup:
+        Score each distinct encoded sequence once and scatter the result to
+        every duplicate position.  Defaults to on for the bucketing policy
+        and off for the reference policy (which must reproduce the legacy
+        loop exactly, duplicate work included).
     """
 
     def __init__(self, vocab: Vocabulary, max_len: int,
                  max_batch_pairs: int = 128, max_batch_tokens: int = 8192,
-                 bucket_rounding: int = 8, pad_to_max: bool = False):
+                 bucket_rounding: int = 8, pad_to_max: bool = False,
+                 dedup: Optional[bool] = None):
         if max_len <= 0:
             raise ValueError("max_len must be positive")
         if max_batch_pairs <= 0:
@@ -95,6 +140,7 @@ class BatchScheduler:
         self.max_batch_tokens = max_batch_tokens
         self.bucket_rounding = bucket_rounding
         self.pad_to_max = pad_to_max
+        self.dedup = (not pad_to_max) if dedup is None else bool(dedup)
 
     @classmethod
     def reference(cls, vocab: Vocabulary, max_len: int,
@@ -104,8 +150,11 @@ class BatchScheduler:
                    max_batch_tokens=batch_size * max_len, pad_to_max=True)
 
     # -- scheduling -------------------------------------------------------- #
-    def _encode(self, pairs: Sequence[EntityPair]) -> List[List[int]]:
-        return [self.vocab.encode_tokens(pair.tokens()) for pair in pairs]
+    def encode(self, pairs: Sequence[EntityPair]) -> List[List[int]]:
+        """Truncated token-id sequences, exactly as scheduled batches carry
+        them — also the content half of a :mod:`repro.serve.cache` key."""
+        return [self.vocab.encode_tokens(pair.tokens())[:self.max_len]
+                for pair in pairs]
 
     def _cut(self, order: Sequence[int], padded_length: int) -> Iterator[List[int]]:
         """Cut an index list into batches respecting both caps."""
@@ -114,12 +163,56 @@ class BatchScheduler:
         for start in range(0, len(order), size):
             yield list(order[start:start + size])
 
+    def _dedup(self, encoded: Sequence[Sequence[int]]
+               ) -> Tuple[List[Sequence[int]], List[List[int]]]:
+        """Collapse exact-duplicate sequences; returns (unique, groups).
+
+        ``groups[u]`` lists the local indices whose encoding is
+        ``unique[u]``, in first-occurrence order.
+        """
+        unique: List[Sequence[int]] = []
+        groups: List[List[int]] = []
+        seen: Dict[Tuple[int, ...], int] = {}
+        for local, seq in enumerate(encoded):
+            key = tuple(seq)
+            slot = seen.get(key)
+            if slot is None:
+                seen[key] = len(unique)
+                unique.append(seq)
+                groups.append([local])
+            else:
+                groups[slot].append(local)
+        duplicates = len(encoded) - len(unique)
+        if duplicates:
+            REGISTRY.counter("serve.cache.dedup").inc(duplicates)
+        return unique, groups
+
     def schedule(self, pairs: Sequence[EntityPair]
                  ) -> Iterator[ScheduledBatch]:
         """Yield encoded, padded batches covering ``pairs`` exactly once."""
-        if not pairs:
+        yield from self.schedule_encoded(self.encode(pairs))
+
+    def schedule_encoded(self, encoded: Sequence[Sequence[int]],
+                         positions: Optional[np.ndarray] = None
+                         ) -> Iterator[ScheduledBatch]:
+        """Schedule pre-encoded sequences; ``positions`` labels each sequence
+        with the index its score must land on (default ``arange``).
+
+        The engines use this to schedule only cache *misses* while keeping
+        batch ``indices`` addressed into the full request.
+        """
+        if not len(encoded):
             return
-        encoded = self._encode(pairs)
+        if positions is None:
+            positions = np.arange(len(encoded), dtype=np.int64)
+        else:
+            positions = np.asarray(positions, dtype=np.int64)
+            if positions.shape != (len(encoded),):
+                raise ValueError("positions must label every encoded sequence")
+        if self.dedup:
+            encoded, groups = self._dedup(encoded)
+        else:
+            groups = [[i] for i in range(len(encoded))]
         if self.pad_to_max:
             buckets = {self.max_len: list(range(len(encoded)))}
         else:
@@ -130,5 +223,10 @@ class BatchScheduler:
             for chunk in self._cut(buckets[padded_length], padded_length):
                 ids, mask = pad_sequences([encoded[i] for i in chunk],
                                           padded_length, self.vocab.pad_id)
-                yield ScheduledBatch(indices=np.asarray(chunk, dtype=np.int64),
-                                     ids=ids, mask=mask)
+                covered = [(positions[local], row)
+                           for row, unique_index in enumerate(chunk)
+                           for local in groups[unique_index]]
+                indices = np.asarray([c[0] for c in covered], dtype=np.int64)
+                rows = np.asarray([c[1] for c in covered], dtype=np.int64)
+                yield ScheduledBatch(indices=indices, ids=ids, mask=mask,
+                                     rows=rows)

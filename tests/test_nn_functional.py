@@ -204,3 +204,67 @@ class TestMisc:
     def test_kl_divergence_zero_for_identical(self):
         log_p = F.log_softmax(Tensor(RNG.normal(size=(4, 3))))
         assert F.kl_divergence(log_p, log_p).item() == pytest.approx(0.0, abs=1e-12)
+
+
+class TestBceAtOrigin:
+    """The z == 0 kink: both softplus pieces must cancel exactly there."""
+
+    def test_gradient_at_zero_logit_is_sigmoid_minus_target(self):
+        # d/dz BCE = sigmoid(z) - y, which at z == 0 is 0.5 - y.  The old
+        # where/abs pairing summed its subgradients to -y at the origin.
+        logits = Tensor(np.zeros(2), requires_grad=True)
+        targets = np.array([1.0, 0.0])
+        F.binary_cross_entropy_with_logits(logits, targets).backward()
+        np.testing.assert_allclose(logits.grad, (0.5 - targets) / 2.0)
+
+    def test_gradient_check_across_origin(self):
+        # BCE-with-logits is smooth (log(1+e^z) - z*y), so finite
+        # differences are valid even with logits pinned exactly at 0.
+        logits = Tensor(np.array([0.0, 0.0, 1.5, -2.0]), requires_grad=True)
+        targets = np.array([1.0, 0.0, 0.0, 1.0])
+        check_gradients(
+            lambda: F.binary_cross_entropy_with_logits(logits, targets),
+            [logits])
+
+    def test_value_at_origin_is_log_two(self):
+        loss = F.binary_cross_entropy_with_logits(
+            Tensor(np.zeros(3)), np.array([1.0, 0.0, 1.0]))
+        assert loss.item() == pytest.approx(np.log(2.0))
+
+
+class TestLabelValidation:
+    """Out-of-range class indices must raise, never wrap or misindex."""
+
+    def test_cross_entropy_rejects_negative_label(self):
+        logits = Tensor(np.zeros((3, 4)))
+        with pytest.raises(ValueError, match=r"labels\[1\] = -1 is outside"):
+            F.cross_entropy(logits, np.array([0, -1, 2]))
+
+    def test_cross_entropy_rejects_label_past_num_classes(self):
+        logits = Tensor(np.zeros((3, 4)))
+        with pytest.raises(ValueError, match=r"labels\[2\] = 4 is outside "
+                                             r"\[0, 4\)"):
+            F.cross_entropy(logits, np.array([0, 1, 4]))
+
+    def test_error_reports_invalid_count(self):
+        logits = Tensor(np.zeros((3, 2)))
+        with pytest.raises(ValueError, match="2 of 3 labels are invalid"):
+            F.cross_entropy(logits, np.array([-5, 0, 7]))
+
+    def test_focal_loss_rejects_bad_label(self):
+        logits = Tensor(np.zeros((2, 2)))
+        with pytest.raises(ValueError, match=r"labels\[1\] = 2 is outside"):
+            F.focal_loss(logits, np.array([0, 2]))
+
+    def test_token_cross_entropy_rejects_bad_target(self):
+        logits = Tensor(np.zeros((1, 3, 5)))
+        with pytest.raises(ValueError, match=r"targets\[2\] = 5 is outside"):
+            F.token_cross_entropy(logits, np.array([[0, 1, 5]]))
+
+    def test_token_cross_entropy_rejects_masked_bad_target(self):
+        # Validation is deliberately mask-independent: a -1 "ignore" slot
+        # would still index log_probs before the mask zeroes it out.
+        logits = Tensor(np.zeros((1, 2, 4)))
+        with pytest.raises(ValueError, match=r"targets\[1\] = -1"):
+            F.token_cross_entropy(logits, np.array([[0, -1]]),
+                                  mask=np.array([[1.0, 0.0]]))

@@ -113,16 +113,27 @@ class TestBatchScheduler:
                             Entity(f"r{i}", {"name": long_name}))
                  for i in range(3)]
         scheduler = BatchScheduler(pipeline.extractor.vocab, max_len,
-                                   max_batch_tokens=max_len)  # minimum legal
+                                   max_batch_tokens=max_len,  # minimum legal
+                                   dedup=False)
         batches = list(scheduler.schedule(pairs))
         assert [b.num_pairs for b in batches] == [1, 1, 1]
         assert all(b.padded_length == max_len for b in batches)
         seen = np.concatenate([b.indices for b in batches])
         assert sorted(seen.tolist()) == [0, 1, 2]
+        # With dedup on, the three identical pairs collapse to ONE scored
+        # row that still covers all three positions.
+        deduped = BatchScheduler(pipeline.extractor.vocab, max_len,
+                                 max_batch_tokens=max_len)
+        batches = list(deduped.schedule(pairs))
+        assert [b.num_pairs for b in batches] == [1]
+        assert batches[0].num_covered == 3
+        assert sorted(batches[0].indices.tolist()) == [0, 1, 2]
 
     def test_exact_capacity_bucket_fills_without_spill(self, served):
         # Uniform-length pairs whose bucket exactly fills both caps must cut
-        # into full batches with no off-by-one spill batch.
+        # into full batches with no off-by-one spill batch.  (dedup=False:
+        # these 12 pairs are textually identical, and this test probes cap
+        # cutting, not duplicate collapsing.)
         pipeline, __ = served
         pairs = [EntityPair(Entity(f"l{i}", {"name": "mesa rook tide"}),
                             Entity(f"r{i}", {"name": "volt wick yarn"}))
@@ -132,7 +143,7 @@ class TestBatchScheduler:
         padded = next(iter(probe.schedule(pairs))).padded_length
         scheduler = BatchScheduler(pipeline.extractor.vocab, padded,
                                    max_batch_pairs=4,
-                                   max_batch_tokens=4 * padded)
+                                   max_batch_tokens=4 * padded, dedup=False)
         batches = list(scheduler.schedule(pairs))
         assert [b.num_pairs for b in batches] == [4, 4, 4]
         assert all(b.num_pairs * b.padded_length == 4 * padded
@@ -149,9 +160,14 @@ class TestBatchScheduler:
         batches = list(scheduler.schedule(pairs))
         assert len(batches) > 1
         for batch in batches:
+            # Scored rows follow input order (first occurrence per row) and
+            # no position is covered twice within a batch.
+            rep = batch.row_positions.tolist()
+            assert rep == sorted(rep)
             idx = batch.indices.tolist()
-            assert idx == sorted(idx)
             assert len(set(idx)) == len(idx)
+        covered = np.concatenate([b.indices for b in batches])
+        assert sorted(covered.tolist()) == list(range(len(pairs)))
 
     def test_validation(self, served):
         pipeline, __ = served

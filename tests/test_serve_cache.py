@@ -1,0 +1,304 @@
+"""Tests for the content-addressed score cache and the request dedup pass.
+
+The invariant under test everywhere: caching and deduplication are pure
+plumbing.  A cached, deduplicated run must produce MatchDecision lists
+**bit-identical** to an uncached run — across worker counts, across
+persistence round-trips, and across every edge shape (overlong pairs,
+empty-token pairs, 100%-duplicate requests).  The cache key pairs the
+snapshot's manifest digest with a content hash of the encoded token ids,
+so a republished snapshot can never serve stale probabilities.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Entity, EntityPair
+from repro.pipeline import ERPipeline
+from repro.serve import (BatchScheduler, ParallelScorer, ScoreCache,
+                         SequentialScorer, pair_key)
+from repro.text import Vocabulary
+
+
+def _pairs(texts):
+    return [EntityPair(Entity(f"l{i}", {"name": text}),
+                       Entity(f"r{i}", {"name": text[::-1]}))
+            for i, text in enumerate(texts)]
+
+
+@pytest.fixture(scope="module")
+def cached_pipeline(tmp_path_factory, tiny_lm):
+    """A digest-carrying pipeline plus its snapshot directory."""
+    from repro.matcher import MlpMatcher
+    from repro.pretrain import fresh_copy
+    extractor = fresh_copy(tiny_lm[0], seed=0)
+    extractor.eval()
+    matcher = MlpMatcher(extractor.feature_dim, np.random.default_rng(0))
+    matcher.eval()
+    pipeline = ERPipeline(extractor, matcher)
+    directory = tmp_path_factory.mktemp("serve_cache") / "pipeline"
+    pipeline.save(directory)
+    return pipeline, directory
+
+
+class TestPairKey:
+    def test_deterministic_and_content_sensitive(self):
+        assert pair_key([1, 2, 3]) == pair_key([1, 2, 3])
+        assert pair_key([1, 2, 3]) != pair_key([3, 2, 1])  # order matters
+        assert pair_key([1, 2]) != pair_key([1, 2, 2])     # length matters
+        assert pair_key([]) == pair_key([])                # empty is valid
+
+    def test_numpy_and_list_inputs_agree(self):
+        assert pair_key(np.asarray([5, 6, 7])) == pair_key([5, 6, 7])
+
+    def test_truncation_makes_overlong_pairs_collide_on_purpose(self, tiny_lm):
+        """Keys hash the *truncated* encoding — exactly what gets scored.
+
+        Two pairs identical up to max_len score identically by construction,
+        so sharing a cache entry is correct, not a collision bug.
+        """
+        extractor = tiny_lm[0]
+        scheduler = BatchScheduler(extractor.vocab, max_len=8)
+        long_a = _pairs(["alpha " * 50])[0]
+        long_b = _pairs(["alpha " * 60])[0]
+        key_a, key_b = (pair_key(seq)
+                        for seq in scheduler.encode([long_a, long_b]))
+        assert key_a == key_b
+        full = BatchScheduler(extractor.vocab, max_len=256)
+        assert (pair_key(full.encode([long_a])[0])
+                != pair_key(full.encode([long_b])[0]))
+
+
+class TestMemoryTier:
+    def test_roundtrip_and_stats(self):
+        cache = ScoreCache(capacity=4)
+        assert cache.get("digest", "k") is None
+        cache.put("digest", "k", 0.25)
+        assert cache.get("digest", "k") == 0.25
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5 and stats["entries"] == 1
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = ScoreCache(capacity=2)
+        cache.put("d", "a", 0.1)
+        cache.put("d", "b", 0.2)
+        assert cache.get("d", "a") == 0.1  # refresh "a"; "b" is now LRU
+        cache.put("d", "c", 0.3)
+        assert cache.stats()["evictions"] == 1
+        assert cache.get("d", "b") is None
+        assert cache.get("d", "a") == 0.1
+        assert cache.get("d", "c") == 0.3
+
+    def test_digests_are_isolated(self):
+        cache = ScoreCache(capacity=8)
+        cache.put("digest-one", "k", 0.7)
+        assert cache.get("digest-two", "k") is None
+        assert cache.get("digest-one", "k") == 0.7
+
+    def test_refuses_non_finite_probabilities(self):
+        cache = ScoreCache(capacity=4)
+        with pytest.raises(ValueError, match="non-finite"):
+            cache.put("d", "k", float("nan"))
+        with pytest.raises(ValueError, match="non-finite"):
+            cache.put("d", "k", float("inf"))
+
+    def test_vector_lookup_marks_misses_with_nan(self):
+        cache = ScoreCache(capacity=4)
+        cache.put("d", "hit", 0.5)
+        out = cache.lookup("d", ["hit", "miss"])
+        assert out[0] == 0.5 and np.isnan(out[1])
+
+    def test_put_many_validates_lengths(self):
+        cache = ScoreCache(capacity=4)
+        with pytest.raises(ValueError, match="length"):
+            cache.put_many("d", ["a", "b"], np.asarray([0.1]))
+
+
+class TestPersistentTier:
+    def test_flush_then_fresh_instance_hits(self, tmp_path):
+        first = ScoreCache(capacity=8, directory=tmp_path)
+        first.put("digest", "k1", 0.125)
+        first.put("digest", "k2", 0.875)
+        assert first.flush() is not None
+        second = ScoreCache(capacity=8, directory=tmp_path)
+        assert second.get("digest", "k1") == 0.125
+        assert second.get("digest", "k2") == 0.875
+        assert second.stats()["hits"] == 2
+
+    def test_new_snapshot_digest_never_sees_old_shard(self, tmp_path):
+        cache = ScoreCache(capacity=8, directory=tmp_path)
+        cache.put("digest-old", "k", 0.5)
+        cache.flush()
+        fresh = ScoreCache(capacity=8, directory=tmp_path)
+        assert fresh.get("digest-new", "k") is None  # republished snapshot
+        assert fresh.get("digest-old", "k") == 0.5
+
+    def test_corrupt_shard_heals_cold_instead_of_crashing(self, tmp_path):
+        cache = ScoreCache(capacity=8, directory=tmp_path)
+        cache.put("digest", "k", 0.5)
+        path = cache.flush()
+        path.write_bytes(b"not an npz archive at all")
+        survivor = ScoreCache(capacity=8, directory=tmp_path)
+        assert survivor.get("digest", "k") is None  # cold, not poisoned
+        survivor.put("digest", "k", 0.5)
+        assert survivor.flush() is not None  # healed: shard rewritten
+        healed = ScoreCache(capacity=8, directory=tmp_path)
+        assert healed.get("digest", "k") == 0.5
+
+    def test_dirty_evictions_survive_via_flush(self, tmp_path):
+        cache = ScoreCache(capacity=1, directory=tmp_path)
+        for i in range(3):  # two LRU evictions of never-flushed entries
+            cache.put("digest", f"k{i}", i / 4.0)
+        assert cache.stats()["evictions"] == 2
+        cache.flush()
+        fresh = ScoreCache(capacity=8, directory=tmp_path)
+        assert [fresh.get("digest", f"k{i}") for i in range(3)] == \
+            [0.0, 0.25, 0.5]
+
+
+class TestEngineCaching:
+    def test_live_pipeline_without_digest_is_rejected(self, tiny_lm):
+        from repro.matcher import MlpMatcher
+        from repro.pretrain import fresh_copy
+        extractor = fresh_copy(tiny_lm[0], seed=0)
+        matcher = MlpMatcher(extractor.feature_dim, np.random.default_rng(0))
+        unsaved = ERPipeline(extractor, matcher)  # never saved: no digest
+        with pytest.raises(ValueError, match="manifest_digest"):
+            SequentialScorer(unsaved, cache=ScoreCache(capacity=8))
+
+    def test_warm_request_is_bit_identical_and_all_hits(self, cached_pipeline):
+        pipeline, __ = cached_pipeline
+        pairs = _pairs([f"record number {i}" for i in range(40)])
+        baseline = SequentialScorer(pipeline).score_pairs(pairs)
+        scorer = SequentialScorer(pipeline, cache=ScoreCache(capacity=1024))
+        cold = scorer.score_pairs(pairs)
+        warm = scorer.score_pairs(pairs)
+        assert cold == baseline and warm == baseline
+        assert scorer.last_metrics.cache["hit_rate"] == 1.0
+        assert scorer.last_metrics.cache["misses"] == 0
+
+    @pytest.mark.parametrize("num_workers", [1, 4])
+    def test_parallel_cached_bit_identical_across_workers(
+            self, cached_pipeline, num_workers):
+        pipeline, directory = cached_pipeline
+        pairs = _pairs([f"w{i % 7} item {i % 13}" for i in range(60)])
+        baseline = SequentialScorer(pipeline).score_pairs(pairs)
+        cache = ScoreCache(capacity=1024)
+        with ParallelScorer(directory, num_workers=num_workers,
+                            cache=cache) as scorer:
+            cold = scorer.score_pairs(pairs)
+            warm = scorer.score_pairs(pairs)
+            warm_stats = scorer.last_metrics.cache
+        assert cold == baseline
+        assert warm == baseline
+        assert warm_stats["hit_rate"] == 1.0
+
+    def test_republished_snapshot_invalidates_cache(self, tmp_path, tiny_lm):
+        from repro.matcher import MlpMatcher
+        from repro.pretrain import fresh_copy
+        extractor = fresh_copy(tiny_lm[0], seed=0)
+        extractor.eval()
+        matcher = MlpMatcher(extractor.feature_dim, np.random.default_rng(0))
+        matcher.eval()
+        pipeline = ERPipeline(extractor, matcher)
+        directory = tmp_path / "snapshot"
+        pipeline.save(directory)
+        old_digest = pipeline.manifest_digest
+
+        cache = ScoreCache(capacity=1024)
+        pairs = _pairs([f"entry {i}" for i in range(10)])
+        SequentialScorer(pipeline, cache=cache).score_pairs(pairs)
+        before = cache.stats()
+
+        pipeline.threshold = 0.25  # republish with changed config
+        pipeline.save(directory)
+        assert pipeline.manifest_digest != old_digest
+
+        republished = ERPipeline.load(directory)
+        scorer = SequentialScorer(republished, cache=cache)
+        scorer.score_pairs(pairs)
+        after = cache.stats()
+        assert after["hits"] == before["hits"]          # nothing reused
+        assert after["misses"] - before["misses"] == len(pairs)
+
+    def test_fully_duplicate_request_scores_once(self, cached_pipeline):
+        pipeline, __ = cached_pipeline
+        pairs = _pairs(["identical text"] * 50)
+        cache = ScoreCache(capacity=1024)
+        scorer = SequentialScorer(pipeline, cache=cache)
+        cold = scorer.score_pairs(pairs)
+        assert len({d.probability for d in cold}) == 1
+        assert cache.stats()["entries"] == 1  # one score for 50 positions
+        warm = scorer.score_pairs(pairs)
+        assert warm == cold
+        assert scorer.last_metrics.cache["hits"] == 50
+
+    def test_empty_token_pairs_are_cacheable(self, cached_pipeline):
+        pipeline, __ = cached_pipeline
+        empty = [EntityPair(Entity(f"l{i}", {}), Entity(f"r{i}", {}))
+                 for i in range(3)]
+        scorer = SequentialScorer(pipeline, cache=ScoreCache(capacity=8))
+        cold = scorer.score_pairs(empty)
+        warm = scorer.score_pairs(empty)
+        assert warm == cold
+        assert all(np.isfinite(d.probability) for d in cold)
+        assert scorer.last_metrics.cache["hit_rate"] == 1.0
+
+    def test_overlong_pairs_cached_and_bit_identical(self, cached_pipeline):
+        pipeline, __ = cached_pipeline
+        pairs = _pairs(["tok " * 200, "tok " * 300, "short"])
+        baseline = SequentialScorer(pipeline).score_pairs(pairs)
+        scorer = SequentialScorer(pipeline, cache=ScoreCache(capacity=8))
+        assert scorer.score_pairs(pairs) == baseline
+        assert scorer.score_pairs(pairs) == baseline
+
+    def test_unscored_position_raises_instead_of_emitting_garbage(
+            self, cached_pipeline):
+        pipeline, __ = cached_pipeline
+
+        class DroppingScheduler(BatchScheduler):
+            def schedule_encoded(self, encoded, positions=None):
+                batches = list(super().schedule_encoded(encoded, positions))
+                yield from batches[:-1]  # silently lose the last batch
+
+        scheduler = DroppingScheduler(pipeline.extractor.vocab,
+                                      pipeline.extractor.max_len,
+                                      max_batch_pairs=4)
+        scorer = SequentialScorer(pipeline, scheduler)
+        with pytest.raises(RuntimeError, match="unscored"):
+            scorer.score_pairs(_pairs([f"row {i}" for i in range(12)]))
+
+
+def _content_scores(batch):
+    """A deterministic stand-in scorer: probability from row content only."""
+    out = []
+    for row in range(batch.num_pairs):
+        real = int(batch.mask[row].sum())
+        ids = tuple(batch.ids[row, :real].tolist())
+        out.append((hash(ids) % 997) / 997.0)
+    return np.asarray(out, dtype=np.float64)
+
+
+@given(st.lists(st.lists(st.integers(0, 30), max_size=12), max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_dedup_scatter_is_identity_on_decisions(sequences):
+    """Property: dedup+scatter never changes what any position receives.
+
+    With a scorer that is a pure function of row content, scheduling with
+    dedup on and off must fill identical probability vectors — the dedup
+    pass may only change *how often* content is scored, never *what* a
+    position gets.
+    """
+    vocab = Vocabulary()
+    outputs = []
+    for dedup in (False, True):
+        scheduler = BatchScheduler(vocab, max_len=16, max_batch_pairs=7,
+                                   dedup=dedup)
+        filled = np.full(len(sequences), np.nan)
+        for batch in scheduler.schedule_encoded(sequences):
+            batch.scatter(filled, _content_scores(batch))
+        assert not np.isnan(filled).any()
+        outputs.append(filled)
+    np.testing.assert_array_equal(outputs[0], outputs[1])
