@@ -21,11 +21,13 @@ __version__ = "1.0.0"
 
 from .api import (AdaptationResult, ChaosConfig, Events, GuardRail,
                   TrainingDiverged, adapt, load_dataset, no_da, score_tables)
-from .serve import ScoreCache
+from .serve import (DaemonClient, ModelRegistry, ScoreCache, ScoreRequest,
+                    ScoreResponse)
 from .telemetry import (PROFILER, REGISTRY, TRACER, TelemetrySession, event,
                         span)
 
 __all__ = ["adapt", "no_da", "load_dataset", "score_tables", "ScoreCache",
+           "ModelRegistry", "DaemonClient", "ScoreRequest", "ScoreResponse",
            "AdaptationResult", "ChaosConfig", "Events", "GuardRail",
            "TrainingDiverged", "TelemetrySession", "TRACER", "REGISTRY",
            "PROFILER", "span", "event", "__version__"]

@@ -8,6 +8,7 @@ Subcommands::
     python -m repro adapt dblp_acm dblp_scholar --aligner mmd --scale 0.1
     python -m repro distance books2 fodors_zagats
     python -m repro serve-bench --pairs 10000 --workers 4 --telemetry
+    python -m repro serve --snapshot prod=snapshots/prod --port 7461
     python -m repro trace-summary adapt_fz_am_mmd
 
 Installed as the ``repro`` console script (``[project.scripts]``), which
@@ -130,11 +131,48 @@ def build_parser() -> argparse.ArgumentParser:
                                   "flush cold-pass scores to this directory "
                                   "and serve the warm pass from a fresh "
                                   "cache over the same shard")
+    serve_bench.add_argument("--daemon", action="store_true",
+                             help="also run the online-daemon pass: N "
+                                  "concurrent TCP clients against a live "
+                                  "repro serve daemon with a mid-run "
+                                  "zero-downtime hot swap")
+    serve_bench.add_argument("--clients", type=int, default=8,
+                             help="concurrent daemon clients (default 8)")
     serve_bench.add_argument("--telemetry", action="store_true",
                              help="trace the race and embed a metrics "
                                   "snapshot into the report")
     serve_bench.add_argument("--trace-dir", default="traces",
                              help="trace export directory (default traces)")
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the online scoring daemon: admission control with "
+             "backpressure, cross-request micro-batching, multi-tenant "
+             "snapshot routing with zero-downtime hot swap")
+    serve.add_argument("--snapshot", action="append", default=[],
+                       metavar="[DOMAIN=]DIR",
+                       help="pipeline snapshot to publish at startup; "
+                            "repeatable, one per domain (bare DIR publishes "
+                            "as 'default')")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7461,
+                       help="TCP port; 0 picks an ephemeral port "
+                            "(default 7461)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="worker processes per published engine; 0 = "
+                            "in-process sequential scoring (default 0)")
+    serve.add_argument("--max-queued-pairs", type=int, default=4096,
+                       help="admission high-water mark in pairs; past it "
+                            "requests are rejected with retry-after "
+                            "(default 4096)")
+    serve.add_argument("--max-batch-pairs", type=int, default=256,
+                       help="micro-batch flush threshold in pairs "
+                            "(default 256)")
+    serve.add_argument("--flush-interval", type=float, default=0.005,
+                       help="micro-batch deadline in seconds (default 0.005)")
+    serve.add_argument("--cache-capacity", type=int, default=262144,
+                       help="shared score-cache entries (default 262144)")
 
     trace_summary = commands.add_parser(
         "trace-summary",
@@ -229,12 +267,53 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                              output=args.output, batch_size=args.batch_size,
                              seed=args.seed, inject_fault=args.inject_fault,
                              cache=args.cache, cache_dir=args.cache_dir,
+                             daemon=args.daemon, num_clients=args.clients,
                              telemetry=args.telemetry,
                              trace_dir=args.trace_dir)
     print(format_report(report))
     if "telemetry" in report:
         print(f"trace written to {report['telemetry']['trace']}")
     print(f"report written to {args.output}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import (DaemonConfig, ModelRegistry, ScoreCache,
+                        serve_forever)
+    registry = ModelRegistry(cache=ScoreCache(capacity=args.cache_capacity))
+    for spec in args.snapshot:
+        domain, __, directory = spec.rpartition("=")
+        domain = domain or "default"
+        digest = registry.publish(domain, directory,
+                                  num_workers=args.workers)
+        print(f"published domain {domain!r} from {directory} "
+              f"(digest {digest[:12]}...)")
+    if not args.snapshot:
+        print("no --snapshot given: daemon starts empty; publish over the "
+              "wire with op=publish")
+    config = DaemonConfig(host=args.host, port=args.port,
+                          max_queued_pairs=args.max_queued_pairs,
+                          max_batch_pairs=args.max_batch_pairs,
+                          flush_interval=args.flush_interval)
+
+    async def main() -> None:
+        loop = asyncio.get_running_loop()
+        ready = loop.create_future()
+
+        async def announce() -> None:
+            host, port = await ready
+            print(f"repro serve listening on {host}:{port}", flush=True)
+
+        await asyncio.gather(serve_forever(registry, config, ready=ready),
+                             announce())
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("interrupted; daemon stopped")
+        registry.close()
     return 0
 
 
@@ -262,6 +341,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_distance(args)
     if args.command == "serve-bench":
         return cmd_serve_bench(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     if args.command == "trace-summary":
         return cmd_trace_summary(args)
     if args.command == "report":

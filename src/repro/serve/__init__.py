@@ -1,26 +1,50 @@
-"""repro.serve — batched, parallel scoring over persisted ER pipelines.
+"""repro.serve — batched, parallel, and online scoring over ER pipelines.
 
-The production serving layer of the reproduction: candidate pairs flow
-through a length-bucketing :class:`BatchScheduler` into either a
-single-process :class:`SequentialScorer` or a multiprocess
-:class:`ParallelScorer` with one warm model per worker, with every run
-instrumented as :class:`ServeMetrics`.  See ``DESIGN.md`` ("Serving
-architecture") for the batching and worker-pool design, and
-``python -m repro serve-bench`` for the standing throughput benchmark.
+The production serving layer of the reproduction, in two tiers:
+
+* **Engines** — candidate pairs flow through a length-bucketing
+  :class:`BatchScheduler` into either a single-process
+  :class:`SequentialScorer` or a multiprocess :class:`ParallelScorer`
+  (one warm model per worker), fronted by a content-addressed
+  :class:`ScoreCache` and instrumented as :class:`ServeMetrics`.  Both
+  implement the :class:`ScoreRequest` → :class:`ScoreResponse` contract.
+* **Daemon** — ``python -m repro serve`` hosts a :class:`ModelRegistry`
+  of domain-adapted snapshots behind an asyncio loop
+  (:class:`ServeDaemon`) that admission-controls with backpressure,
+  merges concurrent requests into cross-request micro-batches, and
+  hot-swaps republished snapshots with zero downtime.
+  :class:`DaemonClient` is the blocking TCP client.
+
+See ``DESIGN.md`` ("Serving architecture", "Online serving daemon") for
+the design, and ``python -m repro serve-bench`` for the standing
+throughput + daemon-latency benchmark.
 """
 
 from .bench import (build_bench_pipeline, format_report, run_serve_bench,
                     synthetic_candidates)
 from .cache import DEFAULT_CAPACITY, ScoreCache, pair_key
-from .engine import (STREAM_WINDOW, ParallelScorer, SequentialScorer,
-                     score_tables)
+from .client import DaemonBusy, DaemonClient, DaemonError, ScoredReply
+from .daemon import (BackpressureError, DaemonConfig, DaemonHandle,
+                     DaemonServer, ServeDaemon, serve_forever,
+                     start_daemon_thread)
+from .engine import (STREAM_WINDOW, ParallelScorer, RequestScorer,
+                     SequentialScorer, score_tables)
 from .metrics import ServeMetrics, ThroughputMeter, percentile
+from .registry import ModelRegistry, TenantLease, UnknownDomain
+from .request import (DEFAULT_DOMAIN, ScoreRequest, ScoreResponse,
+                      as_request)
 from .scheduler import BatchScheduler, ScheduledBatch
 
 __all__ = [
     "BatchScheduler", "ScheduledBatch",
     "ScoreCache", "pair_key", "DEFAULT_CAPACITY",
-    "SequentialScorer", "ParallelScorer", "score_tables", "STREAM_WINDOW",
+    "RequestScorer", "SequentialScorer", "ParallelScorer", "score_tables",
+    "STREAM_WINDOW",
+    "ScoreRequest", "ScoreResponse", "as_request", "DEFAULT_DOMAIN",
+    "ModelRegistry", "TenantLease", "UnknownDomain",
+    "ServeDaemon", "DaemonServer", "DaemonConfig", "DaemonHandle",
+    "BackpressureError", "serve_forever", "start_daemon_thread",
+    "DaemonClient", "DaemonBusy", "DaemonError", "ScoredReply",
     "ServeMetrics", "ThroughputMeter", "percentile",
     "run_serve_bench", "build_bench_pipeline", "synthetic_candidates",
     "format_report",

@@ -39,7 +39,7 @@ from ..resilience import BackoffPolicy, ChaosConfig, Fault, RetryPolicy
 from ..telemetry import DEFAULT_TRACE_DIR, REGISTRY, TelemetrySession, span
 from .cache import ScoreCache
 from .engine import ParallelScorer, SequentialScorer
-from .metrics import ServeMetrics, ThroughputMeter
+from .metrics import ServeMetrics, ThroughputMeter, percentile
 
 #: Small-LM settings for the bench pipeline (matches the test suite's LM so
 #: the checkpoint cache is shared with a normal test run).
@@ -209,6 +209,155 @@ def _run_cache_passes(pipeline: ERPipeline, pipeline_dir: Path,
     }
 
 
+def _run_daemon_bench(pipeline: ERPipeline, pipeline_dir: Path,
+                      num_clients: int, requests_per_client: int,
+                      pairs_per_request: int, seed: int,
+                      lm_kwargs: Optional[dict]) -> Dict:
+    """Drive a live daemon with concurrent clients and a mid-run hot swap.
+
+    ``num_clients`` threads each send ``requests_per_client`` small
+    requests over TCP; halfway through, the bench republishes the domain
+    with a *different* snapshot (fresh matcher seed, new digest).  Three
+    gates before any number is reported:
+
+    * every response is bit-identical to a :class:`SequentialScorer` run
+      of the same request on whichever snapshot answered it;
+    * the swap drops zero requests (``failed == 0`` and both digests
+      actually served);
+    * responses outnumber flushes — concurrent requests genuinely merged.
+
+    Reported: p50/p95/mean end-to-end request latency, merge efficiency,
+    throughput, and the swap record.
+    """
+    import threading
+
+    from .client import DaemonClient
+    from .daemon import DaemonConfig, start_daemon_thread
+    from .registry import ModelRegistry
+
+    # A second snapshot with different weights (and therefore digest).
+    swap_dir = pipeline_dir.parent / f"{pipeline_dir.name}_swapped"
+    build_bench_pipeline(swap_dir, seed=seed + 1, lm_kwargs=lm_kwargs)
+    swapped = ERPipeline.load(swap_dir)
+    assert swapped.manifest_digest != pipeline.manifest_digest, \
+        "swap snapshot must have a different digest"
+
+    # A small pool of request templates; expected decisions precomputed per
+    # snapshot so every reply can be checked against the digest it carries.
+    num_templates = 8
+    templates = [synthetic_candidates(pairs_per_request,
+                                      seed=seed + 100 + t)
+                 for t in range(num_templates)]
+    expected = {
+        pipe.manifest_digest: [SequentialScorer(pipe).score_pairs(template)
+                               for template in templates]
+        for pipe in (pipeline, swapped)
+    }
+
+    # Cache-less on purpose: a shared cache serves partial hits, which
+    # shrinks the residual batch a request scores and so changes its
+    # composition — the bit-identity gate below must compare equal
+    # compositions.  Cache equivalence has its own passes (``"cache"``).
+    registry = ModelRegistry()
+    registry.publish("default", pipeline_dir)
+    config = DaemonConfig(flush_interval=0.005)
+    latencies: List[float] = []
+    served_digests: List[str] = []
+    record_lock = threading.Lock()
+    errors: List[BaseException] = []
+    half = max(1, requests_per_client // 2)
+    total_requests = num_clients * requests_per_client
+    first_half_done = threading.Semaphore(0)
+    swap_landed = threading.Event()
+    start_barrier = threading.Barrier(num_clients + 1)
+
+    def client_worker(host: int, port: int, client_index: int) -> None:
+        try:
+            with DaemonClient(host, port) as client:
+                start_barrier.wait()
+                for r in range(requests_per_client):
+                    if r == half:
+                        # Pause at the halfway mark until the controller has
+                        # republished, so the swap provably lands mid-run
+                        # with traffic on both sides of it.
+                        first_half_done.release()
+                        swap_landed.wait()
+                    t = (client_index * requests_per_client + r) \
+                        % num_templates
+                    reply = client.score(templates[t])
+                    assert reply.decisions == expected[reply.digest][t], \
+                        "daemon reply deviates bit-wise from sequential"
+                    with record_lock:
+                        latencies.append(reply.latency_seconds)
+                        served_digests.append(reply.digest)
+        except BaseException as error:  # surfaced after join
+            errors.append(error)
+            first_half_done.release()  # never wedge the swap controller
+
+    with start_daemon_thread(registry, config) as handle:
+        host, port = handle.address
+        threads = [threading.Thread(target=client_worker,
+                                    args=(host, port, index))
+                   for index in range(num_clients)]
+        for thread in threads:
+            thread.start()
+        with span("serve.daemon_bench", num_clients=num_clients) as bench_sp:
+            start_barrier.wait()
+            for __ in range(num_clients):  # every client's first half lands
+                first_half_done.acquire()
+            with DaemonClient(host, port) as control:  # ...then hot-swap
+                control.publish("default", str(swap_dir))
+            swap_landed.set()
+            for thread in threads:
+                thread.join()
+        with DaemonClient(host, port) as probe:
+            stats = probe.stats()
+
+    if errors:
+        raise errors[0]
+    assert stats["failed"] == 0, \
+        f"hot swap dropped {stats['failed']} request(s)"
+    served_old = served_digests.count(pipeline.manifest_digest)
+    served_new = served_digests.count(swapped.manifest_digest)
+    assert served_old and served_new, \
+        "both snapshot generations must actually serve traffic"
+    assert stats["flushes"] < stats["responses"], \
+        "concurrent requests never merged into a shared flush"
+
+    wall = bench_sp.duration
+    total_pairs = total_requests * pairs_per_request
+    return {
+        "num_clients": num_clients,
+        "requests_per_client": requests_per_client,
+        "pairs_per_request": pairs_per_request,
+        # asserted above, recorded for readers:
+        "bit_identical_to_sequential": True,
+        "failed_requests": 0,
+        "latency": {
+            "p50_seconds": percentile(latencies, 50.0),
+            "p95_seconds": percentile(latencies, 95.0),
+            "mean_seconds": sum(latencies) / len(latencies),
+        },
+        "merge": {
+            "flushes": stats["flushes"],
+            "merged_requests": stats["merged_requests"],
+            "requests_per_flush": stats["requests_per_flush"],
+            "merge_efficiency": stats["merge_efficiency"],
+        },
+        "hot_swap": {
+            "old_digest": pipeline.manifest_digest,
+            "new_digest": swapped.manifest_digest,
+            "served_old": served_old,
+            "served_new": served_new,
+            "zero_downtime": True,
+        },
+        "backpressure_rejections": stats["rejected"],
+        "wall_seconds": wall,
+        "requests_per_second": total_requests / wall if wall else 0.0,
+        "pairs_per_second": total_pairs / wall if wall else 0.0,
+    }
+
+
 def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
                     pipeline_dir: Optional[Union[str, Path]] = None,
                     output: Union[str, Path] = "BENCH_serve.json",
@@ -217,6 +366,9 @@ def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
                     inject_fault: Optional[str] = None,
                     cache: bool = True,
                     cache_dir: Optional[Union[str, Path]] = None,
+                    daemon: bool = False, num_clients: int = 8,
+                    requests_per_client: int = 6,
+                    pairs_per_request: int = 8,
                     telemetry: bool = False,
                     trace_dir: Union[str, Path] = DEFAULT_TRACE_DIR) -> Dict:
     """Run the three-engine race and write ``BENCH_serve.json``.
@@ -238,6 +390,13 @@ def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
     tier: the warm pass re-opens the flushed shard from a fresh cache
     instance.  All cached decision lists are asserted bit-identical to the
     uncached run before any number is reported.
+
+    With ``daemon=True`` a final pass starts a live ``repro serve`` daemon
+    and drives it with ``num_clients`` concurrent TCP clients, hot-swapping
+    the snapshot mid-run; request-latency percentiles, merge efficiency,
+    and the zero-downtime swap record land under the report's ``"daemon"``
+    key.  Every daemon response is asserted bit-identical to a sequential
+    engine on the snapshot that served it.
 
     With ``telemetry=True`` the race runs inside a
     :class:`repro.telemetry.TelemetrySession`: every engine's spans are
@@ -333,6 +492,16 @@ def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
             cache_record = _run_cache_passes(pipeline, pipeline_dir,
                                              num_pairs, num_workers, seed,
                                              cache_dir)
+
+        # 6. optional daemon pass: N concurrent TCP clients against a live
+        #    daemon, with a mid-run hot swap — see _run_daemon_bench.
+        daemon_record = None
+        if daemon:
+            daemon_record = _run_daemon_bench(
+                pipeline, pipeline_dir, num_clients=num_clients,
+                requests_per_client=requests_per_client,
+                pairs_per_request=pairs_per_request, seed=seed,
+                lm_kwargs=lm_kwargs)
     finally:
         if session is not None:
             session.__exit__(None, None, None)
@@ -361,6 +530,8 @@ def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
         report["injected_fault"] = fault_record
     if cache_record is not None:
         report["cache"] = cache_record
+    if daemon_record is not None:
+        report["daemon"] = daemon_record
     if session is not None:
         trace_path = session.export()
         report["telemetry"] = {"trace": str(trace_path),
@@ -399,4 +570,16 @@ def format_report(report: Dict) -> str:
             f"warm {cached['warm']['pairs_per_second']:.0f} pairs/s "
             f"({cached['warm_speedup_vs_cold']:.2f}x vs cold, "
             f"{cached['warm_speedup_vs_uncached']:.2f}x vs uncached)")
+    served = report.get("daemon")
+    if served:
+        swap = served["hot_swap"]
+        lines.append(
+            f"  daemon ({served['num_clients']} clients x "
+            f"{served['requests_per_client']} reqs): decisions "
+            f"bit-identical, p50 {served['latency']['p50_seconds'] * 1e3:.1f} "
+            f"ms  p95 {served['latency']['p95_seconds'] * 1e3:.1f} ms  "
+            f"{served['merge']['requests_per_flush']:.1f} reqs/flush "
+            f"(merge {served['merge']['merge_efficiency'] * 100:.0f}%), "
+            f"hot swap {swap['served_old']}->{swap['served_new']} requests "
+            f"with {served['failed_requests']} failures")
     return "\n".join(lines)

@@ -24,12 +24,21 @@ scheduler dedup land on ``serve.cache.{evict,dedup}``) in the global
 telemetry registry, and the engines wrap their lookup pass in a
 ``serve.cache.lookup`` span, so cache efficiency shows up in traces and in
 ``BENCH_serve.json`` like every other serving number.
+
+The cache is **thread/task-safe**: one re-entrant lock guards the LRU
+``OrderedDict``, the per-digest persistent shards and their dirty counts,
+and the hit/miss/evict counters.  The serving daemon shares one cache
+between its event loop and its scoring executor, and an unguarded
+``move_to_end`` racing an eviction sweep corrupts the LRU order book (or
+dies with ``RuntimeError: dictionary changed size during iteration`` in
+:meth:`flush`); the lock makes every public operation atomic.
 """
 
 from __future__ import annotations
 
 import hashlib
 import logging
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
@@ -81,6 +90,9 @@ class ScoreCache:
         #: Per-digest persistent shards loaded this session (lazily).
         self._persistent: Dict[str, Dict[str, float]] = {}
         self._dirty: Dict[str, int] = {}
+        # Re-entrant: get() -> _shard() and put() -> _admit() nest, and the
+        # daemon's event loop and scoring executor hit the cache concurrently.
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -92,22 +104,23 @@ class ScoreCache:
 
     def _shard(self, snapshot_digest: str) -> Dict[str, float]:
         """Load (once) the persistent shard for one snapshot digest."""
-        shard = self._persistent.get(snapshot_digest)
-        if shard is not None:
+        with self._lock:
+            shard = self._persistent.get(snapshot_digest)
+            if shard is not None:
+                return shard
+            shard = {}
+            if self._store is not None:
+                name = self._shard_name(snapshot_digest)
+                try:
+                    shard = self._store.read(name, _read_shard)
+                except FileNotFoundError:
+                    pass
+                except ArtifactError as error:
+                    # Quarantined by the store; a cache must heal, not crash.
+                    logger.warning("score-cache shard unreadable, rebuilding "
+                                   "cold: %s", error)
+            self._persistent[snapshot_digest] = shard
             return shard
-        shard = {}
-        if self._store is not None:
-            name = self._shard_name(snapshot_digest)
-            try:
-                shard = self._store.read(name, _read_shard)
-            except FileNotFoundError:
-                pass
-            except ArtifactError as error:
-                # Quarantined by the store; a cache must heal, not crash.
-                logger.warning("score-cache shard unreadable, rebuilding "
-                               "cold: %s", error)
-        self._persistent[snapshot_digest] = shard
-        return shard
 
     def flush(self) -> Optional[Path]:
         """Persist accumulated entries; returns the last shard path written.
@@ -119,38 +132,43 @@ class ScoreCache:
         if self._store is None:
             return None
         written = None
-        for digest, dirty in list(self._dirty.items()):
-            if not dirty:
-                continue
-            shard = self._shard(digest)
-            for (entry_digest, key), value in self._memory.items():
-                if entry_digest == digest:
-                    shard[key] = value
-            name = self._shard_name(digest)
-            written = self._store.write(
-                name, lambda tmp, shard=shard: _write_shard(shard, tmp))
-            self._dirty[digest] = 0
+        # Hold the lock across the whole pass: the shard dict fed to the
+        # writer is the same object concurrent evictions spill into, and the
+        # LRU iteration below must not race an _admit().
+        with self._lock:
+            for digest, dirty in list(self._dirty.items()):
+                if not dirty:
+                    continue
+                shard = self._shard(digest)
+                for (entry_digest, key), value in self._memory.items():
+                    if entry_digest == digest:
+                        shard[key] = value
+                name = self._shard_name(digest)
+                written = self._store.write(
+                    name, lambda tmp, shard=shard: _write_shard(shard, tmp))
+                self._dirty[digest] = 0
         return written
 
     # -- lookup / store ----------------------------------------------------- #
     def get(self, snapshot_digest: str, key: str) -> Optional[float]:
         """One probability, or ``None`` on miss (both tiers consulted)."""
         full = (snapshot_digest, key)
-        value = self._memory.get(full)
-        if value is not None:
-            self._memory.move_to_end(full)
-            self.hits += 1
-            REGISTRY.counter("serve.cache.hit").inc()
-            return value
-        persisted = self._shard(snapshot_digest).get(key)
-        if persisted is not None:
-            self.hits += 1
-            REGISTRY.counter("serve.cache.hit").inc()
-            self._admit(full, persisted, dirty=False)
-            return persisted
-        self.misses += 1
-        REGISTRY.counter("serve.cache.miss").inc()
-        return None
+        with self._lock:
+            value = self._memory.get(full)
+            if value is not None:
+                self._memory.move_to_end(full)
+                self.hits += 1
+                REGISTRY.counter("serve.cache.hit").inc()
+                return value
+            persisted = self._shard(snapshot_digest).get(key)
+            if persisted is not None:
+                self.hits += 1
+                REGISTRY.counter("serve.cache.hit").inc()
+                self._admit(full, persisted, dirty=False)
+                return persisted
+            self.misses += 1
+            REGISTRY.counter("serve.cache.miss").inc()
+            return None
 
     def lookup(self, snapshot_digest: str, keys: Iterable[str]) -> np.ndarray:
         """Vector lookup: cached probabilities with ``NaN`` marking misses.
@@ -167,42 +185,55 @@ class ScoreCache:
                 out[i] = value
         return out
 
-    def put(self, snapshot_digest: str, key: str, probability: float) -> None:
-        """Admit one scored probability (must be finite)."""
+    def put(self, snapshot_digest: str, key: str, probability: float) -> int:
+        """Admit one scored probability (must be finite).
+
+        Returns the number of LRU entries evicted by the admission, so
+        callers (the per-run throughput meter) can account evictions they
+        caused without diffing globally shared counters.
+        """
         probability = float(probability)
         if not np.isfinite(probability):
             raise ValueError(
                 f"refusing to cache non-finite probability {probability!r}")
-        self._admit((snapshot_digest, key), probability, dirty=True)
+        with self._lock:
+            return self._admit((snapshot_digest, key), probability, dirty=True)
 
     def put_many(self, snapshot_digest: str, keys: Sequence[str],
-                 probabilities: np.ndarray) -> None:
+                 probabilities: np.ndarray) -> int:
         if len(keys) != len(probabilities):
             raise ValueError("keys and probabilities disagree on length")
+        evicted = 0
         for key, probability in zip(keys, probabilities):
-            self.put(snapshot_digest, key, probability)
+            evicted += self.put(snapshot_digest, key, probability)
+        return evicted
 
-    def _admit(self, full: tuple, value: float, dirty: bool) -> None:
-        if full in self._memory:
-            self._memory.move_to_end(full)
-        self._memory[full] = value
-        if dirty:
-            self._dirty[full[0]] = self._dirty.get(full[0], 0) + 1
-        while len(self._memory) > self.capacity:
-            evicted_key, evicted_value = self._memory.popitem(last=False)
-            self.evictions += 1
-            REGISTRY.counter("serve.cache.evict").inc()
-            if self._store is not None and self._dirty.get(evicted_key[0]):
-                # Keep an unflushed entry reachable through the persistent
-                # shard rather than silently dropping computed work.  (Memory
-                # -only caches really evict: without a store there is nowhere
-                # durable to keep the overflow, and hoarding it in the shard
-                # dict would make the LRU bound meaningless.)
-                self._shard(evicted_key[0])[evicted_key[1]] = evicted_value
+    def _admit(self, full: tuple, value: float, dirty: bool) -> int:
+        with self._lock:
+            if full in self._memory:
+                self._memory.move_to_end(full)
+            self._memory[full] = value
+            if dirty:
+                self._dirty[full[0]] = self._dirty.get(full[0], 0) + 1
+            evicted = 0
+            while len(self._memory) > self.capacity:
+                evicted_key, evicted_value = self._memory.popitem(last=False)
+                evicted += 1
+                self.evictions += 1
+                REGISTRY.counter("serve.cache.evict").inc()
+                if self._store is not None and self._dirty.get(evicted_key[0]):
+                    # Keep an unflushed entry reachable through the persistent
+                    # shard rather than silently dropping computed work.
+                    # (Memory-only caches really evict: without a store there
+                    # is nowhere durable to keep the overflow, and hoarding it
+                    # in the shard dict would make the LRU bound meaningless.)
+                    self._shard(evicted_key[0])[evicted_key[1]] = evicted_value
+            return evicted
 
     # -- introspection ------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     @property
     def hit_rate(self) -> float:
@@ -210,15 +241,17 @@ class ScoreCache:
         return self.hits / total if total else 0.0
 
     def stats(self) -> Dict[str, float]:
-        return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions, "entries": len(self._memory),
-                "hit_rate": self.hit_rate}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions, "entries": len(self._memory),
+                    "hit_rate": self.hit_rate}
 
     def clear(self) -> None:
         """Drop the in-memory tier (persistent shards stay on disk)."""
-        self._memory.clear()
-        self._persistent.clear()
-        self._dirty.clear()
+        with self._lock:
+            self._memory.clear()
+            self._persistent.clear()
+            self._dirty.clear()
 
 
 # --------------------------------------------------------------------------- #

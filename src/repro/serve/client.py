@@ -1,0 +1,147 @@
+"""Blocking client for the ``repro serve`` daemon.
+
+Speaks the JSON-lines protocol from :mod:`repro.serve.daemon` over a plain
+TCP socket — no async machinery on the caller's side, so tests, the bench,
+and batch scripts can hammer a daemon from ordinary threads.
+
+Backpressure is part of the contract, not an error: when the daemon
+rejects with ``retry_after``, :meth:`DaemonClient.score` sleeps and
+retries (bounded by ``max_retries``), re-raising :class:`DaemonBusy` only
+once the budget is exhausted.  Callers that want to implement their own
+shedding pass ``max_retries=0``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..data import EntityPair
+from ..pipeline import MatchDecision
+from .daemon import decision_from_wire, pair_to_wire
+
+
+class DaemonError(RuntimeError):
+    """The daemon answered with an error reply."""
+
+    def __init__(self, reply: Dict[str, Any]):
+        super().__init__(reply.get("detail") or reply.get("error")
+                         or "daemon error")
+        self.reply = reply
+        self.code = reply.get("error")
+
+
+class DaemonBusy(DaemonError):
+    """Backpressure rejection that survived every retry."""
+
+    def __init__(self, reply: Dict[str, Any]):
+        super().__init__(reply)
+        self.retry_after = float(reply.get("retry_after", 0.0))
+
+
+class ScoredReply:
+    """One successful ``score`` reply: decisions plus serving metadata."""
+
+    __slots__ = ("request_id", "domain", "digest", "latency_seconds",
+                 "decisions", "retries")
+
+    def __init__(self, reply: Dict[str, Any], retries: int):
+        self.request_id = reply.get("id", "")
+        self.domain = reply.get("domain", "")
+        self.digest = reply.get("digest")
+        self.latency_seconds = float(reply.get("latency_seconds", 0.0))
+        self.decisions: List[MatchDecision] = [
+            decision_from_wire(d) for d in reply["decisions"]]
+        self.retries = retries  # backpressure retries before acceptance
+
+
+class DaemonClient:
+    """One connection to a running daemon.
+
+    Thread-compatibility: one client per thread — a single socket carries
+    one request/reply exchange at a time.  Cheap to construct; the bench
+    opens eight.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0,
+                 max_retries: int = 50):
+        self.address: Tuple[str, int] = (host, port)
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self._sock = socket.create_connection(self.address, timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    # -- plumbing ------------------------------------------------------------ #
+    def call(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One raw request/reply exchange; raises on transport failure."""
+        self._sock.sendall(json.dumps(message).encode() + b"\n")
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        return json.loads(line)
+
+    # -- operations ---------------------------------------------------------- #
+    def ping(self) -> bool:
+        return bool(self.call({"op": "ping"}).get("ok"))
+
+    def domains(self) -> Dict[str, str]:
+        reply = self.call({"op": "domains"})
+        if not reply.get("ok"):
+            raise DaemonError(reply)
+        return dict(reply["domains"])
+
+    def stats(self) -> Dict[str, Any]:
+        reply = self.call({"op": "stats"})
+        if not reply.get("ok"):
+            raise DaemonError(reply)
+        return dict(reply["stats"])
+
+    def publish(self, domain: str, directory: str,
+                num_workers: int = 0) -> str:
+        """Hot-swap ``domain`` to the snapshot at ``directory``."""
+        reply = self.call({"op": "publish", "domain": domain,
+                           "directory": str(directory),
+                           "workers": num_workers})
+        if not reply.get("ok"):
+            raise DaemonError(reply)
+        return str(reply["digest"])
+
+    def score(self, pairs: Sequence[EntityPair], domain: str = "default",
+              request_id: Optional[str] = None) -> ScoredReply:
+        """Score ``pairs`` on ``domain``, retrying through backpressure."""
+        message = {"op": "score", "domain": domain,
+                   "pairs": [pair_to_wire(p) for p in pairs]}
+        if request_id:
+            message["id"] = request_id
+        retries = 0
+        while True:
+            reply = self.call(message)
+            if reply.get("ok"):
+                return ScoredReply(reply, retries)
+            if reply.get("error") != "backpressure":
+                raise DaemonError(reply)
+            if retries >= self.max_retries:
+                raise DaemonBusy(reply)
+            retries += 1
+            time.sleep(float(reply.get("retry_after", 0.01)))
+
+    def shutdown(self) -> None:
+        """Ask the daemon to drain and exit."""
+        self.call({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["DaemonBusy", "DaemonClient", "DaemonError", "ScoredReply"]

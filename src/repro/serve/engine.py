@@ -30,6 +30,15 @@ are batched (and, for the parallel engine, shipped to the pool), and the
 probability vector is NaN-initialized with a full-coverage assertion after
 the scatter loop so a scheduling bug can never surface as an uninitialized
 "probability".
+
+Since the daemon PR both engines are :class:`RequestScorer` subclasses:
+their native unit of work is a :class:`~repro.serve.request.ScoreRequest`
+(``score_request`` for one, ``score_stream`` for an iterable), and
+``score_pairs`` is a compatibility wrapper that builds an anonymous
+request.  The shared request core owns the whole run shape — meter, cache
+lookup, scheduling, coverage assertion, per-run cache stats — and each
+engine only implements :meth:`RequestScorer._score_batches`, the part that
+actually moves floats.
 """
 
 from __future__ import annotations
@@ -37,7 +46,8 @@ from __future__ import annotations
 import logging
 import multiprocessing
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (Dict, Iterable, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
 
 import numpy as np
 
@@ -49,6 +59,7 @@ from ..pipeline import ERPipeline, MatchDecision
 from ..resilience import ChaosConfig, Events, RetryPolicy, SupervisedPool
 from .cache import ScoreCache, pair_key
 from .metrics import ServeMetrics, ThroughputMeter
+from .request import ScoreRequest, ScoreResponse, as_request
 from .scheduler import BatchScheduler
 
 logger = logging.getLogger("repro.serve")
@@ -98,25 +109,97 @@ def _cache_lookup(cache: ScoreCache, digest: str,
     hit = np.isfinite(cached)
     probabilities[hit] = cached[hit]
     meter.record_cached(int(hit.sum()))
+    meter.record_misses(int((~hit).sum()))
     return np.flatnonzero(~hit), keys
 
 
-def _run_cache_stats(cache: Optional[ScoreCache],
-                     before: Optional[dict]) -> Optional[dict]:
-    """Per-run delta of the cache counters (None when caching is off)."""
-    if cache is None or before is None:
-        return None
-    after = cache.stats()
-    hits = after["hits"] - before["hits"]
-    misses = after["misses"] - before["misses"]
-    total = hits + misses
-    return {"hits": hits, "misses": misses,
-            "evictions": after["evictions"] - before["evictions"],
-            "hit_rate": hits / total if total else 0.0,
-            "entries": after["entries"]}
+class RequestScorer:
+    """Shared request-stream core both engines subclass.
+
+    Subclasses provide ``self.scheduler``, ``self.cache``, ``self._digest``
+    plus the :meth:`_score_batches` hook, and inherit the whole run shape:
+    meter lifecycle, cache lookup before batch formation, coverage
+    assertion, per-run (meter-local, race-free) cache statistics, and the
+    ``score_request`` / ``score_stream`` / ``score_pairs`` surface.
+    """
+
+    #: Engine label stamped into metrics and spans; set by subclasses.
+    engine_name = "abstract"
+
+    scheduler: BatchScheduler
+    cache: Optional[ScoreCache]
+    _digest: Optional[str]
+    last_metrics: Optional[ServeMetrics]
+
+    @property
+    def snapshot_digest(self) -> Optional[str]:
+        """Manifest digest of the snapshot this engine scores with."""
+        return self._digest
+
+    def _meter_workers(self) -> int:
+        return 1
+
+    def _score_batches(self, encoded: Sequence[Sequence[int]],
+                       positions: Optional[np.ndarray],
+                       keys: List[str], probabilities: np.ndarray,
+                       meter: ThroughputMeter) -> Optional[Dict[str, int]]:
+        """Score every scheduled batch into ``probabilities``; returns the
+        run's recovery-event counters (engines without a pool return None)."""
+        raise NotImplementedError
+
+    def _admit_scored(self, batch, probs: np.ndarray, keys: List[str],
+                      meter: ThroughputMeter) -> None:
+        """Cache one batch's scores, attributing evictions to this run."""
+        if self.cache is not None:
+            evicted = self.cache.put_many(
+                self._digest,
+                [keys[i] for i in batch.row_positions.tolist()], probs)
+            meter.record_evictions(evicted)
+
+    def score_request(self, request: ScoreRequest) -> ScoreResponse:
+        """Score one request; decisions come back in request order."""
+        meter = ThroughputMeter(self.engine_name,
+                                num_workers=self._meter_workers())
+        pairs = request.pairs
+        if not pairs:  # zero work: never touch (or spin up) any pool
+            self.last_metrics = meter.finalize()
+            return ScoreResponse(request_id=request.request_id,
+                                 domain=request.domain, decisions=[],
+                                 snapshot_digest=self._digest,
+                                 metrics=self.last_metrics)
+        probabilities = np.full(len(pairs), np.nan, dtype=np.float64)
+        encoded = self.scheduler.encode(pairs)
+        keys: List[str] = []
+        if self.cache is not None:
+            positions, keys = _cache_lookup(self.cache, self._digest, encoded,
+                                            probabilities, meter)
+            encoded = [encoded[i] for i in positions]
+        else:
+            positions = None
+        events = self._score_batches(encoded, positions, keys, probabilities,
+                                     meter)
+        _assert_covered(probabilities, self.engine_name)
+        cache_stats = (meter.cache_stats(len(self.cache))
+                       if self.cache is not None else None)
+        self.last_metrics = meter.finalize(events=events, cache=cache_stats)
+        return ScoreResponse(request_id=request.request_id,
+                             domain=request.domain,
+                             decisions=_decisions(pairs, probabilities),
+                             snapshot_digest=self._digest,
+                             metrics=self.last_metrics)
+
+    def score_stream(self, requests: Iterable[ScoreRequest]
+                     ) -> Iterator[ScoreResponse]:
+        """Score a request stream lazily, one response per request."""
+        for request in requests:
+            yield self.score_request(as_request(request))
+
+    def score_pairs(self, pairs: Sequence[EntityPair]) -> List[MatchDecision]:
+        """Compatibility wrapper: one anonymous request, decisions only."""
+        return self.score_request(as_request(pairs)).decisions
 
 
-class SequentialScorer:
+class SequentialScorer(RequestScorer):
     """Single-process scoring through the length-bucketing scheduler.
 
     With ``cache`` set, every request consults the content-addressed
@@ -126,6 +209,8 @@ class SequentialScorer:
     pipeline saved or loaded through :class:`ERPipeline` does), because the
     snapshot identity is half of every cache key.
     """
+
+    engine_name = "sequential"
 
     def __init__(self, pipeline: ERPipeline,
                  scheduler: Optional[BatchScheduler] = None,
@@ -152,38 +237,22 @@ class SequentialScorer:
                                    **scheduler_kwargs)
         return cls(pipeline, scheduler, cache=cache)
 
-    def score_pairs(self, pairs: Sequence[EntityPair]) -> List[MatchDecision]:
-        meter = ThroughputMeter("sequential", num_workers=1)
-        if not pairs:
-            self.last_metrics = meter.finalize()
-            return []
-        cache_before = self.cache.stats() if self.cache is not None else None
-        probabilities = np.full(len(pairs), np.nan, dtype=np.float64)
-        encoded = self.scheduler.encode(pairs)
-        keys: List[str] = []
-        if self.cache is not None:
-            positions, keys = _cache_lookup(self.cache, self._digest, encoded,
-                                            probabilities, meter)
-            encoded = [encoded[i] for i in positions]
-        else:
-            positions = None
+    def close(self) -> None:
+        """Nothing to tear down; present so registries can close any engine."""
+
+    def _score_batches(self, encoded, positions, keys, probabilities,
+                       meter) -> None:
         extractor, matcher = self.pipeline.extractor, self.pipeline.matcher
         for batch in self.scheduler.schedule_encoded(encoded, positions):
-            with telemetry.span("serve.batch", engine="sequential",
+            with telemetry.span("serve.batch", engine=self.engine_name,
                                 num_pairs=batch.num_pairs,
                                 padded_length=batch.padded_length) as sp:
                 probs = matcher.probabilities(extractor.encode(batch.ids,
                                                                batch.mask))
             meter.record_batch(batch.num_covered, sp.duration)
             batch.scatter(probabilities, probs)
-            if self.cache is not None:
-                self.cache.put_many(
-                    self._digest,
-                    [keys[i] for i in batch.row_positions.tolist()], probs)
-        _assert_covered(probabilities, "sequential")
-        self.last_metrics = meter.finalize(
-            cache=_run_cache_stats(self.cache, cache_before))
-        return _decisions(pairs, probabilities)
+            self._admit_scored(batch, probs, keys, meter)
+        return None
 
 
 # --------------------------------------------------------------------------- #
@@ -244,7 +313,7 @@ def _validate_probabilities(payload: Tuple[np.ndarray, np.ndarray],
     return None
 
 
-class ParallelScorer:
+class ParallelScorer(RequestScorer):
     """Shard scheduled batches across a supervised pool of warm workers.
 
     Parameters
@@ -367,23 +436,15 @@ class ParallelScorer:
         self.close()
 
     # -- scoring ----------------------------------------------------------- #
-    def score_pairs(self, pairs: Sequence[EntityPair]) -> List[MatchDecision]:
+    engine_name = "parallel"
+
+    def _meter_workers(self) -> int:
+        return self.num_workers
+
+    def _score_batches(self, encoded, positions, keys, probabilities,
+                       meter) -> Dict[str, int]:
         """Scores bit-identical to a sequential engine with the same
-        scheduler configuration, in input order — faults included."""
-        meter = ThroughputMeter("parallel", num_workers=self.num_workers)
-        if not pairs:  # zero work: never touch (or spin up) the pool
-            self.last_metrics = meter.finalize(events={})
-            return []
-        cache_before = self.cache.stats() if self.cache is not None else None
-        probabilities = np.full(len(pairs), np.nan, dtype=np.float64)
-        encoded = self.scheduler.encode(pairs)
-        keys: List[str] = []
-        if self.cache is not None:
-            positions, keys = _cache_lookup(self.cache, self._digest, encoded,
-                                            probabilities, meter)
-            encoded = [encoded[i] for i in positions]
-        else:
-            positions = None
+        scheduler configuration — faults included."""
         with telemetry.span("serve.schedule", num_pairs=len(encoded)):
             batches = list(self.scheduler.schedule_encoded(encoded, positions))
         before = self.events.copy()
@@ -393,24 +454,16 @@ class ParallelScorer:
             for seq, probs, busy, pid in supervisor.map_unordered(payloads):
                 batches[seq].scatter(probabilities, probs)
                 meter.record_batch(batches[seq].num_covered, busy)
-                if self.cache is not None:
-                    self.cache.put_many(
-                        self._digest,
-                        [keys[i] for i in batches[seq].row_positions.tolist()],
-                        probs)
-                telemetry.event("serve.batch", engine="parallel", seq=seq,
-                                num_pairs=batches[seq].num_pairs,
+                self._admit_scored(batches[seq], probs, keys, meter)
+                telemetry.event("serve.batch", engine=self.engine_name,
+                                seq=seq, num_pairs=batches[seq].num_pairs,
                                 padded_length=batches[seq].padded_length,
                                 busy_seconds=busy, worker_pid=pid)
-        _assert_covered(probabilities, "parallel")
         run_events = self.events - before
         if run_events:
             logger.warning("serve recovered-run events=%s",
                            run_events.to_dict())
-        self.last_metrics = meter.finalize(
-            events=run_events.to_dict(),
-            cache=_run_cache_stats(self.cache, cache_before))
-        return _decisions(pairs, probabilities)
+        return run_events.to_dict()
 
     def score_tables(self, left_table: Sequence[Entity],
                      right_table: Sequence[Entity],

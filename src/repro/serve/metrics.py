@@ -12,10 +12,20 @@ for free) and each recorded batch feeds the global registry's
 ``serve.pairs`` / ``serve.batches`` counters and ``serve.batch_seconds``
 histogram — the same export path ``serve-bench --telemetry`` embeds into
 ``BENCH_serve.json``.
+
+Concurrency: the serving daemon keeps **many meters live at once** (one
+per in-flight run) and may touch one meter from more than one thread, so a
+meter's mutations are lock-guarded and :meth:`ThroughputMeter.finalize` is
+idempotent.  Per-run cache statistics are accumulated *on the meter* by
+the engine that caused them — never computed by diffing the globally
+shared :class:`~repro.serve.cache.ScoreCache` counters, which under
+overlapping runs silently attributes run B's hits to run A's delta
+(cross-request double counting).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -94,21 +104,35 @@ class ThroughputMeter:
     construction, finished by :meth:`finalize`), and every recorded batch
     also lands in the global metrics registry — there is no second
     ``perf_counter`` bookkeeping path.
+
+    One meter describes **one run**, but many runs overlap inside the
+    daemon and a single run's batches may be recorded from a different
+    thread than the one that finalizes it, so every mutation takes the
+    meter's lock.  Cache hits/misses/evictions are recorded here by the
+    engine as they happen (:meth:`record_cached`, :meth:`record_misses`,
+    :meth:`record_evictions`) so per-run cache stats stay per-run even
+    when several runs share one :class:`~repro.serve.cache.ScoreCache`.
     """
 
     def __init__(self, engine: str, num_workers: int = 1):
         self.engine = engine
         self.num_workers = num_workers
+        self._lock = threading.Lock()
         self._latencies: List[float] = []
         self._busy = 0.0
         self._pairs = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_evictions = 0
+        self._metrics: Optional[ServeMetrics] = None
         self._span = span("serve.run", engine=engine,
                           num_workers=num_workers)
 
     def record_batch(self, num_pairs: int, seconds: float) -> None:
-        self._latencies.append(seconds)
-        self._busy += seconds
-        self._pairs += num_pairs
+        with self._lock:
+            self._latencies.append(seconds)
+            self._busy += seconds
+            self._pairs += num_pairs
         REGISTRY.counter("serve.pairs").inc(num_pairs)
         REGISTRY.counter("serve.batches").inc()
         REGISTRY.histogram("serve.batch_seconds").observe(seconds)
@@ -116,18 +140,48 @@ class ThroughputMeter:
     def record_cached(self, num_pairs: int) -> None:
         """Count pairs served straight from the score cache (no batch)."""
         if num_pairs:
-            self._pairs += num_pairs
+            with self._lock:
+                self._pairs += num_pairs
+                self._cache_hits += num_pairs
             REGISTRY.counter("serve.pairs").inc(num_pairs)
+
+    def record_misses(self, num_pairs: int) -> None:
+        """Count this run's cache misses (pairs that needed scoring)."""
+        if num_pairs:
+            with self._lock:
+                self._cache_misses += num_pairs
+
+    def record_evictions(self, num_evicted: int) -> None:
+        """Count LRU evictions caused by this run's admissions."""
+        if num_evicted:
+            with self._lock:
+                self._cache_evictions += num_evicted
+
+    def cache_stats(self, entries: int) -> Dict[str, Any]:
+        """This run's cache counters (``entries`` is the cache's current
+        size, the only genuinely global number in the record)."""
+        with self._lock:
+            hits, misses = self._cache_hits, self._cache_misses
+            evictions = self._cache_evictions
+        total = hits + misses
+        return {"hits": hits, "misses": misses, "evictions": evictions,
+                "hit_rate": hits / total if total else 0.0,
+                "entries": entries}
 
     def finalize(self, events: Optional[Dict[str, int]] = None,
                  cache: Optional[Dict[str, Any]] = None) -> ServeMetrics:
-        self._span.set(num_pairs=self._pairs,
-                       num_batches=len(self._latencies)).finish()
-        return ServeMetrics(engine=self.engine, num_pairs=self._pairs,
-                            num_batches=len(self._latencies),
-                            num_workers=self.num_workers,
-                            wall_seconds=self._span.duration,
-                            busy_seconds=self._busy,
-                            batch_latencies=list(self._latencies),
-                            events=dict(events or {}),
-                            cache=dict(cache or {}))
+        with self._lock:
+            if self._metrics is not None:  # idempotent under racing callers
+                return self._metrics
+            self._span.set(num_pairs=self._pairs,
+                           num_batches=len(self._latencies)).finish()
+            self._metrics = ServeMetrics(
+                engine=self.engine, num_pairs=self._pairs,
+                num_batches=len(self._latencies),
+                num_workers=self.num_workers,
+                wall_seconds=self._span.duration,
+                busy_seconds=self._busy,
+                batch_latencies=list(self._latencies),
+                events=dict(events or {}),
+                cache=dict(cache or {}))
+            return self._metrics

@@ -17,9 +17,15 @@ Design constraints, in order:
    stricter zero-overhead contract and lives in
    :mod:`repro.telemetry.profiler`, which patches methods in rather than
    checking a flag.)
-2. **Thread/process safe.**  The finished-span buffer is lock-guarded;
-   parent tracking is thread-local; span ids embed the pid so records from
-   different processes can never collide.
+2. **Thread, task, and process safe.**  The finished-span buffer is
+   lock-guarded; parent tracking lives in a :mod:`contextvars` context
+   variable, so it is isolated per thread *and* per asyncio task — two
+   requests interleaving on one event-loop thread (the serving daemon's
+   steady state) each keep their own span tree instead of mis-parenting
+   into whichever span the other request happens to have open.  Plain
+   threaded and synchronous callers see the exact per-thread behavior the
+   old thread-local stack gave them.  Span ids embed the pid so records
+   from different processes can never collide.
 3. **Crash-safe export.**  Traces are written as JSONL (one record per
    line) through :mod:`repro.artifacts` — atomic publish, checksummed in
    the trace directory's manifest — one file per run:
@@ -28,6 +34,7 @@ Design constraints, in order:
 
 from __future__ import annotations
 
+import contextvars
 import itertools
 import json
 import os
@@ -45,6 +52,16 @@ TRACE_SUFFIX = ".trace.jsonl"
 DEFAULT_TRACE_DIR = "traces"
 
 _ids = itertools.count(1)
+
+#: Open-span stack of the *current execution context* — an immutable tuple
+#: of span ids.  ``contextvars`` gives every thread its own value (exactly
+#: the old ``threading.local`` behavior) and additionally snapshots it into
+#: every asyncio task at creation, so concurrent tasks sharing one
+#: event-loop thread cannot mis-parent each other's spans.  The tuple is
+#: replaced, never mutated: a mutable list would be *shared* by the copied
+#: contexts and reintroduce the cross-task race.
+_SPAN_STACK: "contextvars.ContextVar[tuple]" = contextvars.ContextVar(
+    "repro_span_stack", default=())
 
 
 def _json_safe(value: Any) -> Any:
@@ -132,13 +149,13 @@ class Tracer:
 
     ``enable()`` starts recording, ``disable()`` stops it; spans opened
     while disabled still time themselves but leave no record.  Parent/child
-    linkage comes from a per-thread stack of open *recorded* spans.
+    linkage comes from a per-context (thread × asyncio task) stack of open
+    *recorded* spans — see :data:`_SPAN_STACK`.
     """
 
     def __init__(self) -> None:
         self._records: List[Dict[str, Any]] = []
         self._lock = threading.Lock()
-        self._local = threading.local()
         self._enabled = False
 
     # -- state ------------------------------------------------------------- #
@@ -157,11 +174,9 @@ class Tracer:
         with self._lock:
             self._records = []
 
-    def _stack(self) -> List[str]:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = self._local.stack = []
-        return stack
+    @staticmethod
+    def _stack() -> tuple:
+        return _SPAN_STACK.get()
 
     # -- span lifecycle ----------------------------------------------------- #
     def span(self, name: str, **attributes: Any) -> Span:
@@ -172,16 +187,16 @@ class Tracer:
         """
         if not self._enabled:
             return Span(name, None, None, attributes)
-        stack = self._stack()
+        stack = _SPAN_STACK.get()
         parent = stack[-1] if stack else None
         span = Span(name, self, parent, attributes)
-        stack.append(span.span_id)
+        _SPAN_STACK.set(stack + (span.span_id,))
         return span
 
     def _finish(self, span: Span) -> None:
-        stack = self._stack()
+        stack = _SPAN_STACK.get()
         if span.span_id in stack:  # tolerate out-of-order finishes
-            stack.remove(span.span_id)
+            _SPAN_STACK.set(tuple(s for s in stack if s != span.span_id))
         if self._enabled:
             with self._lock:
                 self._records.append(span.to_record())
@@ -190,7 +205,7 @@ class Tracer:
         """Record an instantaneous occurrence (a zero-duration span)."""
         if not self._enabled:
             return
-        stack = self._stack()
+        stack = _SPAN_STACK.get()
         now = time.perf_counter()
         record = {
             "type": "event",

@@ -9,6 +9,8 @@ snapshot's manifest digest with a content hash of the encoded token ids,
 so a republished snapshot can never serve stale probabilities.
 """
 
+import threading
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -269,6 +271,141 @@ class TestEngineCaching:
         scorer = SequentialScorer(pipeline, scheduler)
         with pytest.raises(RuntimeError, match="unscored"):
             scorer.score_pairs(_pairs([f"row {i}" for i in range(12)]))
+
+
+class TestConcurrentSafety:
+    """The daemon hits one shared ScoreCache from many threads at once.
+
+    Before the lock these hammers corrupted the LRU OrderedDict mid-
+    iteration (move_to_end/popitem racing get) and lost eviction spills;
+    now every interleaving must keep the capacity invariant and the
+    counters coherent.
+    """
+
+    def test_hammer_many_threads_no_corruption(self):
+        cache = ScoreCache(capacity=64)
+        num_threads = 8
+        barrier = threading.Barrier(num_threads)
+        errors = []
+
+        def worker(seed):
+            try:
+                barrier.wait()
+                rng = np.random.default_rng(seed)
+                for step in range(400):
+                    digest = f"d{int(rng.integers(0, 3))}"
+                    key = f"k{int(rng.integers(0, 200))}"
+                    if rng.random() < 0.5:
+                        cache.put(digest, key, float(rng.random()))
+                    else:
+                        value = cache.get(digest, key)
+                        assert value is None or 0.0 <= value <= 1.0
+                    if step % 97 == 0:
+                        cache.lookup(digest, [f"k{j}" for j in range(5)])
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(seed,))
+                   for seed in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(cache) <= 64  # LRU invariant survived every interleaving
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] > 0
+        assert stats["entries"] == len(cache)
+
+    def test_hammer_with_concurrent_flush_keeps_values_exact(self, tmp_path):
+        """Writers + a flushing thread: persisted values stay bit-exact."""
+        cache = ScoreCache(capacity=8, directory=tmp_path)
+        stop = threading.Event()
+        errors = []
+
+        def value_of(index):
+            return (index % 64) / 64.0
+
+        def writer(offset):
+            try:
+                for i in range(offset, offset + 150):
+                    cache.put("digest", f"k{i}", value_of(i))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def flusher():
+            try:
+                while not stop.is_set():
+                    cache.flush()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        flush_thread = threading.Thread(target=flusher)
+        write_threads = [threading.Thread(target=writer, args=(offset,))
+                         for offset in (0, 150, 300)]
+        flush_thread.start()
+        for thread in write_threads:
+            thread.start()
+        for thread in write_threads:
+            thread.join()
+        stop.set()
+        flush_thread.join()
+        cache.flush()
+        assert errors == []
+        reloaded = ScoreCache(capacity=8, directory=tmp_path)
+        seen = 0
+        for i in range(450):
+            value = reloaded.get("digest", f"k{i}")
+            if value is not None:  # never torn, never wrong
+                assert value == value_of(i)
+                seen += 1
+        assert seen == 450  # every dirty write survived via spill or flush
+
+
+class TestOverlappingRuns:
+    """Regression: per-run cache stats must not cross-count concurrent runs.
+
+    The old implementation diffed the globally shared cache counters
+    around each run, so overlapping run B's hits landed inside run A's
+    delta.  Stats are now accumulated on each run's own meter: for N
+    unique pairs, hits + misses == N for *every* run, whatever the
+    interleaving.
+    """
+
+    def test_two_overlapping_runs_report_per_run_stats(self, cached_pipeline):
+        pipeline, __ = cached_pipeline
+        pairs = _pairs([f"overlap row {i}" for i in range(30)])
+        baseline = SequentialScorer(pipeline).score_pairs(pairs)
+        cache = ScoreCache(capacity=1024)
+        barrier = threading.Barrier(2)
+        results = {}
+
+        def run(name):
+            scorer = SequentialScorer(pipeline, cache=cache)
+            barrier.wait()
+            decisions = scorer.score_pairs(pairs)
+            results[name] = (decisions, scorer.last_metrics)
+
+        threads = [threading.Thread(target=run, args=(name,))
+                   for name in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        for name in ("a", "b"):
+            decisions, metrics = results[name]
+            assert decisions == baseline
+            stats = metrics.cache
+            # The per-run books balance exactly; under the global-diff bug
+            # the concurrent run's hits inflated this sum past len(pairs).
+            assert stats["hits"] + stats["misses"] == len(pairs)
+            assert 0.0 <= stats["hit_rate"] <= 1.0
+        # And a warm follow-up run attributes every hit to itself.
+        warm = SequentialScorer(pipeline, cache=cache)
+        assert warm.score_pairs(pairs) == baseline
+        assert warm.last_metrics.cache["hits"] == len(pairs)
+        assert warm.last_metrics.cache["misses"] == 0
 
 
 def _content_scores(batch):

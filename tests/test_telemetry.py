@@ -88,6 +88,67 @@ class TestTracer:
         assert records["ping"]["parent"] == records["root"]["id"]
         assert span_tree_depth(tracer.records()) == 3
 
+    def test_span_nesting_is_per_asyncio_task(self):
+        """Regression: interleaved tasks must not corrupt each other's stacks.
+
+        The span stack used to live in ``threading.local``, which every
+        asyncio task on the loop thread *shares* — task B's spans parented
+        under whatever span task A happened to have open at the await
+        point.  With contextvars each task gets its own stack.
+        """
+        import asyncio
+
+        tracer = Tracer()
+        tracer.enable()
+
+        async def worker(name):
+            with tracer.span(f"{name}.outer"):
+                await asyncio.sleep(0)  # yield so the tasks interleave
+                with tracer.span(f"{name}.inner"):
+                    await asyncio.sleep(0)
+                await asyncio.sleep(0)
+                tracer.event(f"{name}.tick")
+
+        async def main():
+            await asyncio.gather(worker("a"), worker("b"))
+
+        asyncio.run(asyncio.wait_for(main(), timeout=30))
+        tracer.disable()
+        records = {r["name"]: r for r in tracer.records()}
+        for name in ("a", "b"):
+            outer, inner = records[f"{name}.outer"], records[f"{name}.inner"]
+            assert inner["parent"] == outer["id"]  # never the *other* task
+            assert outer["parent"] is None
+            assert records[f"{name}.tick"]["parent"] == outer["id"]
+
+    def test_span_nesting_stays_per_thread(self):
+        """Threaded callers keep isolated stacks (contextvars are per-thread
+        too) — the asyncio fix must not regress the worker-pool tracing."""
+        import threading
+
+        tracer = Tracer()
+        tracer.enable()
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            with tracer.span(f"{name}.outer"):
+                barrier.wait()  # both outers open before either inner
+                with tracer.span(f"{name}.inner"):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(name,))
+                   for name in ("t1", "t2")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        tracer.disable()
+        records = {r["name"]: r for r in tracer.records()}
+        for name in ("t1", "t2"):
+            assert (records[f"{name}.inner"]["parent"]
+                    == records[f"{name}.outer"]["id"])
+            assert records[f"{name}.outer"]["parent"] is None
+
     def test_export_writes_jsonl_with_header(self, tmp_path):
         tracer = Tracer()
         tracer.enable()
