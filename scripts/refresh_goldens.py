@@ -6,11 +6,16 @@ platform (golden values pin BLAS summation order)::
 
     python scripts/refresh_goldens.py            # all six aligners
     python scripts/refresh_goldens.py mmd ed     # a subset
+    python scripts/refresh_goldens.py --scenarios          # scenario grids
+    python scripts/refresh_goldens.py --scenarios grl ed   # a subset
 
 Each run replays the pinned recipe of repro.train.regression (fixed seeds,
 tiny cached LM, 3 epochs on Books2 -> Fodors-Zagats) and atomically
-rewrites tests/golden/<aligner>.json.  Commit the diff together with the
-change that motivated it so reviewers see exactly which numbers moved.
+rewrites tests/golden/<aligner>.json.  With ``--scenarios`` it instead
+replays repro.scenarios.regression (the 4x2 grid over the cluster corpus)
+and rewrites tests/golden/scenarios_<aligner>.json.  Commit the diff
+together with the change that motivated it so reviewers see exactly which
+numbers moved.
 """
 
 import json
@@ -31,6 +36,8 @@ from repro.train.regression import (GOLDEN_ALIGNERS, golden_dir,  # noqa: E402
 
 
 def main(argv):
+    scenarios = "--scenarios" in argv
+    argv = [a for a in argv if a != "--scenarios"]
     requested = argv or list(GOLDEN_ALIGNERS)
     unknown = [a for a in requested if a not in GOLDEN_ALIGNERS]
     if unknown:
@@ -39,12 +46,21 @@ def main(argv):
     golden_dir().mkdir(parents=True, exist_ok=True)
     for aligner in requested:
         started = time.perf_counter()
-        payload = golden_run(aligner)
-        path = golden_path(aligner)
+        if scenarios:
+            from repro.scenarios.regression import (scenario_golden_path,
+                                                    scenario_golden_run)
+            payload = scenario_golden_run(aligner)
+            path = scenario_golden_path(aligner)
+            summary = ("mean_grid_f1=" + format(
+                sum(c["f1"] for c in payload["cells"])
+                / len(payload["cells"]), ".6f"))
+        else:
+            payload = golden_run(aligner)
+            path = golden_path(aligner)
+            summary = f"best_valid_f1={payload['best_valid_f1']:.6f}"
         atomic_write(path, lambda tmp: tmp.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n"))
-        print(f"blessed {path} "
-              f"(best_valid_f1={payload['best_valid_f1']:.6f}, "
+        print(f"blessed {path} ({summary}, "
               f"{time.perf_counter() - started:.1f}s)")
     return 0
 

@@ -9,6 +9,7 @@ Subcommands::
     python -m repro distance books2 fodors_zagats
     python -m repro serve-bench --pairs 10000 --workers 4 --telemetry
     python -m repro serve --snapshot prod=snapshots/prod --port 7461
+    python -m repro scenarios --aligners mmd,grl --workers 4
     python -m repro trace-summary adapt_fz_am_mmd
 
 Installed as the ``repro`` console script (``[project.scripts]``), which
@@ -174,6 +175,42 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-capacity", type=int, default=262144,
                        help="shared score-cache entries (default 262144)")
 
+    scenarios = commands.add_parser(
+        "scenarios",
+        help="score the aligners across the EMBer-style 4x2 scenario grid "
+             "(vanilla / record linking / cluster-focused / open matching, "
+             "balanced + imbalanced), route every stream through the serve "
+             "engines with bit-identity asserted, and write "
+             "BENCH_scenarios.json")
+    scenarios.add_argument("--target", default="fodors_zagats",
+                           help="dataset spec the cluster corpus renders "
+                                "(default fodors_zagats)")
+    scenarios.add_argument("--source", default="books2",
+                           help="labeled source dataset (default books2)")
+    scenarios.add_argument("--aligners", default=None,
+                           help="comma-separated aligner subset "
+                                "(default: all six Table 1 aligners)")
+    scenarios.add_argument("--num-families", type=int, default=24,
+                           help="hard-negative families in the corpus "
+                                "(default 24)")
+    scenarios.add_argument("--num-pairs", type=int, default=160,
+                           help="pair budget per grid cell (default 160)")
+    scenarios.add_argument("--source-scale", type=float, default=0.2,
+                           help="source dataset scale (default 0.2)")
+    scenarios.add_argument("--epochs", type=int, default=6)
+    scenarios.add_argument("--seed", type=int, default=0)
+    scenarios.add_argument("--workers", type=int, default=4,
+                           help="parallel-scorer worker count (default 4)")
+    scenarios.add_argument("--output", default="BENCH_scenarios.json",
+                           help="report path (default BENCH_scenarios.json)")
+    scenarios.add_argument("--pipeline-dir", default=None,
+                           help="where to persist the served pipeline "
+                                "snapshot (default .cache/scenarios_pipeline)")
+    scenarios.add_argument("--skip-serve", action="store_true",
+                           help="score the grid only; skip the serve-path "
+                                "equivalence pass")
+    _add_lm_arguments(scenarios)
+
     trace_summary = commands.add_parser(
         "trace-summary",
         help="render an exported trace: span tree, op table, metrics")
@@ -317,6 +354,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    from .scenarios import (SCENARIO_ALIGNERS, format_scenarios_report,
+                            run_scenarios_bench)
+    aligners = (tuple(a.strip() for a in args.aligners.split(",") if a.strip())
+                if args.aligners else SCENARIO_ALIGNERS)
+    payload = run_scenarios_bench(
+        target=args.target, source=args.source, aligners=aligners,
+        num_families=args.num_families, num_pairs=args.num_pairs,
+        source_scale=args.source_scale, seed=args.seed, epochs=args.epochs,
+        num_workers=args.workers, serve=not args.skip_serve,
+        pipeline_dir=args.pipeline_dir, output=args.output,
+        lm_kwargs=_lm_kwargs(args))
+    print(format_scenarios_report(payload))
+    print(f"report written to {args.output}")
+    return 0
+
+
 def cmd_trace_summary(args: argparse.Namespace) -> int:
     from .telemetry import summarize
     try:
@@ -343,6 +397,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_serve_bench(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "scenarios":
+        return cmd_scenarios(args)
     if args.command == "trace-summary":
         return cmd_trace_summary(args)
     if args.command == "report":

@@ -1,9 +1,11 @@
-"""Synthetic versions of the thirteen benchmark ER datasets (Table 2)."""
+"""Synthetic versions of the thirteen benchmark ER datasets (Table 2),
+plus the cluster-structured corpora behind :mod:`repro.scenarios`."""
 
 from .augment import Augmenter
 from .catalog import (ALIASES, CATALOG, dataset_names, load_dataset, spec_for,
                       table2_rows)
-from .generator import DatasetSpec, generate_dataset, scaled_counts
+from .generator import (ClusterCorpus, ClusterMember, DatasetSpec,
+                        generate_corpus, generate_dataset, scaled_counts)
 from .perturb import Perturber
 from .worlds import (BookWorld, CitationWorld, MovieWorld, MusicWorld,
                      ProductWorld, RestaurantWorld, WdcWorld, World)
@@ -12,7 +14,8 @@ __all__ = [
     "Augmenter",
     "ALIASES", "CATALOG", "dataset_names", "load_dataset", "spec_for",
     "table2_rows",
-    "DatasetSpec", "generate_dataset", "scaled_counts",
+    "ClusterCorpus", "ClusterMember", "DatasetSpec",
+    "generate_corpus", "generate_dataset", "scaled_counts",
     "Perturber",
     "BookWorld", "CitationWorld", "MovieWorld", "MusicWorld",
     "ProductWorld", "RestaurantWorld", "WdcWorld", "World",

@@ -5,12 +5,22 @@ table), two perturbers (one per table side) and the Table 2 statistics.
 ``generate_dataset`` draws matching pairs as two renderings of one world
 record and non-matching pairs as renderings of two records (a configurable
 fraction of which are *hard* siblings from ``World.similar``).
+
+:func:`generate_corpus` is the cluster-structured variant behind
+:mod:`repro.scenarios`: instead of flat labeled pairs it emits a
+:class:`ClusterCorpus` — every canonical record spawns a *cluster* of
+renderings sharing a ``cluster_id``, clusters are grouped into hard-negative
+*families* (``World.family``), and a configurable share of families is held
+out as *open-world* clusters whose entities never appear in any training
+split.  The EMBer-style scenario grid (Vanilla / Record Linking /
+Cluster-focused Matching / Open Matching, balanced and imbalanced) is
+derived from one such corpus.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
@@ -100,3 +110,186 @@ def generate_dataset(spec: DatasetSpec, scale: float = 1.0,
     order = rng.permutation(len(pairs))
     shuffled = [pairs[int(i)] for i in order]
     return ERDataset(spec.key, spec.domain, shuffled)
+
+
+# --------------------------------------------------------------------------- #
+# cluster-structured corpora (the repro.scenarios substrate)
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class ClusterMember:
+    """One rendering of a canonical record inside a cluster.
+
+    ``cluster_id`` is the ground truth: two members match iff their cluster
+    ids are equal (the EMBer convention).  ``family_id`` groups sibling
+    clusters — distinct entities generated as hard negatives of each other —
+    and ``side`` records which table style ("a" = left renderer, "b" = right
+    renderer) produced this rendering.
+    """
+
+    entity: Entity
+    cluster_id: int
+    family_id: int
+    side: str
+
+
+@dataclass
+class ClusterCorpus:
+    """A cluster-structured synthetic corpus with an open-world holdout.
+
+    The label relation is defined *only* by ``cluster_id`` equality, which
+    makes it consistent and transitive by construction; scenario builders
+    must derive every pair label through :meth:`label` so that property
+    cannot drift.  ``open_cluster_ids`` marks the unseen-entity clusters:
+    whole families held out of every seen split, reserved for the Open
+    Matching scenario.
+    """
+
+    name: str
+    domain: str
+    members: List[ClusterMember] = field(default_factory=list)
+    open_cluster_ids: FrozenSet[int] = frozenset()
+
+    # -- lookups ----------------------------------------------------------- #
+    def __len__(self) -> int:
+        return len(self.members)
+
+    @property
+    def cluster_ids(self) -> List[int]:
+        seen = dict.fromkeys(m.cluster_id for m in self.members)
+        return list(seen)
+
+    @property
+    def seen_cluster_ids(self) -> List[int]:
+        return [c for c in self.cluster_ids if c not in self.open_cluster_ids]
+
+    def members_of(self, cluster_id: int) -> List[ClusterMember]:
+        return [m for m in self.members if m.cluster_id == cluster_id]
+
+    def seen_members(self) -> List[ClusterMember]:
+        return [m for m in self.members
+                if m.cluster_id not in self.open_cluster_ids]
+
+    def open_members(self) -> List[ClusterMember]:
+        return [m for m in self.members
+                if m.cluster_id in self.open_cluster_ids]
+
+    def cluster_of(self, entity_id: str) -> int:
+        for member in self.members:
+            if member.entity.entity_id == entity_id:
+                return member.cluster_id
+        raise KeyError(f"no member {entity_id!r} in corpus {self.name}")
+
+    def label(self, left: ClusterMember, right: ClusterMember) -> int:
+        """Ground-truth match label: same cluster <=> positive."""
+        return int(left.cluster_id == right.cluster_id)
+
+    # -- derived views ------------------------------------------------------ #
+    def tables(self) -> Tuple[List[Entity], List[Entity]]:
+        """The two-table (record linking) view: side-a rows, side-b rows."""
+        left = [m.entity for m in self.members if m.side == "a"]
+        right = [m.entity for m in self.members if m.side == "b"]
+        return left, right
+
+    def true_matches(self) -> List[Tuple[str, str]]:
+        """Gold (left_id, right_id) same-cluster cross-side pairs.
+
+        The blocking-recall contract: a blocker run over :meth:`tables` must
+        emit a superset of these, or scenario metrics silently undercount.
+        """
+        by_cluster: Dict[int, List[ClusterMember]] = {}
+        for member in self.members:
+            by_cluster.setdefault(member.cluster_id, []).append(member)
+        matches = []
+        for cluster in by_cluster.values():
+            for a in cluster:
+                if a.side != "a":
+                    continue
+                for b in cluster:
+                    if b.side == "b":
+                        matches.append((a.entity.entity_id,
+                                        b.entity.entity_id))
+        return matches
+
+    def describe(self) -> Dict[str, object]:
+        """Skew statistics: cluster/family structure and the open share."""
+        sizes: Dict[int, int] = {}
+        for member in self.members:
+            sizes[member.cluster_id] = sizes.get(member.cluster_id, 0) + 1
+        histogram: Dict[str, int] = {}
+        for size in sizes.values():
+            histogram[str(size)] = histogram.get(str(size), 0) + 1
+        families = len(dict.fromkeys(m.family_id for m in self.members))
+        left, right = self.tables()
+        return {
+            "name": self.name,
+            "domain": self.domain,
+            "entities": len(self.members),
+            "clusters": len(sizes),
+            "open_clusters": len(self.open_cluster_ids),
+            "open_entity_fraction": (len(self.open_members())
+                                     / max(1, len(self.members))),
+            "families": families,
+            "cluster_size_histogram": dict(sorted(histogram.items(),
+                                                  key=lambda kv: int(kv[0]))),
+            "side_a_entities": len(left),
+            "side_b_entities": len(right),
+        }
+
+
+def generate_corpus(spec: DatasetSpec, num_families: int = 24,
+                    family_size: int = 3,
+                    renderings: Tuple[int, int] = (2, 4),
+                    open_family_fraction: float = 0.25,
+                    seed: int = 0) -> ClusterCorpus:
+    """Synthesize a cluster-structured corpus from a benchmark spec.
+
+    Deterministic in ``(spec, parameters, seed)``.  Each family draws one
+    canonical record plus ``family_size - 1`` hard siblings
+    (:meth:`World.family`); each sibling becomes one cluster whose size is
+    drawn uniformly from ``renderings`` (inclusive).  Renderings alternate
+    between the spec's left and right table styles — every cluster of size
+    >= 2 has at least one member on each side, so record-linking positives
+    always exist.  The last ``open_family_fraction`` share of families is
+    held out wholesale as open-world clusters: unseen entities AND unseen
+    hard siblings, so nothing about an open cluster leaks into seen splits.
+    """
+    if num_families < 2:
+        raise ValueError("need at least 2 families")
+    if family_size < 1:
+        raise ValueError("family_size must be >= 1")
+    low, high = renderings
+    if not 2 <= low <= high:
+        raise ValueError("renderings must satisfy 2 <= low <= high")
+    if not 0.0 < open_family_fraction < 1.0:
+        raise ValueError("open_family_fraction must be in (0, 1)")
+    num_open = max(1, int(round(num_families * open_family_fraction)))
+    if num_open >= num_families:
+        raise ValueError("open_family_fraction leaves no seen families")
+
+    rng = np.random.default_rng((spec.base_seed, seed, 0xC1))
+    members: List[ClusterMember] = []
+    open_ids = set()
+    cluster_id = 0
+    for family_id in range(num_families):
+        base = spec.world.generate(rng)
+        for record in spec.world.family(base, family_size, rng):
+            size = int(rng.integers(low, high + 1))
+            for serial in range(size):
+                side = "a" if serial % 2 == 0 else "b"
+                if side == "a":
+                    attrs = spec.perturb_left.apply(
+                        spec.render_left(record, rng), rng)
+                else:
+                    attrs = spec.perturb_right.apply(
+                        spec.render_right(record, rng), rng)
+                entity = Entity(
+                    f"{spec.key}-f{family_id}-c{cluster_id}-{side}{serial}",
+                    attrs)
+                members.append(ClusterMember(entity, cluster_id, family_id,
+                                             side))
+            if family_id >= num_families - num_open:
+                open_ids.add(cluster_id)
+            cluster_id += 1
+    return ClusterCorpus(f"{spec.key}-clusters", spec.domain, members,
+                         frozenset(open_ids))

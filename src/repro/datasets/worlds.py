@@ -30,6 +30,21 @@ class World:
         """A distinct record sharing salient fields with ``record``."""
         raise NotImplementedError
 
+    def family(self, record: Record, size: int,
+               rng: np.random.Generator) -> List[Record]:
+        """``record`` plus ``size - 1`` hard-negative siblings.
+
+        A *family* is a group of distinct entities that share salient fields
+        (same brand, same album, same chain...) — the cluster-structured
+        corpora of :func:`repro.datasets.generate_corpus` use one family per
+        group of neighboring clusters, so cluster-focused matching scenarios
+        can draw their negatives from entities that are genuinely hard to
+        tell apart.
+        """
+        if size < 1:
+            raise ValueError("family size must be >= 1")
+        return [record] + [self.similar(record, rng) for __ in range(size - 1)]
+
 
 class ProductWorld(World):
     """Consumer products: brand, line, model number, type, descriptors."""

@@ -7,7 +7,7 @@ from .results import ResultStore
 from .runner import (ALL_METHODS, EXTENSION_METHODS, MethodScore, PairTask,
                      delta_f1, prepare_task, run_method, run_pair, shared_lm)
 from .tables import (TABLE3_PAIRS, TABLE4_PAIRS, TABLE5_PAIRS, format_table,
-                     format_table2, run_table)
+                     format_scenario_table, format_table2, run_table)
 from .findings import (FindingVerdict, check_finding_1, check_finding_2,
                        check_finding_3, check_finding_4, check_finding_5,
                        check_finding_6, check_finding_7, curve_volatility)
@@ -22,7 +22,7 @@ __all__ = [
     "ALL_METHODS", "EXTENSION_METHODS", "MethodScore", "PairTask",
     "delta_f1", "prepare_task", "run_method", "run_pair", "shared_lm",
     "TABLE3_PAIRS", "TABLE4_PAIRS", "TABLE5_PAIRS", "format_table",
-    "format_table2", "run_table",
+    "format_scenario_table", "format_table2", "run_table",
     "FindingVerdict", "check_finding_1", "check_finding_2",
     "check_finding_3", "check_finding_4", "check_finding_5",
     "check_finding_6", "check_finding_7", "curve_volatility",

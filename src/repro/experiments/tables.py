@@ -79,6 +79,38 @@ def format_table(rows: Sequence[Dict[str, object]],
     return "\n".join(lines)
 
 
+def format_scenario_table(scores: Dict[str, Dict[str, Dict[str, float]]],
+                          metric: str = "f1") -> str:
+    """Scenario-grid text table: one line per aligner, one column per cell.
+
+    ``scores`` is :meth:`repro.scenarios.ScenarioReport.scores` —
+    ``{aligner: {"scenario/variant": {precision, recall, f1}}}``.
+    """
+    columns: List[str] = []
+    for cells in scores.values():
+        for key in cells:
+            if key not in columns:
+                columns.append(key)
+    short = {key: key.replace("record_linking", "linking")
+                     .replace("cluster_matching", "cluster")
+                     .replace("open_matching", "open")
+                     .replace("balanced", "bal")
+                     .replace("imbal", "imb")  # after bal: imbalanced->imbal
+             for key in columns}
+    width = max([len(metric) + 5] + [len(v) for v in short.values()])
+    header = (f"{'Aligner':10s} "
+              + " ".join(f"{short[key]:>{width}s}" for key in columns))
+    lines = [f"Scenario grid ({metric})", header, "-" * len(header)]
+    for aligner, cells in scores.items():
+        row = [f"{aligner:10s}"]
+        for key in columns:
+            value = cells.get(key, {}).get(metric)
+            row.append(f"{value:{width}.3f}" if isinstance(value, float)
+                       else f"{'-':>{width}s}")
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
 def format_table2(scale: float = 1.0) -> str:
     """Regenerate Table 2 (dataset statistics) as text."""
     rows = table2_rows(scale=scale)

@@ -1,0 +1,280 @@
+"""The EMBer-style 4x2 scenario grid over a cluster-structured corpus.
+
+One :class:`~repro.datasets.ClusterCorpus` deterministically derives eight
+labeled evaluation sets — four scenarios, each in a balanced and an
+imbalanced variant (EMBer, arXiv 2205.05889):
+
+* **Vanilla** — i.i.d. pair classification over the seen clusters, the
+  shape the paper's Tables 3-5 evaluate;
+* **Record Linking** — pairs strictly across the two table styles (side
+  "a" vs side "b"), the classic two-source linking workload;
+* **Cluster-focused Matching** — negatives drawn only from *sibling*
+  clusters of the same hard-negative family, so every decision sits on a
+  cluster boundary;
+* **Open Matching** — every pair involves at least one member of an
+  open-world cluster that no training split ever saw.
+
+Labels always derive from ``ClusterCorpus.label`` (cluster-id equality),
+so the label relation is consistent and transitive by construction — the
+property tier asserts exactly that.  The imbalanced variants push the
+positive rate from ~30% down to ~8%, the heavy skew real candidate streams
+carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..data import EntityPair, ERDataset
+from ..datasets import ClusterCorpus, ClusterMember
+
+#: Scenario keys in EMBer order.
+SCENARIOS = ("vanilla", "record_linking", "cluster_matching", "open_matching")
+
+#: Imbalance variants; "balanced" mirrors EMBer's ~26% training rate.
+VARIANTS = ("balanced", "imbalanced")
+
+POSITIVE_RATES = {"balanced": 0.30, "imbalanced": 0.08}
+
+#: Property tier tolerance on the realized positive rate.
+POSITIVE_RATE_TOLERANCE = 0.04
+
+#: Default pair budget per grid cell.
+DEFAULT_PAIRS = 160
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One grid cell: a labeled dataset plus its derivation metadata."""
+
+    scenario: str
+    variant: str
+    dataset: ERDataset
+    target_positive_rate: float
+
+    @property
+    def key(self) -> str:
+        return f"{self.scenario}/{self.variant}"
+
+    @property
+    def positive_rate(self) -> float:
+        """Realized positive rate of the derived dataset."""
+        if not len(self.dataset):
+            return 0.0
+        return self.dataset.num_matches / len(self.dataset)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "variant": self.variant,
+            "pairs": self.dataset.num_pairs,
+            "matches": self.dataset.num_matches,
+            "positive_rate": self.positive_rate,
+            "target_positive_rate": self.target_positive_rate,
+        }
+
+
+def _same_cluster_combos(members: Sequence[ClusterMember],
+                         cross_side_only: bool) -> List[Tuple[int, int]]:
+    """Index pairs of distinct same-cluster members (the positive pool)."""
+    by_cluster: Dict[int, List[int]] = {}
+    for i, member in enumerate(members):
+        by_cluster.setdefault(member.cluster_id, []).append(i)
+    combos = []
+    for indices in by_cluster.values():
+        for pos, i in enumerate(indices):
+            for j in indices[pos + 1:]:
+                if cross_side_only and members[i].side == members[j].side:
+                    continue
+                combos.append((i, j))
+    return combos
+
+
+def _sample_positives(members: Sequence[ClusterMember], count: int,
+                      rng: np.random.Generator,
+                      cross_side_only: bool = False) -> List[Tuple[int, int]]:
+    pool = _same_cluster_combos(members, cross_side_only)
+    if not pool:
+        raise ValueError("corpus has no same-cluster pair for this scenario; "
+                         "grow renderings or cluster counts")
+    take = min(count, len(pool))
+    picked = rng.choice(len(pool), size=take, replace=False)
+    return [pool[int(i)] for i in picked]
+
+
+def _sample_negatives(members: Sequence[ClusterMember], count: int,
+                      rng: np.random.Generator,
+                      cross_side_only: bool = False,
+                      same_family_only: bool = False,
+                      max_attempts_factor: int = 200
+                      ) -> List[Tuple[int, int]]:
+    """Rejection-sample distinct cross-cluster index pairs.
+
+    May return fewer than ``count`` when the constrained pool is smaller
+    than asked for (e.g. same-family negatives on a tiny corpus); the
+    caller rebalances positives to preserve the configured rate.
+    """
+    picked: List[Tuple[int, int]] = []
+    seen = set()
+    attempts = 0
+    budget = max_attempts_factor * max(1, count)
+    n = len(members)
+    while len(picked) < count and attempts < budget:
+        attempts += 1
+        i, j = int(rng.integers(n)), int(rng.integers(n))
+        if i == j:
+            continue
+        a, b = members[i], members[j]
+        if a.cluster_id == b.cluster_id:
+            continue
+        if cross_side_only and not (a.side == "a" and b.side == "b"):
+            continue
+        if same_family_only and a.family_id != b.family_id:
+            continue
+        key = (min(i, j), max(i, j)) if not cross_side_only else (i, j)
+        if key in seen:
+            continue
+        seen.add(key)
+        picked.append((i, j))
+    if not picked:
+        raise ValueError("could not sample any negative pair; "
+                         "the corpus is too small for this scenario")
+    return picked
+
+
+def _rebalance(positives: List[Tuple[int, int]],
+               negatives: List[Tuple[int, int]], num_neg: int,
+               rate: float) -> List[Tuple[int, int]]:
+    """Trim positives when the negative pool ran short, preserving rate."""
+    if len(negatives) >= num_neg:
+        return positives
+    keep = max(1, int(round(len(negatives) * rate / (1.0 - rate))))
+    return positives[:keep]
+
+
+def _pair(members: Sequence[ClusterMember], i: int, j: int,
+          corpus: ClusterCorpus) -> EntityPair:
+    left, right = members[i], members[j]
+    if left.side == "b" and right.side == "a":  # keep table order stable
+        left, right = right, left
+    return EntityPair(left.entity, right.entity,
+                      label=corpus.label(left, right))
+
+
+def build_scenario(corpus: ClusterCorpus, scenario: str,
+                   variant: str = "balanced",
+                   num_pairs: int = DEFAULT_PAIRS, seed: int = 0) -> Scenario:
+    """Derive one labeled grid cell from ``corpus``.
+
+    Deterministic in ``(corpus, scenario, variant, num_pairs, seed)``.  The
+    target positive rate is preserved even when the positive pool runs
+    short: the negative count is derived from the positives actually
+    sampled, so skew is a guarantee rather than a hope.
+    """
+    if scenario not in SCENARIOS:
+        raise ValueError(f"unknown scenario {scenario!r}; "
+                         f"choose from {SCENARIOS}")
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; "
+                         f"choose from {VARIANTS}")
+    if num_pairs < 10:
+        raise ValueError("num_pairs must be >= 10")
+    rate = POSITIVE_RATES[variant]
+    rng = np.random.default_rng(
+        (seed, SCENARIOS.index(scenario), VARIANTS.index(variant), 0x5C))
+    want_pos = max(1, int(round(num_pairs * rate)))
+
+    if scenario == "open_matching":
+        positive_pool: Sequence[ClusterMember] = corpus.open_members()
+        negative_pool: Sequence[ClusterMember] = corpus.members
+    else:
+        positive_pool = corpus.seen_members()
+        negative_pool = positive_pool
+    cross_side = scenario == "record_linking"
+    same_family = scenario == "cluster_matching"
+
+    positives = _sample_positives(positive_pool, want_pos, rng,
+                                  cross_side_only=cross_side)
+    num_neg = max(1, int(round(len(positives) * (1.0 - rate) / rate)))
+    if scenario == "open_matching":
+        # Every open-matching pair touches an unseen entity: anchor one end
+        # in an open cluster, the partner may be seen or open.
+        open_indices = [i for i, m in enumerate(negative_pool)
+                        if m.cluster_id in corpus.open_cluster_ids]
+        negatives = []
+        seen_keys = set()
+        attempts, budget = 0, 200 * num_neg
+        while len(negatives) < num_neg and attempts < budget:
+            attempts += 1
+            i = open_indices[int(rng.integers(len(open_indices)))]
+            j = int(rng.integers(len(negative_pool)))
+            if i == j:
+                continue
+            a, b = negative_pool[i], negative_pool[j]
+            if a.cluster_id == b.cluster_id:
+                continue
+            key = (min(i, j), max(i, j))
+            if key in seen_keys:
+                continue
+            seen_keys.add(key)
+            negatives.append((i, j))
+        if not negatives:
+            raise ValueError("open-matching negative pool exhausted; "
+                             "grow the corpus")
+        positives = _rebalance(positives, negatives, num_neg, rate)
+        pairs = ([_pair(positive_pool, i, j, corpus)
+                  for i, j in positives]
+                 + [_pair(negative_pool, i, j, corpus)
+                    for i, j in negatives])
+    else:
+        negatives = _sample_negatives(negative_pool, num_neg, rng,
+                                      cross_side_only=cross_side,
+                                      same_family_only=same_family)
+        positives = _rebalance(positives, negatives, num_neg, rate)
+        pairs = [_pair(positive_pool, i, j, corpus)
+                 for i, j in positives + negatives]
+
+    order = rng.permutation(len(pairs))
+    dataset = ERDataset(f"{corpus.name}-{scenario}-{variant}", corpus.domain,
+                        [pairs[int(i)] for i in order])
+    return Scenario(scenario, variant, dataset, rate)
+
+
+def build_grid(corpus: ClusterCorpus, num_pairs: int = DEFAULT_PAIRS,
+               seed: int = 0) -> "Dict[Tuple[str, str], Scenario]":
+    """All eight grid cells, keyed ``(scenario, variant)`` in EMBer order."""
+    return {(scenario, variant): build_scenario(corpus, scenario, variant,
+                                                num_pairs=num_pairs,
+                                                seed=seed)
+            for scenario in SCENARIOS for variant in VARIANTS}
+
+
+def adaptation_dataset(corpus: ClusterCorpus, num_pairs: int = 240,
+                       seed: int = 0) -> ERDataset:
+    """The DA *target* derived from the corpus's seen clusters.
+
+    A vanilla-shaped balanced sample drawn from a seed stream disjoint from
+    every grid cell's: aligners adapt against this (labels consumed only by
+    the §6.1 valid/test protocol), then face the grid — including the open
+    clusters no training split ever rendered.
+    """
+    rng = np.random.default_rng((seed, 0xADA))
+    members = corpus.seen_members()
+    rate = POSITIVE_RATES["balanced"]
+    want_pos = max(1, int(round(num_pairs * rate)))
+    positives = _sample_positives(members, want_pos, rng)
+    num_neg = max(1, int(round(len(positives) * (1.0 - rate) / rate)))
+    negatives = _sample_negatives(members, num_neg, rng)
+    pairs = [_pair(members, i, j, corpus) for i, j in positives + negatives]
+    order = rng.permutation(len(pairs))
+    return ERDataset(f"{corpus.name}-adapt", corpus.domain,
+                     [pairs[int(i)] for i in order])
+
+
+def grid_stats(grid: "Dict[Tuple[str, str], Scenario]"
+               ) -> Dict[str, Dict[str, object]]:
+    """Per-cell skew statistics, keyed ``scenario/variant``."""
+    return {cell.key: cell.describe() for cell in grid.values()}

@@ -1,0 +1,90 @@
+"""Golden-value regression for per-scenario F1.
+
+Mirrors :mod:`repro.train.regression`: one pinned, CPU-sized recipe per
+aligner — the same tiny cached LM and 3-epoch schedule as the aligner
+goldens, adapting Books2 -> a cluster-structured Fodors-Zagats corpus and
+scoring the full 4x2 grid.  ``tests/golden/scenarios_<aligner>.json``
+stores the blessed per-cell precision/recall/F1;
+``tests/test_scenarios_golden.py`` replays and asserts agreement to 1e-6,
+and ``scripts/refresh_goldens.py --scenarios`` re-blesses after an
+intentional numeric change (on the CI reference platform — goldens pin
+BLAS summation order).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from ..train.config import TrainConfig
+from ..train.regression import (GOLDEN_ALIGNERS, GOLDEN_ATOL, GOLDEN_LM,
+                                golden_dir)
+
+#: The pinned harness shape (small enough for the CI scenarios tier).
+SCENARIO_GOLDEN_RECIPE = dict(target="fodors_zagats", source="books2",
+                              num_families=16, family_size=3,
+                              num_pairs=120, source_scale=0.2, seed=0)
+
+#: Six epochs, not the aligner goldens' three: at tiny-LM scale the matcher
+#: needs a few extra passes before its best-epoch snapshot separates the
+#: classes, and an all-zero-F1 golden would pin nothing.
+SCENARIO_GOLDEN_EPOCHS = 6
+
+
+def scenario_golden_config() -> TrainConfig:
+    return TrainConfig(epochs=SCENARIO_GOLDEN_EPOCHS, seed=0)
+
+
+def scenario_golden_run(aligner: str) -> Dict:
+    """One deterministic grid run for ``aligner``; returns the payload."""
+    from .harness import run_harness  # local: harness pulls in repro.api
+    if aligner not in GOLDEN_ALIGNERS:
+        raise ValueError(f"unknown golden aligner {aligner!r}; "
+                         f"choose from {GOLDEN_ALIGNERS}")
+    report = run_harness(aligners=(aligner,), config=scenario_golden_config(),
+                         lm_kwargs=dict(GOLDEN_LM),
+                         **SCENARIO_GOLDEN_RECIPE)
+    return {
+        "aligner": aligner,
+        "recipe": {**SCENARIO_GOLDEN_RECIPE, "lm": dict(GOLDEN_LM),
+                   "epochs": SCENARIO_GOLDEN_EPOCHS},
+        "adaptation_valid_f1": report.adaptation_f1[aligner],
+        "cells": [cell.as_dict() for cell in report.cells],
+    }
+
+
+def scenario_golden_path(aligner: str) -> Path:
+    return golden_dir() / f"scenarios_{aligner}.json"
+
+
+def load_scenario_golden(aligner: str) -> Dict:
+    return json.loads(scenario_golden_path(aligner).read_text())
+
+
+def compare_scenario_runs(expected: Dict, actual: Dict,
+                          atol: float = GOLDEN_ATOL) -> list:
+    """All deviations between two scenario golden payloads, as strings."""
+    problems = []
+
+    def check(label: str, want, got) -> None:
+        if isinstance(want, float) or isinstance(got, float):
+            if abs(float(want) - float(got)) > atol:
+                problems.append(f"{label}: expected {want!r}, got {got!r}")
+        elif want != got:
+            problems.append(f"{label}: expected {want!r}, got {got!r}")
+
+    check("aligner", expected["aligner"], actual["aligner"])
+    check("adaptation_valid_f1", expected["adaptation_valid_f1"],
+          actual["adaptation_valid_f1"])
+    if len(expected["cells"]) != len(actual["cells"]):
+        problems.append(f"cell count: expected {len(expected['cells'])}, "
+                        f"got {len(actual['cells'])}")
+        return problems
+    for want, got in zip(expected["cells"], actual["cells"]):
+        label = f"{want['scenario']}/{want['variant']}"
+        for key in ("scenario", "variant", "num_pairs", "num_matches"):
+            check(f"{label} {key}", want[key], got[key])
+        for key in ("precision", "recall", "f1"):
+            check(f"{label} {key}", want[key], got[key])
+    return problems

@@ -1,0 +1,134 @@
+"""Hypothesis property tests for the cluster-label contract.
+
+The scenario grid is only trustworthy if the ground truth it derives from
+is: (1) the label relation is cluster-id equality — reflexive-consistent
+and transitive across every pair any scenario emits; (2) open-world
+clusters are disjoint from everything the adaptation split can see; and
+(3) the imbalanced variants actually realize their configured skew.  These
+properties are asserted over randomly drawn corpus shapes, not one blessed
+example.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import generate_corpus, spec_for
+from repro.scenarios import (POSITIVE_RATE_TOLERANCE, POSITIVE_RATES,
+                             SCENARIOS, adaptation_dataset, build_scenario)
+
+SETTINGS = settings(max_examples=20, deadline=None)
+
+#: Corpus shapes kept small (each example renders a full corpus) but big
+#: enough that every scenario's positive/negative pools stay feasible.
+CORPUS_SHAPES = st.fixed_dictionaries({
+    "num_families": st.integers(6, 12),
+    "family_size": st.integers(2, 3),
+    "seed": st.integers(0, 50),
+})
+
+SPEC = spec_for("fodors_zagats")
+
+
+def _corpus(shape):
+    return generate_corpus(SPEC, num_families=shape["num_families"],
+                           family_size=shape["family_size"],
+                           seed=shape["seed"])
+
+
+class TestLabelConsistency:
+    @SETTINGS
+    @given(CORPUS_SHAPES, st.sampled_from(SCENARIOS))
+    def test_labels_agree_with_cluster_ids(self, shape, scenario):
+        """Same cluster => positive, different cluster => negative."""
+        corpus = _corpus(shape)
+        cell = build_scenario(corpus, scenario, "balanced", num_pairs=40,
+                              seed=shape["seed"])
+        for pair in cell.dataset.pairs:
+            same = (corpus.cluster_of(pair.left.entity_id)
+                    == corpus.cluster_of(pair.right.entity_id))
+            assert pair.label == int(same)
+
+    @SETTINGS
+    @given(CORPUS_SHAPES)
+    def test_positive_relation_is_transitive(self, shape):
+        """Union-find over emitted positives never merges two clusters.
+
+        If a ~ b and b ~ c are both labeled positive anywhere in the grid,
+        then a ~ c must be positive too — i.e. the connected components of
+        the positive relation coincide with the clusters.
+        """
+        corpus = _corpus(shape)
+        parent = {}
+
+        def find(x):
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(x, y):
+            parent[find(x)] = find(y)
+
+        for scenario in SCENARIOS:
+            cell = build_scenario(corpus, scenario, "balanced", num_pairs=40,
+                                  seed=shape["seed"])
+            for pair in cell.dataset.pairs:
+                if pair.label == 1:
+                    union(pair.left.entity_id, pair.right.entity_id)
+        # Every component must sit inside exactly one cluster.
+        components = {}
+        for entity_id in parent:
+            components.setdefault(find(entity_id), set()).add(
+                corpus.cluster_of(entity_id))
+        for clusters in components.values():
+            assert len(clusters) == 1, \
+                f"positive relation bridged clusters {clusters}"
+
+
+class TestOpenWorldDisjointness:
+    @SETTINGS
+    @given(CORPUS_SHAPES)
+    def test_adaptation_split_never_sees_open_clusters(self, shape):
+        corpus = _corpus(shape)
+        dataset = adaptation_dataset(corpus, num_pairs=60,
+                                     seed=shape["seed"])
+        open_ids = corpus.open_cluster_ids
+        assert open_ids, "corpus must hold out open-world clusters"
+        seen_in_train = {corpus.cluster_of(p.left.entity_id)
+                         for p in dataset.pairs}
+        seen_in_train |= {corpus.cluster_of(p.right.entity_id)
+                          for p in dataset.pairs}
+        assert seen_in_train.isdisjoint(open_ids)
+
+    @SETTINGS
+    @given(CORPUS_SHAPES)
+    def test_open_matching_always_exercises_unseen_entities(self, shape):
+        corpus = _corpus(shape)
+        cell = build_scenario(corpus, "open_matching", "balanced",
+                              num_pairs=40, seed=shape["seed"])
+        open_ids = corpus.open_cluster_ids
+        for pair in cell.dataset.pairs:
+            touched = {corpus.cluster_of(pair.left.entity_id),
+                       corpus.cluster_of(pair.right.entity_id)}
+            assert touched & open_ids
+
+
+class TestImbalanceRealization:
+    @SETTINGS
+    @given(CORPUS_SHAPES, st.sampled_from(SCENARIOS))
+    def test_imbalanced_variant_hits_configured_rate(self, shape, scenario):
+        corpus = _corpus(shape)
+        cell = build_scenario(corpus, scenario, "imbalanced", num_pairs=60,
+                              seed=shape["seed"])
+        want = POSITIVE_RATES["imbalanced"]
+        assert abs(cell.positive_rate - want) <= POSITIVE_RATE_TOLERANCE
+        assert cell.dataset.num_matches >= 1
+
+    @SETTINGS
+    @given(CORPUS_SHAPES, st.sampled_from(SCENARIOS))
+    def test_balanced_variant_hits_configured_rate(self, shape, scenario):
+        corpus = _corpus(shape)
+        cell = build_scenario(corpus, scenario, "balanced", num_pairs=60,
+                              seed=shape["seed"])
+        want = POSITIVE_RATES["balanced"]
+        assert abs(cell.positive_rate - want) <= POSITIVE_RATE_TOLERANCE

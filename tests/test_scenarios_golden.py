@@ -1,0 +1,58 @@
+"""Scenario-grid golden tier: per-scenario F1 numerics, frozen.
+
+Each test replays the pinned recipe of :mod:`repro.scenarios.regression`
+(tiny cached LM, six epochs, a 16-family cluster corpus, the full 4x2 grid)
+and compares every cell's precision/recall/F1 — plus the adaptation
+validation F1 — against the blessed snapshot in
+``tests/golden/scenarios_<aligner>.json`` to 1e-6.  A change anywhere in
+the corpus generator, the grid sampler, an aligner, or the evaluation path
+that moves any scenario's numbers fails here by cell and field.
+
+After an *intentional* numeric change, re-bless with::
+
+    python scripts/refresh_goldens.py --scenarios
+
+on the CI reference platform (goldens pin BLAS summation order).
+"""
+
+import pytest
+
+from repro.scenarios.regression import (compare_scenario_runs,
+                                        load_scenario_golden,
+                                        scenario_golden_path,
+                                        scenario_golden_run)
+from repro.train.regression import GOLDEN_ALIGNERS
+
+pytestmark = pytest.mark.scenarios
+
+
+@pytest.mark.parametrize("aligner", GOLDEN_ALIGNERS)
+def test_scenario_grid_matches_golden(aligner):
+    path = scenario_golden_path(aligner)
+    assert path.exists(), (
+        f"no scenario golden for {aligner!r}; generate it with "
+        f"`python scripts/refresh_goldens.py --scenarios`")
+    expected = load_scenario_golden(aligner)
+    actual = scenario_golden_run(aligner)
+    problems = compare_scenario_runs(expected, actual)
+    assert not problems, (
+        f"{aligner} scenario numerics drifted from {path}:\n  "
+        + "\n  ".join(problems)
+        + "\nIf this change is intentional, re-bless with "
+          "`python scripts/refresh_goldens.py --scenarios`.")
+
+
+def test_scenario_golden_set_is_complete():
+    """Every aligner in the design space has a blessed scenario grid."""
+    missing = [a for a in GOLDEN_ALIGNERS
+               if not scenario_golden_path(a).exists()]
+    assert not missing, f"missing scenario goldens: {missing}"
+
+
+def test_golden_payloads_cover_the_full_grid():
+    """Each blessed snapshot pins all eight (scenario, variant) cells."""
+    from repro.scenarios import SCENARIOS, VARIANTS
+    for aligner in GOLDEN_ALIGNERS:
+        payload = load_scenario_golden(aligner)
+        keys = [(c["scenario"], c["variant"]) for c in payload["cells"]]
+        assert keys == [(s, v) for s in SCENARIOS for v in VARIANTS], aligner

@@ -1,0 +1,241 @@
+"""Tier-1 unit tests for the cluster corpus and the 4x2 scenario grid.
+
+Fast, training-free coverage of :mod:`repro.datasets.generator` and
+:mod:`repro.scenarios.grid`: corpus structure and determinism, the grid's
+shapes / skew / label semantics per scenario, the adaptation target, and
+the scenario table renderer.  The training-heavy golden tier lives in
+``test_scenarios_golden.py`` (marker ``scenarios``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import ClusterCorpus, generate_corpus, spec_for
+from repro.experiments import format_scenario_table
+from repro.scenarios import (DEFAULT_PAIRS, POSITIVE_RATES, SCENARIOS,
+                             VARIANTS, adaptation_dataset, build_grid,
+                             build_scenario, grid_stats)
+from repro.scenarios.harness import evaluate_grid
+
+
+@pytest.fixture(scope="module")
+def corpus() -> ClusterCorpus:
+    return generate_corpus(spec_for("fodors_zagats"), num_families=16,
+                           family_size=3, seed=0)
+
+
+def _pair_ids(dataset):
+    return [(p.left.entity_id, p.right.entity_id, p.label)
+            for p in dataset.pairs]
+
+
+class TestClusterCorpus:
+    def test_structure(self, corpus):
+        stats = corpus.describe()
+        assert stats["families"] == 16
+        assert stats["clusters"] == 16 * 3
+        assert stats["entities"] == len(corpus.members)
+        assert stats["side_a_entities"] + stats["side_b_entities"] == \
+            stats["entities"]
+        # Renderings per cluster stay within the configured band.
+        for cluster_id in corpus.cluster_ids:
+            assert 2 <= len(corpus.members_of(cluster_id)) <= 4
+
+    def test_entity_ids_are_unique_and_carry_no_cluster_attribute(
+            self, corpus):
+        ids = [m.entity.entity_id for m in corpus.members]
+        assert len(ids) == len(set(ids))
+        # The label ground truth must never leak into the rendered record.
+        for member in corpus.members:
+            assert "cluster_id" not in member.entity.attributes
+
+    def test_open_clusters_partition_the_corpus(self, corpus):
+        seen = {m.cluster_id for m in corpus.seen_members()}
+        open_ = {m.cluster_id for m in corpus.open_members()}
+        assert seen.isdisjoint(open_)
+        assert open_ == set(corpus.open_cluster_ids)
+        assert seen | open_ == set(corpus.cluster_ids)
+
+    def test_open_worlds_hold_out_whole_families(self, corpus):
+        """No family straddles the seen/open boundary (no sibling leakage)."""
+        open_families = {m.family_id for m in corpus.open_members()}
+        seen_families = {m.family_id for m in corpus.seen_members()}
+        assert open_families.isdisjoint(seen_families)
+
+    def test_label_is_cluster_equality(self, corpus):
+        rng = np.random.default_rng(0)
+        members = corpus.members
+        for __ in range(200):
+            a = members[int(rng.integers(len(members)))]
+            b = members[int(rng.integers(len(members)))]
+            assert corpus.label(a, b) == int(a.cluster_id == b.cluster_id)
+
+    def test_true_matches_are_cross_side_same_cluster(self, corpus):
+        truth = set(corpus.true_matches())
+        assert truth
+        by_id = {m.entity.entity_id: m for m in corpus.members}
+        for left_id, right_id in truth:
+            left, right = by_id[left_id], by_id[right_id]
+            assert left.side == "a" and right.side == "b"
+            assert left.cluster_id == right.cluster_id
+
+    def test_generation_is_deterministic(self, corpus):
+        again = generate_corpus(spec_for("fodors_zagats"), num_families=16,
+                                family_size=3, seed=0)
+        assert [m.entity.entity_id for m in again.members] == \
+            [m.entity.entity_id for m in corpus.members]
+        assert again.open_cluster_ids == corpus.open_cluster_ids
+        other = generate_corpus(spec_for("fodors_zagats"), num_families=16,
+                                family_size=3, seed=1)
+        assert [m.entity.entity_id for m in other.members] != \
+            [m.entity.entity_id for m in corpus.members] or \
+            other.members[0].entity.attributes != \
+            corpus.members[0].entity.attributes
+
+    def test_generation_validation(self):
+        spec = spec_for("fodors_zagats")
+        with pytest.raises(ValueError):
+            generate_corpus(spec, num_families=1)
+        with pytest.raises(ValueError):
+            generate_corpus(spec, family_size=0)
+        with pytest.raises(ValueError):
+            generate_corpus(spec, renderings=(4, 2))
+        with pytest.raises(ValueError):
+            generate_corpus(spec, open_family_fraction=0.0)
+
+
+class TestScenarioGrid:
+    def test_grid_shape_and_keys(self, corpus):
+        grid = build_grid(corpus, num_pairs=80, seed=0)
+        assert set(grid) == {(s, v) for s in SCENARIOS for v in VARIANTS}
+        for (scenario, variant), cell in grid.items():
+            assert cell.scenario == scenario
+            assert cell.variant == variant
+            assert cell.key == f"{scenario}/{variant}"
+
+    def test_positive_rates_are_exact(self, corpus):
+        grid = build_grid(corpus, num_pairs=80, seed=0)
+        for cell in grid.values():
+            want = POSITIVE_RATES[cell.variant]
+            # The negative count is derived from the realized positives, so
+            # the rate lands within one pair of the target.
+            assert abs(cell.positive_rate - want) < 1.5 / len(cell.dataset)
+
+    def test_labels_match_cluster_ground_truth(self, corpus):
+        grid = build_grid(corpus, num_pairs=80, seed=0)
+        for cell in grid.values():
+            for pair in cell.dataset.pairs:
+                same = (corpus.cluster_of(pair.left.entity_id)
+                        == corpus.cluster_of(pair.right.entity_id))
+                assert pair.label == int(same), cell.key
+
+    def test_record_linking_is_strictly_cross_side(self, corpus):
+        for variant in VARIANTS:
+            cell = build_scenario(corpus, "record_linking", variant,
+                                  num_pairs=80, seed=0)
+            by_id = {m.entity.entity_id: m for m in corpus.members}
+            for pair in cell.dataset.pairs:
+                assert by_id[pair.left.entity_id].side == "a"
+                assert by_id[pair.right.entity_id].side == "b"
+
+    def test_cluster_matching_negatives_are_family_siblings(self, corpus):
+        cell = build_scenario(corpus, "cluster_matching", "balanced",
+                              num_pairs=80, seed=0)
+        by_id = {m.entity.entity_id: m for m in corpus.members}
+        negatives = [p for p in cell.dataset.pairs if p.label == 0]
+        assert negatives
+        for pair in negatives:
+            left, right = by_id[pair.left.entity_id], \
+                by_id[pair.right.entity_id]
+            assert left.family_id == right.family_id
+            assert left.cluster_id != right.cluster_id
+
+    def test_open_matching_touches_an_open_cluster_every_pair(self, corpus):
+        for variant in VARIANTS:
+            cell = build_scenario(corpus, "open_matching", variant,
+                                  num_pairs=80, seed=0)
+            open_ids = corpus.open_cluster_ids
+            for pair in cell.dataset.pairs:
+                touched = {corpus.cluster_of(pair.left.entity_id),
+                           corpus.cluster_of(pair.right.entity_id)}
+                assert touched & open_ids, \
+                    "open-matching pair with no unseen entity"
+
+    def test_grid_is_deterministic(self, corpus):
+        first = build_grid(corpus, num_pairs=80, seed=0)
+        second = build_grid(corpus, num_pairs=80, seed=0)
+        for key in first:
+            assert _pair_ids(first[key].dataset) == \
+                _pair_ids(second[key].dataset)
+        reseeded = build_grid(corpus, num_pairs=80, seed=1)
+        assert any(_pair_ids(first[key].dataset) !=
+                   _pair_ids(reseeded[key].dataset) for key in first)
+
+    def test_cells_use_disjoint_seed_streams(self, corpus):
+        grid = build_grid(corpus, num_pairs=80, seed=0)
+        streams = {key: tuple(_pair_ids(cell.dataset))
+                   for key, cell in grid.items()}
+        assert len(set(streams.values())) == len(streams)
+
+    def test_scenario_validation(self, corpus):
+        with pytest.raises(ValueError):
+            build_scenario(corpus, "unknown")
+        with pytest.raises(ValueError):
+            build_scenario(corpus, "vanilla", "skewed")
+        with pytest.raises(ValueError):
+            build_scenario(corpus, "vanilla", num_pairs=4)
+
+    def test_grid_stats_shape(self, corpus):
+        grid = build_grid(corpus, num_pairs=80, seed=0)
+        stats = grid_stats(grid)
+        assert set(stats) == {cell.key for cell in grid.values()}
+        for entry in stats.values():
+            assert {"scenario", "variant", "pairs", "matches",
+                    "positive_rate", "target_positive_rate"} <= set(entry)
+
+
+class TestAdaptationDataset:
+    def test_shape_rate_and_seen_only(self, corpus):
+        dataset = adaptation_dataset(corpus, num_pairs=120, seed=0)
+        rate = dataset.num_matches / len(dataset)
+        assert abs(rate - POSITIVE_RATES["balanced"]) < 0.02
+        open_ids = corpus.open_cluster_ids
+        for pair in dataset.pairs:
+            assert corpus.cluster_of(pair.left.entity_id) not in open_ids
+            assert corpus.cluster_of(pair.right.entity_id) not in open_ids
+
+    def test_deterministic(self, corpus):
+        a = adaptation_dataset(corpus, num_pairs=120, seed=0)
+        b = adaptation_dataset(corpus, num_pairs=120, seed=0)
+        assert _pair_ids(a) == _pair_ids(b)
+
+
+class TestEvaluateGridAndTable:
+    def test_evaluate_grid_scores_every_cell(self, corpus, lm_copy,
+                                             matcher_factory):
+        grid = build_grid(corpus, num_pairs=20, seed=0)
+        matcher = matcher_factory(lm_copy.feature_dim)
+        cells = evaluate_grid("noda", lm_copy, matcher, grid)
+        assert len(cells) == len(grid)
+        assert [c.key for c in cells] == [c.key for c in grid.values()]
+        for cell in cells:
+            assert 0.0 <= cell.precision <= 1.0
+            assert 0.0 <= cell.recall <= 1.0
+            assert 0.0 <= cell.f1 <= 1.0
+            assert cell.num_pairs == grid[(cell.scenario,
+                                           cell.variant)].dataset.num_pairs
+
+    def test_format_scenario_table(self):
+        scores = {"mmd": {"vanilla/balanced": {"precision": 1.0,
+                                               "recall": 0.5, "f1": 0.667},
+                          "open_matching/imbalanced": {"precision": 0.2,
+                                                       "recall": 0.1,
+                                                       "f1": 0.133}}}
+        text = format_scenario_table(scores)
+        assert "mmd" in text
+        assert "vanilla/bal" in text
+        assert "open/imb" in text
+        assert "0.667" in text and "0.133" in text
+        # Missing cells render as dashes, not crashes.
+        scores["grl"] = {"vanilla/balanced": {"f1": 0.5}}
+        assert "-" in format_scenario_table(scores)

@@ -1,0 +1,88 @@
+"""Scenario pair streams through the serving stack, bit-identical.
+
+Satellite to the scenario harness: the Record Linking and imbalanced Open
+Matching streams (the two shapes production traffic actually takes —
+cross-table linking and skewed open-world probing) are routed through
+:class:`SequentialScorer`, a four-worker :class:`ParallelScorer`, and an
+in-process daemon, and every engine's `MatchDecision` list must be
+bit-identical to a direct :meth:`ERPipeline.score_pairs` call driven by the
+same scheduler configuration.  The legacy full-padding reference is held to
+the 1e-9 cross-policy contract (DESIGN.md §6b).
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_corpus, spec_for
+from repro.pipeline import ERPipeline
+from repro.scenarios import build_scenario
+from repro.serve import (BatchScheduler, DaemonClient, DaemonConfig,
+                         ModelRegistry, ParallelScorer, SequentialScorer,
+                         start_daemon_thread)
+
+STREAMS = [("record_linking", "balanced"), ("open_matching", "imbalanced")]
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory, tiny_lm):
+    """A live pipeline plus its persisted snapshot directory."""
+    from repro.matcher import MlpMatcher
+    from repro.pretrain import fresh_copy
+    extractor = fresh_copy(tiny_lm[0], seed=0)
+    extractor.eval()
+    matcher = MlpMatcher(extractor.feature_dim, np.random.default_rng(0))
+    matcher.eval()
+    pipeline = ERPipeline(extractor, matcher)
+    directory = tmp_path_factory.mktemp("scenario_serve") / "pipeline"
+    pipeline.save(directory)
+    return pipeline, directory
+
+
+@pytest.fixture(scope="module")
+def streams():
+    corpus = generate_corpus(spec_for("fodors_zagats"), num_families=12,
+                             family_size=3, seed=3)
+    return {(scenario, variant):
+            list(build_scenario(corpus, scenario, variant, num_pairs=40,
+                                seed=3).dataset.pairs)
+            for scenario, variant in STREAMS}
+
+
+@pytest.mark.parametrize("stream", STREAMS, ids="/".join)
+def test_engines_bit_identical_to_direct_pipeline(served, streams, stream):
+    pipeline, directory = served
+    pairs = streams[stream]
+    scheduler = BatchScheduler(pipeline.extractor.vocab,
+                               pipeline.extractor.max_len)
+    direct = pipeline.score_pairs(pairs, scheduler=scheduler)
+
+    sequential = SequentialScorer(pipeline).score_pairs(pairs)
+    assert sequential == direct
+
+    with ParallelScorer(directory, num_workers=4) as scorer:
+        assert scorer.score_pairs(pairs) == direct
+
+    registry = ModelRegistry()
+    registry.publish("default", directory)
+    try:
+        with start_daemon_thread(registry, DaemonConfig(port=0)) as handle:
+            host, port = handle.address
+            with DaemonClient(host, port) as client:
+                assert client.score(pairs).decisions == direct
+    finally:
+        registry.close()
+
+
+@pytest.mark.parametrize("stream", STREAMS, ids="/".join)
+def test_reference_policy_within_tolerance(served, streams, stream):
+    pipeline, __ = served
+    pairs = streams[stream]
+    scheduler = BatchScheduler(pipeline.extractor.vocab,
+                               pipeline.extractor.max_len)
+    direct = pipeline.score_pairs(pairs, scheduler=scheduler)
+    reference = pipeline.score_pairs(pairs)
+    assert [(d.left_id, d.right_id) for d in direct] == \
+        [(d.left_id, d.right_id) for d in reference]
+    for fast, ref in zip(direct, reference):
+        assert abs(fast.probability - ref.probability) <= 1e-9
+        assert fast.is_match == ref.is_match
