@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""End-to-end risk-loop smoke: routing daemon + crashed re-adaptation.
+
+CI's `risk` job runs this after `pytest -m risk`.  It exercises the full
+closed loop in one process:
+
+1. build a tiny pipeline snapshot and calibrate it (Platt map persisted
+   inside the snapshot, so the manifest digest changes);
+2. boot the serving daemon with risk routing on and score a workload over
+   the wire — uncertain pairs land on the durable review queue, and the
+   decisions are asserted bit-identical to a router-less sequential run;
+3. run the re-adaptation worker with a `promote_crash` fault injected:
+   the worker dies *after* writing the candidate generation but *before*
+   publishing or acking — the worst crash window;
+4. restart the worker (clean, as a real supervisor would) over the same
+   durable state and assert the queue replays with zero lost and zero
+   duplicated items, converging to exactly one promotion hot-swapped into
+   the live daemon;
+5. assert the daemon's served decisions never moved a bit while the
+   incumbent was serving, and that the swap is observable as a digest
+   change.
+
+Exit status 0 and a final "PASS" line on success; any assertion failure
+is a real regression in the risk loop.
+
+Usage::
+
+    PYTHONPATH=src python scripts/risk_smoke.py [--workdir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.artifacts import ArtifactStore
+from repro.data import ERDataset
+from repro.pipeline import ERPipeline
+from repro.resilience import ChaosConfig, Fault
+from repro.risk import (ReviewQueue, RiskBand, RiskRouter,
+                        calibrate_snapshot)
+from repro.risk.adapt import (PromotionCrash, ReAdaptConfig,
+                              ReAdaptationWorker, equality_oracle)
+from repro.serve import (DaemonClient, DaemonConfig, ModelRegistry,
+                         SequentialScorer, build_bench_pipeline,
+                         start_daemon_thread, synthetic_candidates)
+
+#: Small enough for CI, big enough to split into several queue segments.
+TINY_LM = dict(dim=16, num_layers=1, num_heads=2, max_len=48,
+               corpus_scale=0.005, steps=8, seed=0)
+
+
+def labeled_holdout(num_pairs: int, seed: int) -> ERDataset:
+    pairs = synthetic_candidates(num_pairs, seed=seed)
+    return ERDataset("holdout", "bench", [
+        p.with_label(int(p.left.attributes == p.right.attributes))
+        for p in pairs])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default=None,
+                        help="scratch directory (default: a fresh tempdir)")
+    args = parser.parse_args()
+    root = Path(args.workdir) if args.workdir else Path(
+        tempfile.mkdtemp(prefix="risk_smoke_"))
+    root.mkdir(parents=True, exist_ok=True)
+    keep = args.workdir is not None
+    try:
+        run(root)
+    finally:
+        if not keep:
+            shutil.rmtree(root, ignore_errors=True)
+    print("PASS: risk loop smoke (routing + crash replay + promotion)")
+    return 0
+
+
+def run(root: Path) -> None:
+    # 1. snapshot + calibration ------------------------------------------------
+    snapshot = build_bench_pipeline(root / "pipeline", seed=0,
+                                    lm_kwargs=TINY_LM)
+    valid = labeled_holdout(48, seed=5)
+    calibrator, digest = calibrate_snapshot(snapshot, valid)
+    print(f"calibrated snapshot {digest[:12]}... "
+          f"(a={calibrator.a:.3f}, b={calibrator.b:.3f}, "
+          f"ECE {calibrator.ece_before:.4f} -> {calibrator.ece_after:.4f})")
+
+    workload = synthetic_candidates(40, seed=11)
+    baseline = SequentialScorer(ERPipeline.load(snapshot)
+                                ).score_pairs(workload)
+
+    # 2. routing daemon --------------------------------------------------------
+    queue_dir = root / "review-queue"
+    router = RiskRouter(band=RiskBand(0.05, 0.95),
+                        queue=ReviewQueue(queue_dir, segment_max_items=8))
+    registry = ModelRegistry(router=router)
+    registry.publish("default", snapshot)
+    with start_daemon_thread(registry, DaemonConfig()) as handle:
+        with DaemonClient(*handle.address) as client:
+            reply = client.score(workload)
+            assert reply.decisions == baseline, \
+                "routing moved a decision bit over the wire"
+            assert reply.routing is not None and \
+                len(reply.routing) == len(workload)
+            reviews = sum(1 for a in reply.routing
+                          if a["decision"] == "review")
+            stats = client.stats()["risk"]
+            print(f"daemon routed {len(workload)} pairs: "
+                  f"{reviews} review, review_rate "
+                  f"{stats['review_rate']:.2f}, queue "
+                  f"{stats['queue']['pending']} pending across "
+                  f"{stats['queue']['segments']} segment(s)")
+
+            # 3. worker killed mid-promotion ----------------------------------
+            queue = ReviewQueue(queue_dir, segment_max_items=8)
+            pending_before = [r.seq for r in queue.pending()]
+            assert len(pending_before) == reviews
+            config = ReAdaptConfig(min_items=min(8, max(1, reviews)),
+                                   epochs=1, epsilon_f1=1.0,
+                                   epsilon_ece=1.0)
+            crashing = ReAdaptationWorker(
+                queue, snapshot, valid, labeler=equality_oracle,
+                registry=client, workdir=root / "risk-workdir",
+                config=config,
+                chaos=ChaosConfig((Fault("promote_crash", times=1),)))
+            try:
+                crashing.run_once()
+            except PromotionCrash as crash:
+                print(f"worker crashed as injected: {crash}")
+            else:
+                raise AssertionError("promote_crash fault never fired")
+            # the crash window left everything durable and un-acked
+            survivors = ReviewQueue(queue_dir, segment_max_items=8)
+            assert [r.seq for r in survivors.pending()] == pending_before, \
+                "crash lost or duplicated queued items"
+            assert crashing.history() == [], "crashed cycle was recorded"
+            assert client.domains()["default"] == digest, \
+                "crashed cycle published a snapshot"
+            mid = client.score(workload)
+            assert mid.decisions == baseline, \
+                "decisions moved while the worker was down"
+
+            # 4. clean restart: replay to exactly one promotion ---------------
+            restarted = ReAdaptationWorker(
+                survivors, snapshot, valid, labeler=equality_oracle,
+                registry=client, workdir=root / "risk-workdir",
+                config=config)
+            entry = restarted.run_once()
+            assert entry["status"] == "promoted", entry
+            assert survivors.pending() == [], \
+                "replayed items left behind after promotion"
+            assert restarted.run_once()["status"] == "idle", \
+                "items were delivered twice"
+            promoted = ArtifactStore(entry["generation"]).manifest_digest()
+            assert client.domains()["default"] == promoted != digest, \
+                "promotion did not hot-swap the daemon"
+            history = [e["status"] for e in restarted.history()]
+            assert history == ["promoted"], history
+            print(f"restart replayed {entry['items']} items -> promoted "
+                  f"generation {promoted[:12]}... "
+                  f"(F1 {entry['candidate_f1']:.3f} >= floor "
+                  f"{entry['f1_floor']:.3f})")
+
+            # 5. the swapped daemon still serves ------------------------------
+            swapped = client.score(workload)
+            assert swapped.digest == promoted
+            assert len(swapped.decisions) == len(workload)
+            client.shutdown()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@ __version__ = "1.0.0"
 
 from .api import (AdaptationResult, ChaosConfig, Events, GuardRail,
                   TrainingDiverged, adapt, load_dataset, no_da, score_tables)
+from .risk import (ReviewQueue, RiskBand, RiskRouter, calibrate_snapshot)
 from .serve import (DaemonClient, ModelRegistry, ScoreCache, ScoreRequest,
                     ScoreResponse)
 from .telemetry import (PROFILER, REGISTRY, TRACER, TelemetrySession, event,
@@ -30,4 +31,6 @@ __all__ = ["adapt", "no_da", "load_dataset", "score_tables", "ScoreCache",
            "ModelRegistry", "DaemonClient", "ScoreRequest", "ScoreResponse",
            "AdaptationResult", "ChaosConfig", "Events", "GuardRail",
            "TrainingDiverged", "TelemetrySession", "TRACER", "REGISTRY",
-           "PROFILER", "span", "event", "__version__"]
+           "PROFILER", "span", "event",
+           "ReviewQueue", "RiskBand", "RiskRouter", "calibrate_snapshot",
+           "__version__"]

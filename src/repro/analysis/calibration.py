@@ -36,13 +36,37 @@ def expected_calibration_error(probabilities: Sequence[float],
 
     Bins [0, 1] uniformly; each bin contributes ``|accuracy - confidence|``
     weighted by its share of examples.
+
+    Degenerate inputs are well-defined rather than silently wrong: an empty
+    probability list has ECE 0.0 (a model that made no predictions made no
+    miscalibrated ones), probabilities exactly 0.0/1.0 land in the first/last
+    bin, a single bin is legal, and non-finite or out-of-range probabilities
+    (which would otherwise poison a bin mean into NaN or clip into an edge
+    bin unnoticed) raise ``ValueError`` naming the first offending index.
     """
     probabilities = np.asarray(probabilities, dtype=float)
-    labels = np.asarray(labels, dtype=int)
-    if probabilities.shape != labels.shape:
+    # Validate label *values* before the integer cast — the cast would
+    # silently truncate a 0.5 (or a NaN) into a legal-looking 0.
+    raw_labels = np.asarray(labels, dtype=float)
+    if probabilities.shape != raw_labels.shape:
         raise ValueError("probabilities and labels disagree on length")
+    if probabilities.ndim != 1:
+        raise ValueError("probabilities must be one-dimensional")
     if bins < 1:
         raise ValueError("need at least one bin")
+    bad = np.flatnonzero(~np.isfinite(probabilities)
+                         | (probabilities < 0.0) | (probabilities > 1.0))
+    if bad.size:
+        index = int(bad[0])
+        raise ValueError(
+            f"probabilities must be finite and in [0, 1]; index {index} "
+            f"is {probabilities[index]!r}")
+    bad = np.flatnonzero((raw_labels != 0.0) & (raw_labels != 1.0))
+    if bad.size:
+        index = int(bad[0])
+        raise ValueError(
+            f"labels must be 0 or 1; index {index} is {raw_labels[index]!r}")
+    labels = raw_labels.astype(np.int64)
     edges = np.linspace(0.0, 1.0, bins + 1)
     confidence = np.zeros(bins)
     accuracy = np.zeros(bins)

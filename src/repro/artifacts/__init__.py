@@ -10,12 +10,14 @@ from .locks import FileLock, LockTimeout
 from .store import (AUTO, CORRUPT_EXCEPTIONS, MANIFEST_NAME,
                     QUARANTINE_SUFFIX, ArtifactCorruptError, ArtifactError,
                     ArtifactStatus, ArtifactStore, atomic_write, file_digest,
-                    validate_json, validate_npz, validate_text, validator_for)
+                    validate_json, validate_jsonl, validate_npz,
+                    validate_text, validator_for)
 
 __all__ = [
     "ArtifactStore", "ArtifactStatus", "ArtifactError", "ArtifactCorruptError",
     "FileLock", "LockTimeout",
     "atomic_write", "file_digest",
-    "validate_npz", "validate_json", "validate_text", "validator_for",
+    "validate_npz", "validate_json", "validate_jsonl", "validate_text",
+    "validator_for",
     "AUTO", "CORRUPT_EXCEPTIONS", "MANIFEST_NAME", "QUARANTINE_SUFFIX",
 ]

@@ -198,9 +198,32 @@ def validate_text(path: Path) -> Optional[str]:
     return None
 
 
+def validate_jsonl(path: Path) -> Optional[str]:
+    """Reason the ``.jsonl`` at ``path`` is unreadable, or ``None`` if fine.
+
+    Every non-blank line must parse as a standalone JSON document — a torn
+    append or bit-flip anywhere in a record is reported with its line
+    number instead of surfacing as a mid-replay crash.
+    """
+    try:
+        lines = path.read_text().splitlines()
+    except CORRUPT_EXCEPTIONS as exc:
+        return f"undecodable text ({type(exc).__name__}: {exc})"
+    for number, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            json.loads(line)
+        except CORRUPT_EXCEPTIONS as exc:
+            return (f"invalid JSONL at line {number} "
+                    f"({type(exc).__name__}: {exc})")
+    return None
+
+
 _VALIDATORS: Dict[str, Callable[[Path], Optional[str]]] = {
     ".npz": validate_npz,
     ".json": validate_json,
+    ".jsonl": validate_jsonl,
     ".txt": validate_text,
 }
 

@@ -9,6 +9,11 @@ Subcommands::
     python -m repro distance books2 fodors_zagats
     python -m repro serve-bench --pairs 10000 --workers 4 --telemetry
     python -m repro serve --snapshot prod=snapshots/prod --port 7461
+    python -m repro serve --snapshot prod=snap --risk-band 0.25:0.75
+    python -m repro risk-calibrate snapshots/prod --valid-csv valid.csv
+    python -m repro risk-adapt snapshots/prod --queue review-queue \
+        --valid-csv valid.csv --publish 127.0.0.1:7461
+    python -m repro risk-report --queue review-queue --snapshot snapshots/prod
     python -m repro scenarios --aligners mmd,grl --workers 4
     python -m repro trace-summary adapt_fz_am_mmd
 
@@ -139,6 +144,17 @@ def build_parser() -> argparse.ArgumentParser:
                                   "zero-downtime hot swap")
     serve_bench.add_argument("--clients", type=int, default=8,
                              help="concurrent daemon clients (default 8)")
+    serve_bench.add_argument("--risk", action="store_true",
+                             help="also run the risk pass: calibrate the "
+                                  "snapshot, route the workload through a "
+                                  "RiskRouter + durable review queue, and "
+                                  "record routing rates and queue "
+                                  "throughput (decisions asserted "
+                                  "bit-identical to the unrouted run)")
+    serve_bench.add_argument("--risk-band", default="0.25:0.75",
+                             metavar="LOW:HIGH",
+                             help="review band for the risk pass "
+                                  "(default 0.25:0.75)")
     serve_bench.add_argument("--telemetry", action="store_true",
                              help="trace the race and embed a metrics "
                                   "snapshot into the report")
@@ -174,6 +190,78 @@ def build_parser() -> argparse.ArgumentParser:
                        help="micro-batch deadline in seconds (default 0.005)")
     serve.add_argument("--cache-capacity", type=int, default=262144,
                        help="shared score-cache entries (default 262144)")
+    serve.add_argument("--risk-band", default=None, metavar="LOW:HIGH",
+                       help="enable risk-aware routing: decisions whose "
+                            "calibrated confidence falls inside the band "
+                            "are queued for review instead of auto-decided "
+                            "(auto decisions stay bit-identical)")
+    serve.add_argument("--review-dir", default="review-queue",
+                       help="durable review-queue directory used when "
+                            "--risk-band is set (default review-queue)")
+
+    risk_calibrate = commands.add_parser(
+        "risk-calibrate",
+        help="fit a Platt calibrator for a snapshot against labeled "
+             "validation pairs and persist it inside the snapshot store "
+             "(changes the manifest digest)")
+    risk_calibrate.add_argument("snapshot", help="pipeline snapshot directory")
+    risk_calibrate.add_argument("--valid-csv", required=True,
+                                help="labeled pair CSV (repro generate "
+                                     "format) used as the hold-out")
+    risk_calibrate.add_argument("--bins", type=int, default=10,
+                                help="ECE histogram bins (default 10)")
+
+    risk_adapt = commands.add_parser(
+        "risk-adapt",
+        help="run the guardrailed re-adaptation worker: drain labeled "
+             "review items, fine-tune a copy of the incumbent, promote "
+             "through the registry only past the canary gate")
+    risk_adapt.add_argument("snapshot",
+                            help="incumbent pipeline snapshot directory")
+    risk_adapt.add_argument("--queue", required=True,
+                            help="review-queue directory to drain")
+    risk_adapt.add_argument("--valid-csv", required=True,
+                            help="labeled pair CSV for the canary gate")
+    risk_adapt.add_argument("--workdir", default=None,
+                            help="generations/archive/history directory "
+                                 "(default <queue>/../risk-workdir)")
+    risk_adapt.add_argument("--domain", default="default",
+                            help="domain to publish promotions under")
+    risk_adapt.add_argument("--publish", default=None, metavar="HOST:PORT",
+                            help="hot-swap promotions into a running "
+                                 "repro serve daemon (default: write the "
+                                 "generation but publish nowhere)")
+    risk_adapt.add_argument("--oracle-equality", action="store_true",
+                            help="label drained items with the attribute-"
+                                 "equality oracle instead of reviewer "
+                                 "labels (tests/smoke)")
+    risk_adapt.add_argument("--once", action="store_true",
+                            help="run a single cycle and exit")
+    risk_adapt.add_argument("--interval", type=float, default=1.0,
+                            help="poll interval between cycles in seconds "
+                                 "(default 1.0)")
+    risk_adapt.add_argument("--min-items", type=int, default=8,
+                            help="labeled items required per cycle "
+                                 "(default 8)")
+    risk_adapt.add_argument("--epochs", type=int, default=2,
+                            help="fine-tune epochs per cycle (default 2)")
+    risk_adapt.add_argument("--epsilon-f1", type=float, default=0.02,
+                            help="canary F1 floor slack (default 0.02)")
+    risk_adapt.add_argument("--epsilon-ece", type=float, default=0.02,
+                            help="canary ECE ceiling slack (default 0.02)")
+
+    risk_report = commands.add_parser(
+        "risk-report",
+        help="summarize the risk loop: review-queue state, snapshot "
+             "calibration, re-adaptation history, risk.* counters")
+    risk_report.add_argument("--queue", required=True,
+                             help="review-queue directory")
+    risk_report.add_argument("--snapshot", default=None,
+                             help="serving snapshot directory (adds digest "
+                                  "+ calibration to the report)")
+    risk_report.add_argument("--workdir", default=None,
+                             help="re-adaptation workdir (adds promotion "
+                                  "history to the report)")
 
     scenarios = commands.add_parser(
         "scenarios",
@@ -305,6 +393,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                              seed=args.seed, inject_fault=args.inject_fault,
                              cache=args.cache, cache_dir=args.cache_dir,
                              daemon=args.daemon, num_clients=args.clients,
+                             risk=args.risk, risk_band=args.risk_band,
                              telemetry=args.telemetry,
                              trace_dir=args.trace_dir)
     print(format_report(report))
@@ -319,7 +408,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from .serve import (DaemonConfig, ModelRegistry, ScoreCache,
                         serve_forever)
-    registry = ModelRegistry(cache=ScoreCache(capacity=args.cache_capacity))
+    router = None
+    if args.risk_band:
+        from .risk import ReviewQueue, RiskBand, RiskRouter
+        router = RiskRouter(band=RiskBand.from_spec(args.risk_band),
+                            queue=ReviewQueue(args.review_dir))
+        print(f"risk routing on: band {args.risk_band}, review queue at "
+              f"{args.review_dir}")
+    registry = ModelRegistry(cache=ScoreCache(capacity=args.cache_capacity),
+                             router=router)
     for spec in args.snapshot:
         domain, __, directory = spec.rpartition("=")
         domain = domain or "default"
@@ -371,6 +468,70 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_risk_calibrate(args: argparse.Namespace) -> int:
+    from .data import load_csv
+    from .risk import calibrate_snapshot
+    valid = load_csv(args.valid_csv, name="valid")
+    calibrator, digest = calibrate_snapshot(args.snapshot, valid,
+                                            bins=args.bins)
+    print(f"calibrated {args.snapshot} on {calibrator.num_pairs} pairs: "
+          f"a={calibrator.a:.4f} b={calibrator.b:.4f} "
+          f"ECE {calibrator.ece_before:.4f} -> {calibrator.ece_after:.4f}")
+    print(f"new manifest digest {digest[:12]}... (republish to serve it)")
+    return 0
+
+
+def cmd_risk_adapt(args: argparse.Namespace) -> int:
+    from .data import load_csv
+    from .risk import (ReAdaptConfig, ReAdaptationWorker, ReviewQueue,
+                       equality_oracle)
+    valid = load_csv(args.valid_csv, name="valid")
+    registry = None
+    client = None
+    if args.publish:
+        from .serve import DaemonClient
+        host, __, port = args.publish.rpartition(":")
+        client = registry = DaemonClient(host or "127.0.0.1", int(port))
+    config = ReAdaptConfig(min_items=args.min_items, epochs=args.epochs,
+                           epsilon_f1=args.epsilon_f1,
+                           epsilon_ece=args.epsilon_ece)
+    worker = ReAdaptationWorker(
+        ReviewQueue(args.queue), args.snapshot, valid,
+        labeler=equality_oracle if args.oracle_equality else None,
+        registry=registry, domain=args.domain, workdir=args.workdir,
+        config=config)
+    try:
+        if args.once:
+            entry = worker.run_once()
+            print(f"cycle: {entry['status']}"
+                  + (f" (gate: F1 {entry['candidate_f1']:.4f} vs floor "
+                     f"{entry['f1_floor']:.4f}, ECE "
+                     f"{entry['candidate_ece']:.4f} vs ceiling "
+                     f"{entry['ece_ceiling']:.4f})"
+                     if "candidate_f1" in entry else ""))
+            return 0
+        print(f"risk-adapt worker draining {args.queue} every "
+              f"{args.interval:g}s (ctrl-C to stop)")
+        try:
+            cycles = worker.run_forever(interval=args.interval)
+        except KeyboardInterrupt:
+            cycles = len(worker.history())
+            print("interrupted")
+        print(f"{cycles} non-idle cycle(s) ran")
+        return 0
+    finally:
+        if client is not None:
+            client.close()
+
+
+def cmd_risk_report(args: argparse.Namespace) -> int:
+    from .risk import format_risk_report, risk_summary
+    print(format_risk_report(risk_summary(args.queue,
+                                          snapshot=args.snapshot,
+                                          workdir=args.workdir)))
+    return 0
+
+
 def cmd_trace_summary(args: argparse.Namespace) -> int:
     from .telemetry import summarize
     try:
@@ -399,6 +560,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_serve(args)
     if args.command == "scenarios":
         return cmd_scenarios(args)
+    if args.command == "risk-calibrate":
+        return cmd_risk_calibrate(args)
+    if args.command == "risk-adapt":
+        return cmd_risk_adapt(args)
+    if args.command == "risk-report":
+        return cmd_risk_report(args)
     if args.command == "trace-summary":
         return cmd_trace_summary(args)
     if args.command == "report":

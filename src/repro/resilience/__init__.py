@@ -24,13 +24,14 @@ policy semantics.
 """
 
 from .backoff import BackoffPolicy
-from .chaos import CHAOS_ENV, ChaosConfig, Fault, merge as merge_chaos
+from .chaos import (CHAOS_ENV, KINDS, RISK_KINDS, ChaosConfig, Fault,
+                    merge as merge_chaos)
 from .events import Events
 from .guardrail import GuardRail, TrainingDiverged
 from .supervisor import PoolDied, RetryPolicy, SupervisedPool
 
 __all__ = [
     "BackoffPolicy", "RetryPolicy", "SupervisedPool", "PoolDied",
-    "ChaosConfig", "Fault", "CHAOS_ENV", "merge_chaos",
+    "ChaosConfig", "Fault", "CHAOS_ENV", "KINDS", "RISK_KINDS", "merge_chaos",
     "Events", "GuardRail", "TrainingDiverged",
 ]

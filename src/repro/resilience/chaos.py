@@ -28,7 +28,12 @@ CHAOS_ENV = "REPRO_CHAOS"
 #: Worker-side fault kinds (batch-triggered) and the training-side kind.
 SERVING_KINDS = ("crash", "hang", "garbage")
 TRAINING_KINDS = ("nan_loss",)
-KINDS = SERVING_KINDS + TRAINING_KINDS
+#: Risk-loop fault kinds: the re-adaptation worker dies between writing a
+#: candidate and publishing/acking (``promote_crash``), or a review-queue
+#: segment is bit-flipped on disk (``corrupt_segment``).  Diverging
+#: re-adaptation reuses ``nan_loss`` — the GuardRail path is identical.
+RISK_KINDS = ("promote_crash", "corrupt_segment")
+KINDS = SERVING_KINDS + TRAINING_KINDS + RISK_KINDS
 
 
 @dataclass(frozen=True)
@@ -111,6 +116,28 @@ class ChaosConfig:
             if fault.kind != "nan_loss":
                 continue
             if fault.step is not None and fault.step != step:
+                continue
+            return True
+        return False
+
+    # -- risk-loop side ----------------------------------------------------- #
+    def risk_fault_at(self, kind: str, cycle: int,
+                      occurrence: int = 0) -> bool:
+        """Whether a risk-loop fault of ``kind`` fires on worker ``cycle``.
+
+        ``step`` targets a specific re-adaptation cycle (``None`` matches
+        every cycle) and ``times`` bounds how often the site fires —
+        ``occurrence`` is how many times it already has, so a restarted
+        worker escapes a ``times=1`` crash deterministically.
+        """
+        if kind not in RISK_KINDS:
+            raise ValueError(f"not a risk fault kind: {kind!r}")
+        for fault in self.faults:
+            if fault.kind != kind:
+                continue
+            if fault.step is not None and fault.step != cycle:
+                continue
+            if fault.times is not None and occurrence >= fault.times:
                 continue
             return True
         return False

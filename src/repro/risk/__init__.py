@@ -1,0 +1,65 @@
+"""repro.risk — the closed-loop risk layer over serving and training.
+
+Turns the paper's offline domain-adaptation story into a
+continuously-improving service that never silently auto-decides a pair it
+cannot defend:
+
+* :mod:`~repro.risk.calibration` — per-snapshot Platt calibration,
+  persisted inside the snapshot's artifact store so ``manifest_digest()``
+  (and therefore the score cache and hot-swap identity) covers it;
+* :mod:`~repro.risk.router` — :class:`RiskRouter` sorts every scored pair
+  into auto ``match`` / ``non-match`` or ``review`` by a configurable
+  calibrated-confidence :class:`RiskBand`, without ever touching the
+  decision list (auto-decided outputs stay bit-identical, routing on or
+  off, faults or not);
+* :mod:`~repro.risk.queue` — the durable, crash-safe
+  :class:`ReviewQueue` (atomic checksummed JSONL segments, exactly-once
+  dequeue via acked offsets, corruption quarantined loudly);
+* :mod:`~repro.risk.adapt` — the guardrailed
+  :class:`ReAdaptationWorker`: drain labeled reviews, fine-tune a copy of
+  the incumbent under the :class:`~repro.resilience.GuardRail`, promote
+  through the registry only past a canary gate (F1 + ECE), archive what
+  fails;
+* :mod:`~repro.risk.report` — the ``repro risk-report`` renderer.
+
+See ``DESIGN.md`` §13 ("Risk loop") for the router state machine, the
+queue format, and the promotion gate.
+"""
+
+from __future__ import annotations
+
+from .calibration import (CALIBRATION_NAME, Calibrator, calibrate_snapshot,
+                          fit_calibrator, fit_platt, load_calibrator,
+                          save_calibrator)
+from .queue import ReviewItem, ReviewQueue
+from .router import (AUTO_MATCH, AUTO_NON_MATCH, REVIEW, RiskBand,
+                     RiskRouter, RoutedDecision, review_item)
+
+__all__ = [
+    "CALIBRATION_NAME", "Calibrator", "calibrate_snapshot", "fit_calibrator",
+    "fit_platt", "load_calibrator", "save_calibrator",
+    "ReviewItem", "ReviewQueue",
+    "AUTO_MATCH", "AUTO_NON_MATCH", "REVIEW", "RiskBand", "RiskRouter",
+    "RoutedDecision", "review_item",
+    # lazily imported (they depend on repro.train / repro.telemetry only,
+    # but live behind __getattr__ to keep engine -> risk imports cycle-free)
+    "HISTORY_NAME", "PromotionCrash", "ReAdaptConfig", "ReAdaptationWorker",
+    "corrupt_tail_segment", "equality_oracle", "label_from_item",
+    "pair_from_item", "format_risk_report", "risk_summary",
+]
+
+_LAZY = {
+    "HISTORY_NAME": "adapt", "PromotionCrash": "adapt",
+    "ReAdaptConfig": "adapt", "ReAdaptationWorker": "adapt",
+    "corrupt_tail_segment": "adapt", "equality_oracle": "adapt",
+    "label_from_item": "adapt", "pair_from_item": "adapt",
+    "format_risk_report": "report", "risk_summary": "report",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    return getattr(importlib.import_module(f".{module}", __name__), name)

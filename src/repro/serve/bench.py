@@ -358,6 +358,81 @@ def _run_daemon_bench(pipeline: ERPipeline, pipeline_dir: Path,
     }
 
 
+def _run_risk_pass(pipeline_dir: Path, num_pairs: int, seed: int,
+                   band_spec: str) -> Dict:
+    """Measure risk routing: calibration, routing rates, queue throughput.
+
+    The bench snapshot is calibrated against attribute-equality labels on a
+    synthetic hold-out, then the same workload is scored twice — plain
+    sequential vs a :class:`~repro.risk.RiskRouter` in front of a fresh
+    durable :class:`~repro.risk.ReviewQueue`.  Gate before any number:
+    the routed decision list must be **bit-identical** to the unrouted
+    one (the router only annotates).  Reported: routing rates per band,
+    calibration ECE before/after, and review-queue append/drain
+    throughput.
+    """
+    import shutil
+    import tempfile
+    import time as _time
+
+    from ..data import ERDataset
+    from ..risk import (ReviewQueue, RiskBand, RiskRouter, calibrate_snapshot)
+    from .request import ScoreRequest
+
+    holdout = synthetic_candidates(max(64, num_pairs // 8), seed=seed + 31)
+    valid = ERDataset("bench-valid", "bench",
+                      [p.with_label(int(p.left.attributes
+                                        == p.right.attributes))
+                       for p in holdout])
+    calibrator, digest = calibrate_snapshot(pipeline_dir, valid)
+
+    workload = synthetic_candidates(num_pairs, seed=seed + 32)
+    plain = SequentialScorer.from_directory(pipeline_dir)
+    base_decisions = plain.score_pairs(workload)
+
+    queue_dir = Path(tempfile.mkdtemp(prefix="risk_bench_queue_"))
+    try:
+        queue = ReviewQueue(queue_dir / "queue")
+        router = RiskRouter(band=RiskBand.from_spec(band_spec), queue=queue)
+        routed = SequentialScorer.from_directory(pipeline_dir, router=router)
+        with span("serve.risk_pass", num_pairs=num_pairs) as sp:
+            response = routed.score_request(
+                ScoreRequest(pairs=tuple(workload)))
+        assert response.decisions == base_decisions, \
+            "routed decisions deviate bit-wise from the unrouted run"
+        assert response.routing is not None \
+            and len(response.routing) == len(workload)
+
+        stats = router.stats()
+        queued = stats["queue"]["pending"]
+        drain_start = _time.perf_counter()
+        drained = queue.pending()
+        queue.ack(drained[-1].seq if drained else -1)
+        drain_seconds = _time.perf_counter() - drain_start
+        return {
+            "band": stats["band"],
+            "num_pairs": num_pairs,
+            "calibration": {"digest": digest, **calibrator.to_json()},
+            # asserted above, recorded for readers:
+            "bit_identical_to_unrouted": True,
+            "counts": stats["counts"],
+            "review_rate": stats["review_rate"],
+            "routed_pairs_per_second": (
+                num_pairs / sp.duration if sp.duration else 0.0),
+            "queue": {
+                "appended": queued,
+                "append_items_per_second": (
+                    queued / sp.duration if sp.duration else 0.0),
+                "drained": len(drained),
+                "drain_items_per_second": (
+                    len(drained) / drain_seconds if drain_seconds else 0.0),
+                "corrupt_segments": stats["queue"]["corrupt_segments"],
+            },
+        }
+    finally:
+        shutil.rmtree(queue_dir, ignore_errors=True)
+
+
 def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
                     pipeline_dir: Optional[Union[str, Path]] = None,
                     output: Union[str, Path] = "BENCH_serve.json",
@@ -369,6 +444,7 @@ def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
                     daemon: bool = False, num_clients: int = 8,
                     requests_per_client: int = 6,
                     pairs_per_request: int = 8,
+                    risk: bool = False, risk_band: str = "0.25:0.75",
                     telemetry: bool = False,
                     trace_dir: Union[str, Path] = DEFAULT_TRACE_DIR) -> Dict:
     """Run the three-engine race and write ``BENCH_serve.json``.
@@ -397,6 +473,14 @@ def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
     and the zero-downtime swap record land under the report's ``"daemon"``
     key.  Every daemon response is asserted bit-identical to a sequential
     engine on the snapshot that served it.
+
+    With ``risk=True`` a final pass calibrates the bench snapshot against
+    attribute-equality labels, routes the workload through a
+    :class:`~repro.risk.RiskRouter` backed by a durable review queue, and
+    records routing rates, calibration ECE, and queue throughput under the
+    report's ``"risk"`` key — after asserting the routed decisions are
+    bit-identical to the unrouted run.  ``risk_band`` sets the review band
+    as ``"LOW:HIGH"``.
 
     With ``telemetry=True`` the race runs inside a
     :class:`repro.telemetry.TelemetrySession`: every engine's spans are
@@ -502,6 +586,15 @@ def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
                 requests_per_client=requests_per_client,
                 pairs_per_request=pairs_per_request, seed=seed,
                 lm_kwargs=lm_kwargs)
+
+        # 7. optional risk pass: calibrate the snapshot, route the workload
+        #    through a RiskRouter + durable review queue, record routing
+        #    rates and queue throughput — see _run_risk_pass.  Runs last
+        #    because calibration changes the snapshot's manifest digest.
+        risk_record = None
+        if risk:
+            risk_record = _run_risk_pass(pipeline_dir, num_pairs, seed,
+                                         risk_band)
     finally:
         if session is not None:
             session.__exit__(None, None, None)
@@ -532,6 +625,8 @@ def run_serve_bench(num_pairs: int = 10000, num_workers: int = 4,
         report["cache"] = cache_record
     if daemon_record is not None:
         report["daemon"] = daemon_record
+    if risk_record is not None:
+        report["risk"] = risk_record
     if session is not None:
         trace_path = session.export()
         report["telemetry"] = {"trace": str(trace_path),
@@ -582,4 +677,14 @@ def format_report(report: Dict) -> str:
             f"(merge {served['merge']['merge_efficiency'] * 100:.0f}%), "
             f"hot swap {swap['served_old']}->{swap['served_new']} requests "
             f"with {served['failed_requests']} failures")
+    risk = report.get("risk")
+    if risk:
+        cal = risk["calibration"]
+        lines.append(
+            f"  risk routing (band {risk['band'][0]:.2f}:{risk['band'][1]:.2f}"
+            f"): decisions bit-identical, review rate "
+            f"{risk['review_rate'] * 100:.1f}%, ECE "
+            f"{cal['ece_before']:.4f} -> {cal['ece_after']:.4f}, queue "
+            f"append {risk['queue']['append_items_per_second']:.0f}/s drain "
+            f"{risk['queue']['drain_items_per_second']:.0f}/s")
     return "\n".join(lines)

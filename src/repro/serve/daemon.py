@@ -191,7 +191,19 @@ class ServeDaemon:
     def _retry_after(self) -> float:
         rate = self._pairs_per_second
         backlog = max(1, self._load())
-        estimate = backlog / rate if rate > 0 else self.config.min_retry_after
+        if rate > 0:
+            estimate = backlog / rate
+        else:
+            # Cold start: no flush has completed yet, so there is no
+            # measured rate to divide by.  A flat min_retry_after here
+            # invited every rejected client back immediately no matter how
+            # deep the backlog was; scale the floor by how many
+            # max_batch_pairs flushes are already queued instead, so the
+            # hint stays monotone in backlog from the very first request.
+            # The first completed flush seeds the EMA (see _deliver) and
+            # takes over from this estimate.
+            estimate = self.config.min_retry_after * (
+                1.0 + backlog / self.config.max_batch_pairs)
         return float(min(self.config.max_retry_after,
                          max(self.config.min_retry_after, estimate)))
 
@@ -317,7 +329,8 @@ class ServeDaemon:
                         decisions=response.decisions,
                         snapshot_digest=response.snapshot_digest,
                         metrics=response.metrics,
-                        latency_seconds=latency))
+                        latency_seconds=latency,
+                        routing=response.routing))
             entry.lease.release()
 
     # -- hot swap ------------------------------------------------------------ #
@@ -341,7 +354,9 @@ class ServeDaemon:
     def snapshot_stats(self) -> Dict[str, Any]:
         flushes = self.stats["flushes"]
         merged = self.stats["merged_requests"]
+        router = getattr(self.registry, "router", None)
         return {
+            "risk": router.stats() if router is not None else None,
             **self.stats,
             "queued_pairs": self._queued_pairs,
             "inflight_pairs": self._inflight_pairs,
@@ -498,12 +513,20 @@ class DaemonServer:
                     request_id=str(request_id) or next_request_id(),
                     domain=str(message.get("domain", "default")))
                 response = await self.daemon.submit(request)
+                decisions = [decision_to_wire(d)
+                             for d in response.decisions]
+                if response.routing is not None:
+                    # Risk routing on: each decision carries its routing
+                    # verdict; "review" means the daemon refused to
+                    # auto-decide and durably queued the pair.
+                    for obj, routed in zip(decisions, response.routing):
+                        obj.update(routed.to_wire())
                 return {"ok": True, "id": response.request_id,
                         "domain": response.domain,
                         "digest": response.snapshot_digest,
                         "latency_seconds": response.latency_seconds,
-                        "decisions": [decision_to_wire(d)
-                                      for d in response.decisions]}
+                        "routed": response.routing is not None,
+                        "decisions": decisions}
             return {"ok": False, "id": request_id, "error": "unknown-op",
                     "detail": f"unknown op {op!r}"}
         except BackpressureError as error:

@@ -113,6 +113,17 @@ def _cache_lookup(cache: ScoreCache, digest: str,
     return np.flatnonzero(~hit), keys
 
 
+def _snapshot_calibrator(directory: Union[str, Path]):
+    """The snapshot's persisted risk calibrator, or ``None`` (logged)."""
+    from ..risk.calibration import load_calibrator  # lazy: avoids a cycle
+    calibrator = load_calibrator(ArtifactStore(Path(directory)))
+    if calibrator is None:
+        logger.warning(
+            "snapshot %s carries no calibration.json; risk routing will "
+            "band raw matcher probabilities", directory)
+    return calibrator
+
+
 class RequestScorer:
     """Shared request-stream core both engines subclass.
 
@@ -130,6 +141,14 @@ class RequestScorer:
     cache: Optional[ScoreCache]
     _digest: Optional[str]
     last_metrics: Optional[ServeMetrics]
+    #: Optional :class:`repro.risk.RiskRouter`; when set, every response
+    #: carries per-decision routing annotations and uncertain pairs land
+    #: on the router's review queue.  The decision list itself is computed
+    #: before routing and never modified by it.
+    router = None
+    #: Optional :class:`repro.risk.Calibrator` loaded from the snapshot
+    #: (``calibration.json``); ``None`` routes raw probabilities.
+    calibrator = None
 
     @property
     def snapshot_digest(self) -> Optional[str]:
@@ -166,7 +185,9 @@ class RequestScorer:
             return ScoreResponse(request_id=request.request_id,
                                  domain=request.domain, decisions=[],
                                  snapshot_digest=self._digest,
-                                 metrics=self.last_metrics)
+                                 metrics=self.last_metrics,
+                                 routing=([] if self.router is not None
+                                          else None))
         probabilities = np.full(len(pairs), np.nan, dtype=np.float64)
         encoded = self.scheduler.encode(pairs)
         keys: List[str] = []
@@ -182,11 +203,20 @@ class RequestScorer:
         cache_stats = (meter.cache_stats(len(self.cache))
                        if self.cache is not None else None)
         self.last_metrics = meter.finalize(events=events, cache=cache_stats)
+        decisions = _decisions(pairs, probabilities)
+        routing = None
+        if self.router is not None:
+            # Annotate-only: the decision list above is already final, so
+            # routing (and any fault inside it) can never move a
+            # probability — the bit-identity contract the risk tier pins.
+            routing = self.router.route(pairs, decisions, self.calibrator,
+                                        self._digest, request.domain)
         return ScoreResponse(request_id=request.request_id,
                              domain=request.domain,
-                             decisions=_decisions(pairs, probabilities),
+                             decisions=decisions,
                              snapshot_digest=self._digest,
-                             metrics=self.last_metrics)
+                             metrics=self.last_metrics,
+                             routing=routing)
 
     def score_stream(self, requests: Iterable[ScoreRequest]
                      ) -> Iterator[ScoreResponse]:
@@ -214,11 +244,14 @@ class SequentialScorer(RequestScorer):
 
     def __init__(self, pipeline: ERPipeline,
                  scheduler: Optional[BatchScheduler] = None,
-                 cache: Optional[ScoreCache] = None):
+                 cache: Optional[ScoreCache] = None,
+                 router=None, calibrator=None):
         self.pipeline = pipeline
         self.scheduler = scheduler or BatchScheduler(
             pipeline.extractor.vocab, pipeline.extractor.max_len)
         self.cache = cache
+        self.router = router
+        self.calibrator = calibrator
         self._digest = getattr(pipeline, "manifest_digest", None)
         if cache is not None and self._digest is None:
             raise ValueError(
@@ -230,12 +263,15 @@ class SequentialScorer(RequestScorer):
     @classmethod
     def from_directory(cls, directory: Union[str, Path],
                        cache: Optional[ScoreCache] = None,
+                       router=None,
                        **scheduler_kwargs) -> "SequentialScorer":
         pipeline = ERPipeline.load(directory)
         scheduler = BatchScheduler(pipeline.extractor.vocab,
                                    pipeline.extractor.max_len,
                                    **scheduler_kwargs)
-        return cls(pipeline, scheduler, cache=cache)
+        calibrator = _snapshot_calibrator(directory) if router else None
+        return cls(pipeline, scheduler, cache=cache, router=router,
+                   calibrator=calibrator)
 
     def close(self) -> None:
         """Nothing to tear down; present so registries can close any engine."""
@@ -335,6 +371,10 @@ class ParallelScorer(RequestScorer):
         pool, and a fully warm request never spins the pool up at all.
         Keys are derived from this snapshot's manifest digest, so a
         republished snapshot can never serve stale probabilities.
+    router:
+        Optional :class:`~repro.risk.RiskRouter`; the snapshot's
+        ``calibration.json`` is loaded alongside it and every response
+        carries routing annotations (decisions stay bit-identical).
     scheduler_kwargs:
         Forwarded to :class:`BatchScheduler` (caps, bucket rounding...).
 
@@ -350,10 +390,12 @@ class ParallelScorer(RequestScorer):
                  retry: Optional[RetryPolicy] = None,
                  chaos: Optional[ChaosConfig] = None,
                  cache: Optional[ScoreCache] = None,
+                 router=None,
                  **scheduler_kwargs):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.cache = cache
+        self.router = router
         self.directory = Path(directory)
         self.num_workers = num_workers
         store = ArtifactStore(self.directory)
@@ -370,6 +412,8 @@ class ParallelScorer(RequestScorer):
         self.scheduler = BatchScheduler(vocab, config["extractor"]["max_len"],
                                         **scheduler_kwargs)
         self._digest = store.manifest_digest()
+        self.calibrator = (_snapshot_calibrator(self.directory)
+                           if router is not None else None)
         self.retry = retry or RetryPolicy()
         self.chaos = chaos if chaos is not None else ChaosConfig.from_env()
         #: Cumulative recovery counters across every run of this scorer;
@@ -512,6 +556,7 @@ def score_tables(pipeline: Union[ERPipeline, str, Path],
                  retry: Optional[RetryPolicy] = None,
                  chaos: Optional[ChaosConfig] = None,
                  cache: Optional[ScoreCache] = None,
+                 router=None,
                  **scheduler_kwargs) -> Iterator[MatchDecision]:
     """Stream a :class:`MatchDecision` for every blocked candidate pair.
 
@@ -525,6 +570,9 @@ def score_tables(pipeline: Union[ERPipeline, str, Path],
     materialize their full candidate set.  Filter on ``d.probability`` (or
     ``d.is_match``) to keep matches only.  ``cache`` memoizes probabilities
     across windows and calls — overlapping candidate sets are scored once.
+    ``router`` (a :class:`repro.risk.RiskRouter`) annotates every window as
+    it streams — uncertain pairs land on the router's review queue — while
+    the yielded decisions stay bit-identical to a router-less run.
     """
     if num_workers > 0:
         if isinstance(pipeline, ERPipeline):
@@ -532,15 +580,19 @@ def score_tables(pipeline: Union[ERPipeline, str, Path],
                 "parallel score_tables needs a pipeline snapshot directory "
                 "(each worker loads its own warm model)")
         with ParallelScorer(pipeline, num_workers=num_workers, retry=retry,
-                            chaos=chaos, cache=cache,
+                            chaos=chaos, cache=cache, router=router,
                             **scheduler_kwargs) as scorer:
             yield from scorer.score_tables(left_table, right_table,
                                            window=window)
         return
+    calibrator = None
     if not isinstance(pipeline, ERPipeline):
+        if router is not None:
+            calibrator = _snapshot_calibrator(pipeline)
         pipeline = ERPipeline.load(pipeline)
     scorer = SequentialScorer(pipeline, BatchScheduler(
         pipeline.extractor.vocab, pipeline.extractor.max_len,
-        **scheduler_kwargs), cache=cache)
+        **scheduler_kwargs), cache=cache, router=router,
+        calibrator=calibrator)
     yield from _stream_tables(scorer, pipeline.blocker, left_table,
                               right_table, window)

@@ -114,14 +114,20 @@ class ModelRegistry:
         tenant engine.  Safe by construction: cache keys embed each
         snapshot's manifest digest, so tenants (and generations of one
         tenant) can never read each other's probabilities.
+    router:
+        Optional :class:`~repro.risk.RiskRouter` shared by every tenant
+        engine, so routing rates and the review queue are global across
+        domains and generations; each engine pairs it with its *own*
+        snapshot's calibrator.
     retry / scheduler_kwargs:
         Forwarded to engines built by :meth:`publish`.
     """
 
     def __init__(self, cache: Optional[ScoreCache] = None,
-                 retry=None, **scheduler_kwargs):
+                 retry=None, router=None, **scheduler_kwargs):
         self.cache = cache
         self.retry = retry
+        self.router = router
         self.scheduler_kwargs = dict(scheduler_kwargs)
         self._lock = threading.RLock()
         self._tenants: Dict[str, _Generation] = {}
@@ -133,8 +139,10 @@ class ModelRegistry:
         if num_workers > 0:
             return ParallelScorer(directory, num_workers=num_workers,
                                   retry=self.retry, cache=self.cache,
+                                  router=self.router,
                                   **self.scheduler_kwargs)
         return SequentialScorer.from_directory(directory, cache=self.cache,
+                                               router=self.router,
                                                **self.scheduler_kwargs)
 
     def publish(self, domain: str, directory: Union[str, Path],

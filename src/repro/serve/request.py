@@ -74,6 +74,12 @@ class ScoreResponse:
     #: End-to-end daemon latency (admission to response), seconds; filled
     #: by the daemon, 0.0 for direct engine calls.
     latency_seconds: float = 0.0
+    #: Per-decision risk annotations (:class:`repro.risk.RoutedDecision`),
+    #: aligned with ``decisions``; ``None`` when the engine has no
+    #: :class:`~repro.risk.RiskRouter`.  Annotations never alter the
+    #: decisions themselves — auto-decided probabilities are bit-identical
+    #: with routing on or off.
+    routing: Optional[list] = None
 
     @property
     def num_pairs(self) -> int:

@@ -1,0 +1,244 @@
+"""Guardrailed re-adaptation: canary gate, crash replay, fault injection.
+
+The promotion protocol under test: a candidate only ever reaches serving
+through the canary gate, a worker crash anywhere before the ack replays
+the same items to exactly one promotion, and a poisoned fine-tune (NaN
+divergence) is archived while the incumbent keeps serving untouched.
+"""
+
+import numpy as np
+import pytest
+
+from repro.artifacts import ArtifactStore
+from repro.data import ERDataset
+from repro.pipeline import ERPipeline
+from repro.resilience import ChaosConfig, Fault
+from repro.risk import ReviewQueue, RiskBand, RiskRouter
+from repro.risk.adapt import (PromotionCrash, ReAdaptConfig,
+                              ReAdaptationWorker, equality_oracle)
+from repro.serve import SequentialScorer, synthetic_candidates
+
+pytestmark = pytest.mark.risk
+
+#: Gate thresholds loose enough that a one-epoch fine-tune of a random
+#: tiny matcher always passes — these tests pin the *protocol*, the tight
+#: gate is exercised by the rejection test explicitly.
+LAX = dict(min_items=8, epochs=1, epsilon_f1=1.0, epsilon_ece=1.0)
+
+
+class _Registry:
+    """Publish-recording stub standing in for ModelRegistry/DaemonClient."""
+
+    def __init__(self):
+        self.published = []
+
+    def publish(self, domain, directory):
+        self.published.append((domain, str(directory)))
+        return f"digest-{len(self.published)}"
+
+
+@pytest.fixture(scope="module")
+def incumbent(tmp_path_factory, tiny_lm):
+    from repro.matcher import MlpMatcher
+    from repro.pretrain import fresh_copy
+    extractor = fresh_copy(tiny_lm[0], seed=21)
+    extractor.eval()
+    matcher = MlpMatcher(extractor.feature_dim, np.random.default_rng(21))
+    matcher.eval()
+    directory = tmp_path_factory.mktemp("risk_adapt") / "incumbent"
+    ERPipeline(extractor, matcher).save(directory)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def valid():
+    pairs = synthetic_candidates(32, seed=23)
+    return ERDataset("valid", "bench", [
+        p.with_label(int(p.left.attributes == p.right.attributes))
+        for p in pairs])
+
+
+def _fill_queue(incumbent, root, num_pairs=16, seed=29, cap=64):
+    """Route real scored pairs into a fresh queue (band reviews ~all)."""
+    queue = ReviewQueue(root, segment_max_items=cap)
+    router = RiskRouter(band=RiskBand(0.0, 1.0), queue=queue)
+    SequentialScorer.from_directory(incumbent, router=router).score_pairs(
+        synthetic_candidates(num_pairs, seed=seed))
+    assert len(queue.pending()) >= 8
+    return queue
+
+
+def _worker(queue, incumbent, valid, workdir, registry=None, chaos=None,
+            **overrides):
+    return ReAdaptationWorker(
+        queue, incumbent, valid, labeler=equality_oracle,
+        registry=registry, workdir=workdir,
+        config=ReAdaptConfig(**{**LAX, **overrides}), chaos=chaos)
+
+
+class TestPromotion:
+    def test_happy_path_promotes_through_gate(self, incumbent, valid,
+                                              tmp_path):
+        queue = _fill_queue(incumbent, tmp_path / "q")
+        registry = _Registry()
+        worker = _worker(queue, incumbent, valid, tmp_path / "work",
+                         registry=registry)
+        entry = worker.run_once()
+        assert entry["status"] == "promoted"
+        assert entry["candidate_f1"] >= entry["f1_floor"]
+        # promoted generation is a complete snapshot WITH its calibrator
+        generation = ArtifactStore(entry["generation"])
+        assert generation.manifest_digest() == entry["candidate_digest"]
+        assert generation.path("calibration.json").exists()
+        # hot-swapped exactly once, queue fully acked, history durable
+        assert registry.published == [("default", entry["generation"])]
+        assert queue.pending() == []
+        assert [e["status"] for e in worker.history()] == ["promoted"]
+        # a restarted worker sees the same history (it is on disk)
+        replay = _worker(queue, incumbent, valid, tmp_path / "work")
+        assert replay.history() == worker.history()
+        assert replay.run_once()["status"] == "idle"  # nothing left
+
+    def test_below_min_items_is_idle(self, incumbent, valid, tmp_path):
+        queue = _fill_queue(incumbent, tmp_path / "q", num_pairs=16)
+        worker = _worker(queue, incumbent, valid, tmp_path / "work",
+                         min_items=10_000)
+        entry = worker.run_once()
+        assert entry["status"] == "idle"
+        assert queue.pending()  # nothing consumed while idle
+        assert worker.history() == []
+
+
+class TestCanaryGate:
+    def test_regressing_candidate_rejected_incumbent_serves(
+            self, incumbent, valid, tmp_path, monkeypatch):
+        # Deterministic regression: the candidate evaluation comes back
+        # half an F1 below the incumbent, with a zero-tolerance gate.
+        from repro.risk import adapt as adapt_module
+        real_evaluate = adapt_module.evaluate
+        calls = []
+
+        def regressing_evaluate(extractor, matcher, dataset):
+            import dataclasses
+            result = real_evaluate(extractor, matcher, dataset)
+            calls.append(result.f1)
+            if len(calls) == 1:  # incumbent measurement: truthful
+                return result
+            return dataclasses.replace(result, f1=result.f1 - 0.5)
+
+        monkeypatch.setattr(adapt_module, "evaluate", regressing_evaluate)
+        incumbent_digest = ERPipeline.load(incumbent).manifest_digest
+        queue = _fill_queue(incumbent, tmp_path / "q")
+        registry = _Registry()
+        worker = _worker(queue, incumbent, valid, tmp_path / "work",
+                         registry=registry, epsilon_f1=0.0)
+        entry = worker.run_once()
+        assert entry["status"] == "rejected"
+        assert entry["candidate_f1"] < entry["f1_floor"]
+        assert registry.published == []  # the swap never happened
+        # incumbent untouched on disk; rejected candidate archived with
+        # its verdict; the reviewed items are consumed (not retried
+        # forever against a bad candidate)
+        assert ERPipeline.load(incumbent).manifest_digest \
+            == incumbent_digest
+        archive = tmp_path / "work" / "archive" / "candidate-0000"
+        assert (archive / "verdict.json").exists()
+        assert queue.pending() == []
+        assert [e["status"] for e in worker.history()] == ["rejected"]
+
+
+class TestFaultInjection:
+    def test_nan_divergence_archived_incumbent_serves(self, incumbent,
+                                                      valid, tmp_path):
+        # nan_loss on every step: with 4 epochs the GuardRail exhausts its
+        # 2 recoveries and surfaces TrainingDiverged — which the worker
+        # turns into a structured rejection, never a NaN snapshot.
+        incumbent_digest = ERPipeline.load(incumbent).manifest_digest
+        queue = _fill_queue(incumbent, tmp_path / "q")
+        registry = _Registry()
+        worker = _worker(queue, incumbent, valid, tmp_path / "work",
+                         registry=registry, epochs=4, max_recoveries=2,
+                         chaos=ChaosConfig((Fault("nan_loss"),)))
+        entry = worker.run_once()
+        assert entry["status"] == "diverged"
+        assert entry["recoveries"] == 2
+        assert entry["incidents"]  # the incident history rode along
+        assert registry.published == []
+        assert ERPipeline.load(incumbent).manifest_digest \
+            == incumbent_digest
+        archive = tmp_path / "work" / "archive" / "candidate-0000"
+        assert (archive / "verdict.json").exists()
+        assert queue.pending() == []  # poison drained, not replayed forever
+
+    def test_promote_crash_replays_to_exactly_one_promotion(
+            self, incumbent, valid, tmp_path):
+        queue = _fill_queue(incumbent, tmp_path / "q")
+        items_before = [r.seq for r in queue.pending()]
+        registry = _Registry()
+        worker = _worker(queue, incumbent, valid, tmp_path / "work",
+                         registry=registry,
+                         chaos=ChaosConfig((Fault("promote_crash",
+                                                  times=1),)))
+        with pytest.raises(PromotionCrash):
+            worker.run_once()
+        # Crash landed at the worst moment: generation written, nothing
+        # published, nothing acked, nothing recorded.
+        assert registry.published == []
+        assert [r.seq for r in queue.pending()] == items_before
+        assert worker.history() == []
+        # Restart (a real restart has no injected chaos) over the same
+        # durable state: the same items replay to exactly one promotion.
+        restarted = _worker(ReviewQueue(tmp_path / "q", segment_max_items=64),
+                            incumbent, valid, tmp_path / "work",
+                            registry=registry)
+        entry = restarted.run_once()
+        assert entry["status"] == "promoted"
+        assert len(registry.published) == 1
+        assert restarted.queue.pending() == []  # zero lost, zero doubled
+        assert [e["status"] for e in restarted.history()] == ["promoted"]
+        assert restarted.run_once()["status"] == "idle"
+
+    def test_corrupt_segment_fault_quarantines_then_continues(
+            self, incumbent, valid, tmp_path):
+        # Small segments so the rot takes out the tail, not everything.
+        queue = ReviewQueue(tmp_path / "q", segment_max_items=4)
+        router = RiskRouter(band=RiskBand(0.0, 1.0), queue=queue)
+        SequentialScorer.from_directory(incumbent, router=router).score_pairs(
+            synthetic_candidates(16, seed=31))
+        survivors = len(queue.pending()) - 4  # tail segment will rot
+        registry = _Registry()
+        worker = _worker(queue, incumbent, valid, tmp_path / "work",
+                         registry=registry,
+                         chaos=ChaosConfig((Fault("corrupt_segment",
+                                                  times=1),)))
+        entry = worker.run_once()
+        # The rotted tail is quarantined loudly; the surviving items still
+        # make a full cycle.
+        assert queue.stats()["corrupt_segments"]
+        assert entry["status"] == "promoted"
+        assert entry["items"] == survivors
+        assert len(registry.published) == 1
+
+    def test_decisions_bit_identical_across_fault_runs(self, incumbent,
+                                                       valid, tmp_path):
+        # Auto-decided outputs must not depend on what the risk loop is
+        # doing: the same workload scores to the same bits before, during,
+        # and after a crashing re-adaptation cycle.
+        workload = synthetic_candidates(12, seed=37)
+        baseline = SequentialScorer(
+            ERPipeline.load(incumbent)).score_pairs(workload)
+        queue = _fill_queue(incumbent, tmp_path / "q")
+        worker = _worker(queue, incumbent, valid, tmp_path / "work",
+                         chaos=ChaosConfig((Fault("promote_crash",
+                                                  times=1),)))
+        with pytest.raises(PromotionCrash):
+            worker.run_once()
+        during = SequentialScorer(
+            ERPipeline.load(incumbent)).score_pairs(workload)
+        assert during == baseline
+        restarted = _worker(ReviewQueue(tmp_path / "q", segment_max_items=64),
+                            incumbent, valid, tmp_path / "work")
+        assert restarted.run_once()["status"] == "promoted"
+        after = SequentialScorer(
+            ERPipeline.load(incumbent)).score_pairs(workload)
+        assert after == baseline

@@ -1,0 +1,171 @@
+"""Risk router: band-edge determinism, annotation-only contract, queue wiring.
+
+The routing invariant under test: the router annotates decisions, never
+mutates them, and the half-open band means a probability sitting exactly
+on a boundary routes the same way every time on every platform.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import Entity, EntityPair
+from repro.pipeline import MatchDecision
+from repro.risk import (AUTO_MATCH, AUTO_NON_MATCH, REVIEW, Calibrator,
+                        ReviewQueue, RiskBand, RiskRouter)
+
+
+def _pair(i):
+    return EntityPair(Entity(f"l{i}", {"name": f"left {i}"}),
+                      Entity(f"r{i}", {"name": f"right {i}"}))
+
+
+def _decision(i, probability):
+    return MatchDecision(left_id=f"l{i}", right_id=f"r{i}",
+                         probability=probability)
+
+
+def _route(probabilities, band=None, queue=None, calibrator=None):
+    router = RiskRouter(band=band or RiskBand(0.25, 0.75), queue=queue)
+    pairs = [_pair(i) for i in range(len(probabilities))]
+    decisions = [_decision(i, p) for i, p in enumerate(probabilities)]
+    return router, router.route(pairs, decisions, calibrator, "digest", "d")
+
+
+class TestRiskBand:
+    def test_defaults(self):
+        band = RiskBand()
+        assert (band.low, band.high) == (0.25, 0.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RiskBand(0.8, 0.2)
+        with pytest.raises(ValueError):
+            RiskBand(-0.1, 0.5)
+        with pytest.raises(ValueError):
+            RiskBand(0.5, 1.5)
+
+    def test_degenerate_band_reviews_nothing(self):
+        band = RiskBand(0.5, 0.5)  # empty half-open interval
+        assert not band.needs_review(0.5)
+
+    def test_from_spec(self):
+        band = RiskBand.from_spec("0.2:0.8")
+        assert (band.low, band.high) == (0.2, 0.8)
+        with pytest.raises(ValueError, match="LOW:HIGH"):
+            RiskBand.from_spec("0.5")
+
+    def test_edges_are_half_open(self):
+        band = RiskBand(0.25, 0.75)
+        assert band.needs_review(0.25)       # low edge reviews
+        assert not band.needs_review(0.75)   # high edge auto-decides
+        assert band.needs_review(np.nextafter(0.75, 0.0))
+        assert not band.needs_review(np.nextafter(0.25, 0.0))
+
+
+class TestRouting:
+    def test_three_way_split(self):
+        __, routed = _route([0.1, 0.3, 0.6, 0.9])
+        assert [r.decision for r in routed] == \
+            [AUTO_NON_MATCH, REVIEW, REVIEW, AUTO_MATCH]
+
+    def test_decisions_never_mutated(self):
+        probabilities = [0.1, 0.5, 0.9]
+        decisions = [_decision(i, p) for i, p in enumerate(probabilities)]
+        before = [(d.left_id, d.right_id, d.probability) for d in decisions]
+        router = RiskRouter(band=RiskBand(0.0, 1.0))
+        router.route([_pair(i) for i in range(3)], decisions,
+                     None, "digest", "d")
+        assert [(d.left_id, d.right_id, d.probability)
+                for d in decisions] == before
+
+    def test_confidence_is_symmetric(self):
+        __, routed = _route([0.1, 0.9])
+        assert routed[0].confidence == pytest.approx(0.9)
+        assert routed[1].confidence == pytest.approx(0.9)
+
+    def test_calibrator_moves_banding_not_decisions(self):
+        # A strong calibrator pulls 0.6 down into confident non-match
+        # territory — the annotation changes, the decision label derived
+        # from the raw probability does not.
+        calibrator = Calibrator(a=4.0, b=0.0)
+        q = float(calibrator.calibrate([0.6])[0])
+        assert q > 0.75  # sharpened out of the default band
+        __, routed = _route([0.6], calibrator=calibrator)
+        assert routed[0].decision == AUTO_MATCH
+        assert routed[0].calibrated == pytest.approx(q)
+        __, unrouted = _route([0.6])
+        assert unrouted[0].decision == REVIEW  # raw 0.6 sits in the band
+
+    def test_review_items_land_in_queue(self, tmp_path):
+        queue = ReviewQueue(tmp_path / "q")
+        router, routed = _route([0.1, 0.5, 0.9], queue=queue)
+        assert [r.decision for r in routed] == \
+            [AUTO_NON_MATCH, REVIEW, AUTO_MATCH]
+        pending = queue.pending()
+        assert len(pending) == 1
+        item = pending[0].item
+        assert item["probability"] == 0.5
+        assert item["digest"] == "digest"
+        assert item["left"]["id"] == "l1"
+        assert item["label"] is None
+
+    def test_length_mismatch_rejected(self):
+        router = RiskRouter()
+        with pytest.raises(ValueError, match="length"):
+            router.route([_pair(0)], [], None, None, "d")
+
+    def test_stats(self, tmp_path):
+        queue = ReviewQueue(tmp_path / "q")
+        router, __ = _route([0.1, 0.5, 0.6, 0.9], queue=queue)
+        stats = router.stats()
+        assert stats["band"] == [0.25, 0.75]
+        assert stats["counts"] == {AUTO_MATCH: 1, AUTO_NON_MATCH: 1,
+                                   REVIEW: 2}
+        assert stats["review_rate"] == pytest.approx(0.5)
+        assert stats["queue"]["pending"] == 2
+
+    def test_wire_format(self):
+        __, routed = _route([0.9])
+        wire = routed[0].to_wire()
+        assert set(wire) == {"decision", "confidence", "calibrated"}
+        assert wire["decision"] == AUTO_MATCH
+
+
+class TestRoutingProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(low=st.floats(0.0, 1.0), high=st.floats(0.0, 1.0),
+           offset=st.integers(-2, 2))
+    def test_boundary_probabilities_route_deterministically(self, low, high,
+                                                            offset):
+        """Probabilities at and one ulp around both band edges route the
+        same way twice — no float luck at the boundaries."""
+        if low > high:
+            low, high = high, low
+        band = RiskBand(low, high)
+        for edge in (low, high):
+            q = edge
+            for __ in range(abs(offset)):
+                q = np.nextafter(q, 0.0 if offset < 0 else 1.0)
+            q = float(min(max(q, 0.0), 1.0))
+            first = band.needs_review(q)
+            assert band.needs_review(q) == first
+            # the half-open contract, spelled out:
+            assert first == (low <= q < high)
+
+    @settings(max_examples=50, deadline=None)
+    @given(probabilities=st.lists(
+        st.floats(0.0, 1.0, allow_nan=False), min_size=1, max_size=20))
+    def test_partition_is_total_and_consistent(self, probabilities):
+        """Every decision gets exactly one outcome, consistent with the
+        band and the raw match cut."""
+        band = RiskBand(0.25, 0.75)
+        __, routed = _route(probabilities, band=band)
+        for p, annotation in zip(probabilities, routed):
+            if band.needs_review(p):
+                assert annotation.decision == REVIEW
+            elif p >= 0.5:
+                assert annotation.decision == AUTO_MATCH
+            else:
+                assert annotation.decision == AUTO_NON_MATCH
+            assert annotation.confidence == pytest.approx(max(p, 1.0 - p))
