@@ -22,6 +22,8 @@ __version__ = "1.0.0"
 from .api import (AdaptationResult, ChaosConfig, Events, GuardRail,
                   TrainingDiverged, adapt, load_dataset, no_da, score_tables)
 from .risk import (ReviewQueue, RiskBand, RiskRouter, calibrate_snapshot)
+from .scale import (ShardedBlocker, TransitiveClusterer, cluster_quality,
+                    generate_scale_corpus, run_e2e_bench)
 from .serve import (DaemonClient, ModelRegistry, ScoreCache, ScoreRequest,
                     ScoreResponse)
 from .telemetry import (PROFILER, REGISTRY, TRACER, TelemetrySession, event,
@@ -33,4 +35,6 @@ __all__ = ["adapt", "no_da", "load_dataset", "score_tables", "ScoreCache",
            "TrainingDiverged", "TelemetrySession", "TRACER", "REGISTRY",
            "PROFILER", "span", "event",
            "ReviewQueue", "RiskBand", "RiskRouter", "calibrate_snapshot",
+           "ShardedBlocker", "TransitiveClusterer", "cluster_quality",
+           "generate_scale_corpus", "run_e2e_bench",
            "__version__"]

@@ -1,11 +1,16 @@
 """Blocking: candidate-pair generation for the full ER pipeline (§2).
 
 The paper's scope is the matching step, but its pipeline definition includes
-blocking; this module provides a token-overlap blocker so the examples can
-run end-to-end from two raw tables.
+blocking; this module provides token-overlap and q-gram blockers so the
+examples can run end-to-end from two raw tables.  Every blocker — these
+in-memory ones and the sharded MinHash-LSH blocker in :mod:`repro.scale` —
+implements the shared :class:`CandidateStream` contract consumed by the
+serving path and the scale pipeline.
 """
 
 from .overlap import OverlapBlocker, blocking_recall
 from .qgram import QGramBlocker, qgrams
+from .stream import CandidateStream
 
-__all__ = ["OverlapBlocker", "QGramBlocker", "blocking_recall", "qgrams"]
+__all__ = ["CandidateStream", "OverlapBlocker", "QGramBlocker",
+           "blocking_recall", "qgrams"]

@@ -8,13 +8,14 @@ matcher (cf. Thirumuruganathan et al., VLDB 2021, cited by the paper).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
 
 from ..data import Entity, EntityPair
 from ..text import tokenize
+from .stream import CandidateStream
 
 
-class OverlapBlocker:
+class OverlapBlocker(CandidateStream):
     """Candidate generation by shared-token counting.
 
     Parameters
@@ -39,13 +40,13 @@ class OverlapBlocker:
     def _entity_tokens(entity: Entity) -> Set[str]:
         return set(tokenize(entity.text()))
 
-    def candidates(self, left_table: Sequence[Entity],
-                   right_table: Sequence[Entity]) -> List[EntityPair]:
+    def candidates(self, left_table: Iterable[Entity],
+                   right_table: Iterable[Entity]) -> List[EntityPair]:
         """All (a, b) pairs sharing >= ``min_overlap`` informative tokens."""
         return list(self.iter_candidates(left_table, right_table))
 
-    def iter_candidates(self, left_table: Sequence[Entity],
-                        right_table: Sequence[Entity]
+    def iter_candidates(self, left_table: Iterable[Entity],
+                        right_table: Iterable[Entity]
                         ) -> Iterator[EntityPair]:
         """Stream candidate pairs one right-table row at a time.
 
@@ -55,7 +56,13 @@ class OverlapBlocker:
         candidates in flight instead of the full candidate set.  Pair order
         matches :meth:`candidates`: right rows in table order, left partners
         in first-overlap order, with no duplicate (left, right) pairs.
+
+        A token is a stop word iff its left-table document frequency
+        strictly exceeds ``stop_fraction * len(left_table)`` (floored at 1
+        document): a token at exactly the cutoff is kept, and in a
+        single-row left table no token can ever be stop-worded.
         """
+        left_table = list(left_table)
         left_tokens = [self._entity_tokens(e) for e in left_table]
         document_freq: Dict[str, int] = defaultdict(int)
         for tokens in left_tokens:
@@ -68,6 +75,10 @@ class OverlapBlocker:
         for i, tokens in enumerate(left_tokens):
             for token in tokens - stop_words:
                 index[token].append(i)
+        # The per-entity token sets exist only to build the index; holding
+        # them through the probe loop would double peak memory for no reader.
+        del left_tokens
+        del document_freq
 
         for right in right_table:
             overlap_counts: Dict[int, int] = defaultdict(int)

@@ -7,10 +7,11 @@ datasets contain ("kodak" vs "kodka" share most 3-grams but zero tokens).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Sequence, Set
+from typing import Dict, Iterable, Iterator, List, Set
 
 from ..data import Entity, EntityPair
 from ..text import tokenize
+from .stream import CandidateStream
 
 
 def qgrams(text: str, q: int = 3) -> Set[str]:
@@ -28,7 +29,7 @@ def qgrams(text: str, q: int = 3) -> Set[str]:
     return grams
 
 
-class QGramBlocker:
+class QGramBlocker(CandidateStream):
     """Candidate generation by q-gram Jaccard similarity.
 
     A pair survives when the Jaccard overlap of its q-gram sets reaches
@@ -42,15 +43,21 @@ class QGramBlocker:
         self.q = q
         self.threshold = threshold
 
-    def candidates(self, left_table: Sequence[Entity],
-                   right_table: Sequence[Entity]) -> List[EntityPair]:
-        left_grams = [qgrams(e.text(), self.q) for e in left_table]
+    def iter_candidates(self, left_table: Iterable[Entity],
+                        right_table: Iterable[Entity]
+                        ) -> Iterator[EntityPair]:
+        """Stream candidates one right row at a time (cf. the overlap
+        blocker): the q-gram index is built once, each right entity probes
+        it lazily, and only the per-entity gram-set sizes are retained."""
+        left_table = list(left_table)
         index: Dict[str, List[int]] = defaultdict(list)
-        for i, grams in enumerate(left_grams):
+        gram_counts: List[int] = []
+        for i, entity in enumerate(left_table):
+            grams = qgrams(entity.text(), self.q)
+            gram_counts.append(len(grams))
             for gram in grams:
                 index[gram].append(i)
 
-        pairs: List[EntityPair] = []
         for right in right_table:
             right_grams = qgrams(right.text(), self.q)
             shared: Dict[int, int] = defaultdict(int)
@@ -58,7 +65,6 @@ class QGramBlocker:
                 for i in index.get(gram, ()):
                     shared[i] += 1
             for i, overlap in shared.items():
-                union = len(left_grams[i]) + len(right_grams) - overlap
+                union = gram_counts[i] + len(right_grams) - overlap
                 if union and overlap / union >= self.threshold:
-                    pairs.append(EntityPair(left_table[i], right))
-        return pairs
+                    yield EntityPair(left_table[i], right)

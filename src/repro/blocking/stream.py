@@ -1,0 +1,45 @@
+"""The shared candidate-stream contract every blocker implements.
+
+Blocking is the stage that turns two entity tables into a stream of
+candidate pairs for the matcher.  Historically each blocker exposed its own
+eager ``candidates()`` list; serving (:func:`repro.serve.score_tables`) and
+the scale pipeline (:mod:`repro.scale`) instead consume the streaming form,
+one pair at a time, so the candidate set never has to fit in memory.
+
+:class:`CandidateStream` pins that contract:
+
+* :meth:`~CandidateStream.iter_candidates` — lazily yield
+  :class:`~repro.data.EntityPair` candidates for two tables.  Tables may be
+  sequences or entity iterables; in-memory blockers materialize them,
+  sharded blockers (:class:`repro.scale.ShardedBlocker`) stream them in
+  chunks with bounded memory.
+* :meth:`~CandidateStream.candidates` — the eager view, defined as
+  ``list(iter_candidates(...))`` so the two can never disagree.
+
+Consumers (the serve engines' streaming window loop, the scale pipeline's
+``resolve``) accept any :class:`CandidateStream`, which is what lets the
+same scoring path run behind an in-memory overlap blocker in a test and a
+spilling MinHash-LSH blocker over millions of rows in production.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from ..data import Entity, EntityPair
+
+
+class CandidateStream:
+    """Interface: two entity tables in, a lazy candidate-pair stream out."""
+
+    def iter_candidates(self, left_table: Iterable[Entity],
+                        right_table: Iterable[Entity]
+                        ) -> Iterator[EntityPair]:
+        """Lazily yield candidate pairs; implementations define the order
+        (but it must be deterministic for fixed inputs and configuration)."""
+        raise NotImplementedError
+
+    def candidates(self, left_table: Iterable[Entity],
+                   right_table: Iterable[Entity]) -> List[EntityPair]:
+        """Eager view of :meth:`iter_candidates` — same pairs, same order."""
+        return list(self.iter_candidates(left_table, right_table))

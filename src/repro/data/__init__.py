@@ -1,5 +1,7 @@
-"""Data substrate: entities, pairs, datasets, splits, CSV I/O."""
+"""Data substrate: entities, pairs, datasets, splits, CSV I/O, chunk streams."""
 
+from .chunks import (DEFAULT_CHUNK_SIZE, chunked, ensure_chunks,
+                     iter_entity_table, load_entity_table, save_entity_table)
 from .entity import Entity, EntityPair, ERDataset
 from .io import load_csv, save_csv
 from .splits import split_fractions, supervised_split, target_da_split
@@ -7,5 +9,7 @@ from .splits import split_fractions, supervised_split, target_da_split
 __all__ = [
     "Entity", "EntityPair", "ERDataset",
     "load_csv", "save_csv",
+    "chunked", "ensure_chunks", "iter_entity_table", "load_entity_table",
+    "save_entity_table", "DEFAULT_CHUNK_SIZE",
     "split_fractions", "supervised_split", "target_da_split",
 ]

@@ -1,0 +1,154 @@
+"""Chunked table iterators: the streaming substrate of :mod:`repro.scale`.
+
+The eager :class:`~repro.data.ERDataset` / list-of-:class:`Entity` shapes
+cap every consumer at "fits in memory".  This module provides the
+fixed-size-chunk view the sharded blocker and the end-to-end benchmark
+stream over instead:
+
+* :func:`chunked` — batch any iterable into lists of a fixed size;
+* :func:`iter_entity_table` — stream a single-table entity CSV
+  (:func:`save_entity_table` format) chunk by chunk without ever
+  materializing the table;
+* :func:`load_entity_table` — the eager counterpart, defined as the
+  concatenation of the chunks (pinned by a property test, so the two can
+  never drift).
+
+Chunk boundaries carry no semantics: every consumer in the repo treats a
+chunk stream as equal to the concatenated table, and the chunked reader of
+a table is **exactly** the eager reader — same rows, same order, same
+parse errors.
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence, TypeVar, Union
+
+from .entity import Entity
+
+T = TypeVar("T")
+
+#: Default rows per chunk for streaming table readers.
+DEFAULT_CHUNK_SIZE = 4096
+
+
+def chunked(items: Iterable[T], chunk_size: int) -> Iterator[List[T]]:
+    """Yield ``items`` as consecutive lists of ``chunk_size`` elements.
+
+    The final chunk may be shorter; no chunk is ever empty, so an empty
+    iterable yields nothing.  Concatenating the chunks reproduces the
+    input exactly (order included).
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    iterator = iter(items)
+    while True:
+        chunk = list(itertools.islice(iterator, chunk_size))
+        if not chunk:
+            return
+        yield chunk
+
+
+def save_entity_table(entities: Iterable[Entity],
+                      path: Union[str, Path]) -> int:
+    """Write a single-table entity CSV (``id`` column + attribute columns).
+
+    The schema is taken from the first entity; every later entity must
+    carry the same attribute names in the same order.  Returns the number
+    of rows written.  ``None`` attribute values round-trip as empty cells.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    iterator = iter(entities)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise ValueError("refusing to write an empty entity table") from None
+    names = first.attribute_names()
+    count = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id"] + list(names))
+        for entity in itertools.chain([first], iterator):
+            if entity.attribute_names() != names:
+                raise ValueError(
+                    f"entity {entity.entity_id!r} schema "
+                    f"{entity.attribute_names()} != table schema {names}")
+            writer.writerow([entity.entity_id]
+                            + ["" if entity.attributes[a] is None
+                               else str(entity.attributes[a]) for a in names])
+            count += 1
+    return count
+
+
+def iter_entity_table(path: Union[str, Path],
+                      chunk_size: int = DEFAULT_CHUNK_SIZE
+                      ) -> Iterator[List[Entity]]:
+    """Stream a :func:`save_entity_table` CSV as fixed-size entity chunks.
+
+    Holds at most one chunk of rows in memory.  Row arity is validated
+    against the header: a ragged row raises :class:`ValueError` naming the
+    file and the 1-based row number (the header is row 1).
+    """
+    path = Path(path)
+
+    def rows() -> Iterator[Entity]:
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise ValueError(f"{path} is empty (no header row)") from None
+            if not header or header[0] != "id":
+                raise ValueError(
+                    f"{path} is not an entity-table CSV: first column is "
+                    f"{header[0]!r}, expected 'id'")
+            names = header[1:]
+            for number, row in enumerate(reader, start=2):
+                if len(row) != len(header):
+                    raise ValueError(
+                        f"{path} row {number}: expected {len(header)} "
+                        f"columns per header, got {len(row)}")
+                yield Entity(row[0], {a: (v if v != "" else None)
+                                      for a, v in zip(names, row[1:])})
+
+    return chunked(rows(), chunk_size)
+
+
+def load_entity_table(path: Union[str, Path]) -> List[Entity]:
+    """Eagerly read a :func:`save_entity_table` CSV.
+
+    Defined as the concatenation of :func:`iter_entity_table` chunks, so
+    the streaming and eager readers cannot disagree.
+    """
+    return [entity for chunk in iter_entity_table(path) for entity in chunk]
+
+
+def ensure_chunks(source: Union[Iterable[Entity], Iterable[Sequence[Entity]]],
+                  chunk_size: int = DEFAULT_CHUNK_SIZE
+                  ) -> Iterator[List[Entity]]:
+    """Adapt flat entity iterables or pre-chunked streams to chunk form.
+
+    Accepts either an iterable of :class:`Entity` (re-chunked to
+    ``chunk_size``) or an iterable of entity sequences (passed through
+    with the producer's own chunk boundaries).  Consumers in
+    :mod:`repro.scale` never care which, because chunk boundaries carry
+    no semantics.
+    """
+    iterator = iter(source)
+    try:
+        head = next(iterator)
+    except StopIteration:
+        return iter(())
+    if isinstance(head, Entity):
+        flat = itertools.chain([head], iterator)
+        return chunked(flat, chunk_size)  # type: ignore[arg-type]
+
+    def passthrough() -> Iterator[List[Entity]]:
+        yield list(head)  # type: ignore[arg-type]
+        for chunk in iterator:
+            yield list(chunk)  # type: ignore[arg-type]
+
+    return passthrough()

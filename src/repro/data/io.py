@@ -56,7 +56,14 @@ def load_csv(path: Union[str, Path], name: str = "",
         left_attrs = [h[len("left_"):] for h in header[1:right_id_col]]
         right_attrs = [h[len("right_"):] for h in header[right_id_col + 1:label_col]]
         pairs = []
-        for row in reader:
+        for number, row in enumerate(reader, start=2):
+            # A ragged row would otherwise slice into the wrong columns (or
+            # raise a bare IndexError); validate arity against the header
+            # and name the file and 1-based row (the header is row 1).
+            if len(row) != len(header):
+                raise ValueError(
+                    f"{path} row {number}: expected {len(header)} columns "
+                    f"per header, got {len(row)}")
             left_vals = row[1:right_id_col]
             right_vals = row[right_id_col + 1:label_col]
             left = Entity(row[0], {a: (v if v != _NULL else None)

@@ -53,7 +53,7 @@ import numpy as np
 
 from .. import telemetry
 from ..artifacts import ArtifactError, ArtifactStore
-from ..blocking import OverlapBlocker
+from ..blocking import CandidateStream, OverlapBlocker
 from ..data import Entity, EntityPair
 from ..pipeline import ERPipeline, MatchDecision
 from ..resilience import ChaosConfig, Events, RetryPolicy, SupervisedPool
@@ -509,18 +509,23 @@ class ParallelScorer(RequestScorer):
                            run_events.to_dict())
         return run_events.to_dict()
 
-    def score_tables(self, left_table: Sequence[Entity],
-                     right_table: Sequence[Entity],
-                     window: int = STREAM_WINDOW) -> Iterator[MatchDecision]:
+    def score_tables(self, left_table: Iterable[Entity],
+                     right_table: Iterable[Entity],
+                     window: int = STREAM_WINDOW,
+                     blocker: Optional[CandidateStream] = None
+                     ) -> Iterator[MatchDecision]:
         """Stream decisions for every blocked candidate pair.
 
-        An empty blocker output streams nothing and never spins up workers.
+        ``blocker`` overrides the snapshot's own overlap blocker — any
+        :class:`~repro.blocking.CandidateStream` works, e.g. a
+        :class:`repro.scale.ShardedBlocker` streaming entity chunks.  An
+        empty blocker output streams nothing and never spins up workers.
         """
-        yield from _stream_tables(self, self.blocker, left_table, right_table,
-                                  window)
+        yield from _stream_tables(self, blocker or self.blocker, left_table,
+                                  right_table, window)
 
-    def match_tables(self, left_table: Sequence[Entity],
-                     right_table: Sequence[Entity]) -> List[Tuple[str, str]]:
+    def match_tables(self, left_table: Iterable[Entity],
+                     right_table: Iterable[Entity]) -> List[Tuple[str, str]]:
         """Blocked + matched id pairs above the snapshot's threshold."""
         return [(d.left_id, d.right_id)
                 for d in self.score_tables(left_table, right_table)
@@ -531,9 +536,9 @@ class ParallelScorer(RequestScorer):
 # streaming API
 # --------------------------------------------------------------------------- #
 
-def _stream_tables(scorer, blocker: OverlapBlocker,
-                   left_table: Sequence[Entity],
-                   right_table: Sequence[Entity],
+def _stream_tables(scorer, blocker: CandidateStream,
+                   left_table: Iterable[Entity],
+                   right_table: Iterable[Entity],
                    window: int) -> Iterator[MatchDecision]:
     """Block lazily and score in bounded windows — O(window) memory."""
     if window <= 0:
@@ -549,14 +554,15 @@ def _stream_tables(scorer, blocker: OverlapBlocker,
 
 
 def score_tables(pipeline: Union[ERPipeline, str, Path],
-                 left_table: Sequence[Entity],
-                 right_table: Sequence[Entity],
+                 left_table: Iterable[Entity],
+                 right_table: Iterable[Entity],
                  num_workers: int = 0,
                  window: int = STREAM_WINDOW,
                  retry: Optional[RetryPolicy] = None,
                  chaos: Optional[ChaosConfig] = None,
                  cache: Optional[ScoreCache] = None,
                  router=None,
+                 blocker: Optional[CandidateStream] = None,
                  **scheduler_kwargs) -> Iterator[MatchDecision]:
     """Stream a :class:`MatchDecision` for every blocked candidate pair.
 
@@ -573,6 +579,10 @@ def score_tables(pipeline: Union[ERPipeline, str, Path],
     ``router`` (a :class:`repro.risk.RiskRouter`) annotates every window as
     it streams — uncertain pairs land on the router's review queue — while
     the yielded decisions stay bit-identical to a router-less run.
+    ``blocker`` substitutes any :class:`~repro.blocking.CandidateStream`
+    for the snapshot's built-in overlap blocker — the scale pipeline passes
+    a :class:`repro.scale.ShardedBlocker` here, with both tables as lazy
+    entity streams.
     """
     if num_workers > 0:
         if isinstance(pipeline, ERPipeline):
@@ -583,7 +593,7 @@ def score_tables(pipeline: Union[ERPipeline, str, Path],
                             chaos=chaos, cache=cache, router=router,
                             **scheduler_kwargs) as scorer:
             yield from scorer.score_tables(left_table, right_table,
-                                           window=window)
+                                           window=window, blocker=blocker)
         return
     calibrator = None
     if not isinstance(pipeline, ERPipeline):
@@ -594,5 +604,5 @@ def score_tables(pipeline: Union[ERPipeline, str, Path],
         pipeline.extractor.vocab, pipeline.extractor.max_len,
         **scheduler_kwargs), cache=cache, router=router,
         calibrator=calibrator)
-    yield from _stream_tables(scorer, pipeline.blocker, left_table,
-                              right_table, window)
+    yield from _stream_tables(scorer, blocker or pipeline.blocker,
+                              left_table, right_table, window)
