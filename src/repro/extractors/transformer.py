@@ -52,24 +52,30 @@ class TransformerExtractor(FeatureExtractor):
 
     def overlap_indicators(self, ids: np.ndarray) -> np.ndarray:
         """Per-position 0/1: does this (non-special) token occur on both
-        sides of the ``[SEP]`` boundary of its serialized pair?"""
+        sides of the ``[SEP]`` boundary of its serialized pair?
+
+        Whole-batch vectorized: two (N, V) seen-on-side tables replace the
+        old per-row Python loop of set intersections, which dominated the
+        serving hot path (no autograd involved, so it never amortized).
+        """
         n, t = ids.shape
         sep = self.vocab.sep_id
         special_limit = self.vocab.num_special
-        indicators = np.zeros((n, t), dtype=np.int64)
-        for row in range(n):
-            seps = np.flatnonzero(ids[row] == sep)
-            if len(seps) == 0:
-                continue
-            boundary = int(seps[0])
-            left = ids[row, :boundary]
-            right = ids[row, boundary + 1:]
-            shared = (set(left[left >= special_limit].tolist())
-                      & set(right[right >= special_limit].tolist()))
-            if shared:
-                member = np.isin(ids[row], list(shared))
-                indicators[row] = member & (ids[row] >= special_limit)
-        return indicators
+        is_sep = ids == sep
+        has_sep = is_sep.any(axis=1)
+        # Rows without a [SEP] get boundary == t: an empty right side, so
+        # nothing can be shared — same zeros the loop produced.
+        boundary = np.where(has_sep, is_sep.argmax(axis=1), t)
+        columns = np.arange(t)
+        eligible = ids >= special_limit
+        rows = np.broadcast_to(np.arange(n)[:, None], (n, t))
+        seen = np.zeros((2, n, len(self.vocab)), dtype=bool)
+        for side, on_side in enumerate((columns[None, :] < boundary[:, None],
+                                        columns[None, :] > boundary[:, None])):
+            pick = on_side & eligible
+            seen[side, rows[pick], ids[pick]] = True
+        shared = seen[0] & seen[1]
+        return (shared[rows, ids] & eligible).astype(np.int64)
 
     def hidden_states(self, ids: np.ndarray, mask: np.ndarray) -> Tensor:
         """Per-token states (N, T, dim) — used by MLM and the ED decoder."""

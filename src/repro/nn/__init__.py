@@ -5,7 +5,8 @@ gradient tape, standard layers (linear, embedding, layer norm, attention,
 GRU), optimizers, and the losses DADER's training algorithms require.
 """
 
-from .tensor import Tensor, concatenate, stack, where, no_grad_params
+from .tensor import (Tensor, concatenate, grad_enabled, no_grad,
+                     no_grad_params, stack, where)
 from .module import Module, Parameter
 from .layers import (Activation, Dropout, Embedding, LayerNorm, Linear,
                      Sequential, mlp)
@@ -20,6 +21,7 @@ from . import functional, init
 
 __all__ = [
     "Tensor", "concatenate", "stack", "where", "no_grad_params",
+    "no_grad", "grad_enabled",
     "Module", "Parameter",
     "Activation", "Dropout", "Embedding", "LayerNorm", "Linear",
     "Sequential", "mlp",

@@ -17,19 +17,39 @@ from .module import Module
 from .tensor import Tensor
 
 
+#: Additive bias assigned to positions softmax must ignore.  Also the mask
+#: *floor*: padded-and-future positions get one bias, never a stacked two.
+MASK_BIAS = -1e9
+
+#: Read-only causal (t, t) bias matrices, one per decoded length — the
+#: O(T^2) ``np.triu`` build used to run on every decoder call.
+_CAUSAL_BIAS_CACHE: dict = {}
+
+
+def _causal_bias(t: int) -> np.ndarray:
+    bias = _CAUSAL_BIAS_CACHE.get(t)
+    if bias is None:
+        bias = np.triu(np.ones((t, t)), k=1) * MASK_BIAS
+        bias.setflags(write=False)
+        _CAUSAL_BIAS_CACHE[t] = bias
+    return bias
+
+
 def additive_mask(attention_mask: np.ndarray, causal: bool = False) -> np.ndarray:
     """Build an additive (N, 1, T_q, T_k) mask from a 0/1 padding mask (N, T).
 
     Masked positions get a large negative bias so softmax ignores them.  When
     ``causal`` is set, position i may only attend to positions <= i (used by
-    the ED decoder).
+    the ED decoder); the causal component is cached per length and the
+    combined bias is clamped at :data:`MASK_BIAS`, so a position that is both
+    padded *and* in the future carries one bias, not a stacked ``-2e9`` —
+    a fully-padded query row therefore softmaxes to finite, uniform weights.
     """
     mask = np.asarray(attention_mask, dtype=np.float64)
     n, t = mask.shape
-    bias = (1.0 - mask)[:, None, None, :] * -1e9
+    bias = (1.0 - mask)[:, None, None, :] * MASK_BIAS
     if causal:
-        future = np.triu(np.ones((t, t)), k=1) * -1e9
-        bias = bias + future[None, None, :, :]
+        bias = np.maximum(bias + _causal_bias(t)[None, None, :, :], MASK_BIAS)
     return bias
 
 

@@ -1,0 +1,937 @@
+"""Trace-and-replay compiled inference: record once, replay a flat loop.
+
+Serving repeats the *identical* forward graph for every (bucket shape,
+snapshot) pair, yet the dynamic tape re-runs Python-level graph
+construction, builds backward closures inference never consumes, and
+allocates every intermediate on every call.  This module removes all of
+that, drjit-style:
+
+* :func:`record_program` runs **one instrumented forward** — the tape op
+  methods and a handful of composite kernels are patched in (the same
+  patch-in/patch-out idiom as :class:`repro.telemetry.AutogradProfiler`)
+  and every op appends a replay step over *slot indices*;
+* the result is a :class:`CompiledProgram` — a flat list of kernels over
+  preallocated buffers (``np.add(..., out=...)``, views for shape ops,
+  in-place softmax) with **no tape, no backward closures, and no per-call
+  intermediate allocation**;
+* recording *fuses* attention: Q/K/V projected by one GEMM on a
+  concatenated weight with the ``1/sqrt(head_dim)`` scale folded into the
+  query columns, softmax computed in place on the score buffer, and the
+  additive mask read from a recorded runtime slot (the causal component is
+  cached by :func:`repro.nn.attention.additive_mask` itself);
+* :class:`CompiledInference` caches programs keyed by **(snapshot digest,
+  batch shape)** — a hot-swapped snapshot has a new digest, so its first
+  request recompiles instead of replaying stale weights — and falls back
+  to the (``no_grad``) tape path for any shape or graph it cannot compile.
+
+Equivalence contract (pinned by ``tests/test_nn_compiled.py`` and the
+``serve-bench --compiled`` race): replay is **bit-identical run-to-run**
+on the same buffers, and agrees with the tape path to ``<= 1e-9`` in
+probability with **bit-identical decisions** — the same §6b
+batch-composition-neutrality standard PR 2 pinned for the scheduler (the
+fused QKV GEMM legitimately moves the last ulp, exactly like BLAS kernel
+selection across batch shapes does).
+
+Constants (weights, embedding tables) are baked **by reference** at record
+time, which is safe because a program is only ever replayed for the digest
+it was recorded against.  Programs are not thread-safe: each engine/worker
+owns its own :class:`CompiledInference`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import logging
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from . import functional
+from .attention import MASK_BIAS, MultiHeadAttention, _causal_bias
+from .layers import Embedding, LayerNorm
+from .tensor import Tensor, no_grad
+
+logger = logging.getLogger("repro.nn.compiled")
+
+#: Tolerance for the mandatory compile-time verification replay (fused
+#: attention vs the tape sample) — the PR 2 scheduler-equivalence bound.
+VERIFY_TOLERANCE = 1e-9
+
+
+class TraceError(RuntimeError):
+    """Recording hit a graph the replay contract cannot honor.
+
+    Raised for non-self-attention, training-mode dropout, an embedding or
+    mask whose inputs are not recorded runtime arrays (which would
+    otherwise be silently baked as constants), or a verification replay
+    that drifts past :data:`VERIFY_TOLERANCE`.  Callers treat it as "use
+    the tape path", never as data corruption.
+    """
+
+
+#: The recorder active in *this* thread/async context.  Patched methods are
+#: installed process-wide for the duration of one (locked) recording, but
+#: they no-op for every context that is not actively recording.
+_ACTIVE: contextvars.ContextVar[Optional["TraceRecorder"]] = \
+    contextvars.ContextVar("repro_trace_recorder", default=None)
+
+
+class _Step:
+    """One replay kernel: a named closure over the slot state list."""
+
+    __slots__ = ("name", "run")
+
+    def __init__(self, name: str, run: Callable[[List[np.ndarray]], None]):
+        self.name = name
+        self.run = run
+
+
+class CompiledProgram:
+    """A recorded forward for one (snapshot digest, batch shape).
+
+    ``run`` binds the input arrays into their slots, executes the flat
+    step list (every kernel writes into a preallocated buffer or rebinds a
+    view), and copies the probability column out — the only per-call
+    allocation.  Not thread-safe: buffers are reused across calls.
+    """
+
+    def __init__(self, digest: Optional[str], ids_shape: Tuple[int, ...],
+                 slots: List[np.ndarray], ids_slot: int, mask_slot: int,
+                 steps: List[_Step], output_slot: int):
+        self.digest = digest
+        self.ids_shape = ids_shape
+        self._slots = slots
+        self._ids_slot = ids_slot
+        self._mask_slot = mask_slot
+        self._steps = steps
+        self._output_slot = output_slot
+
+    @property
+    def op_names(self) -> List[str]:
+        """Recorded kernel labels, in replay order."""
+        return [step.name for step in self._steps]
+
+    @property
+    def num_ops(self) -> int:
+        return len(self._steps)
+
+    def run(self, ids: np.ndarray, mask: np.ndarray,
+            profile: Optional[Dict[str, List[float]]] = None) -> np.ndarray:
+        """Replay: probabilities P(match) for one padded (ids, mask) batch.
+
+        ``profile`` (a mutable ``{op: [calls, seconds]}`` dict) opts into
+        per-kernel timing for attribution reports.
+        """
+        ids = np.ascontiguousarray(ids, dtype=np.int64)
+        mask = np.ascontiguousarray(mask, dtype=np.float64)
+        if ids.shape != self.ids_shape or mask.shape != self.ids_shape:
+            raise TraceError(
+                f"program recorded for shape {self.ids_shape} cannot replay "
+                f"ids {ids.shape} / mask {mask.shape}")
+        state = self._slots
+        state[self._ids_slot] = ids
+        state[self._mask_slot] = mask
+        if profile is None:
+            for step in self._steps:
+                step.run(state)
+        else:
+            for step in self._steps:
+                started = time.perf_counter()
+                step.run(state)
+                elapsed = time.perf_counter() - started
+                entry = profile.get(step.name)
+                if entry is None:
+                    entry = profile[step.name] = [0, 0.0]
+                entry[0] += 1
+                entry[1] += elapsed
+        return state[self._output_slot][:, 1].copy()
+
+
+class TraceRecorder:
+    """Builds the slot table and step list while one forward runs.
+
+    Slots hold, per index: a baked constant (weight reference / lifted
+    scalar), a per-call input (rebound by ``run``), a preallocated output
+    buffer, or a view/derived array reassigned by its step each call.
+    """
+
+    def __init__(self) -> None:
+        self.slots: List[np.ndarray] = []
+        self.steps: List[_Step] = []
+        self._tensor_slots: Dict[int, int] = {}
+        self._array_slots: Dict[int, int] = {}
+        # Recording maps object identity -> slot; keep every mapped object
+        # alive so a freed intermediate can never recycle an id() mid-trace.
+        self._keepalive: List[object] = []
+        self._suppress = 0
+        self.ids_slot: Optional[int] = None
+        self.mask_slot: Optional[int] = None
+
+    # -- context ------------------------------------------------------------ #
+    @contextlib.contextmanager
+    def active(self):
+        token = _ACTIVE.set(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE.reset(token)
+
+    @contextlib.contextmanager
+    def suppressed(self):
+        """Run a composite's internals without recording its primitives."""
+        self._suppress += 1
+        try:
+            yield
+        finally:
+            self._suppress -= 1
+
+    @property
+    def suppressing(self) -> bool:
+        return self._suppress > 0
+
+    # -- slot management ----------------------------------------------------- #
+    def _new_slot(self, array: np.ndarray) -> int:
+        self.slots.append(array)
+        return len(self.slots) - 1
+
+    def buffer_like(self, sample: np.ndarray) -> int:
+        """A dedicated, preallocated output buffer slot."""
+        return self._new_slot(np.empty(sample.shape, dtype=sample.dtype))
+
+    def register_inputs(self, ids: np.ndarray, mask: np.ndarray) -> None:
+        self.ids_slot = self._new_slot(ids)
+        self.mask_slot = self._new_slot(mask)
+        self._array_slots[id(ids)] = self.ids_slot
+        self._array_slots[id(mask)] = self.mask_slot
+        self._keepalive.extend((ids, mask))
+
+    def bind_tensor(self, tensor: Tensor, slot: int) -> None:
+        self._tensor_slots[id(tensor)] = slot
+        self._keepalive.append(tensor)
+
+    def bind_array(self, array: np.ndarray, slot: int) -> None:
+        self._array_slots[id(array)] = slot
+        self._keepalive.append(array)
+
+    def tensor_slot(self, value) -> int:
+        """Slot of a recorded tensor; unseen tensors bake as constants.
+
+        Unseen means "not produced by a recorded op": parameters and lifted
+        Python scalars.  Their data is stored by reference — valid because
+        the program is keyed by the snapshot digest it was recorded from.
+        """
+        if isinstance(value, Tensor):
+            slot = self._tensor_slots.get(id(value))
+            if slot is not None:
+                return slot
+            data = value.data
+            slot = self._new_slot(np.asarray(data))
+            self.bind_tensor(value, slot)
+            return slot
+        return self._new_slot(Tensor._lift(value).data)
+
+    def tensor_slot_strict(self, tensor: Tensor, what: str) -> int:
+        slot = self._tensor_slots.get(id(tensor))
+        if slot is None:
+            raise TraceError(f"{what} was not produced by a recorded op")
+        return slot
+
+    def array_slot(self, array: np.ndarray, what: str) -> int:
+        """Slot of a recorded runtime array; unseen arrays are an error.
+
+        Baking a runtime-dependent array (token ids, attention mask) as a
+        constant would replay one batch's data against every other batch —
+        refuse loudly and let the caller fall back to the tape.
+        """
+        slot = self._array_slots.get(id(array))
+        if slot is None:
+            raise TraceError(
+                f"{what} is not a recorded runtime array; refusing to bake "
+                f"data-dependent values into the trace")
+        return slot
+
+    def add_step(self, name: str,
+                 run: Callable[[List[np.ndarray]], None]) -> None:
+        self.steps.append(_Step(name, run))
+
+
+# --------------------------------------------------------------------------- #
+# primitive replay builders (one per recorded Tensor method)
+# --------------------------------------------------------------------------- #
+
+def _binary(label: str, ufunc):
+    def build(rec: TraceRecorder, t: Tensor, args, kwargs, out: Tensor):
+        a = rec.tensor_slot(t)
+        b = rec.tensor_slot(args[0])
+        o = rec.buffer_like(out.data)
+
+        def run(s, a=a, b=b, o=o, fn=ufunc):
+            fn(s[a], s[b], out=s[o])
+
+        rec.add_step(label, run)
+        rec.bind_tensor(out, o)
+    return build
+
+
+def _unary(label: str, ufunc):
+    def build(rec: TraceRecorder, t: Tensor, args, kwargs, out: Tensor):
+        a = rec.tensor_slot(t)
+        o = rec.buffer_like(out.data)
+
+        def run(s, a=a, o=o, fn=ufunc):
+            fn(s[a], out=s[o])
+
+        rec.add_step(label, run)
+        rec.bind_tensor(out, o)
+    return build
+
+
+def _build_pow(rec, t, args, kwargs, out):
+    a = rec.tensor_slot(t)
+    exponent = args[0]
+    o = rec.buffer_like(out.data)
+
+    def run(s, a=a, e=exponent, o=o):
+        np.power(s[a], e, out=s[o])
+
+    rec.add_step("pow", run)
+    rec.bind_tensor(out, o)
+
+
+def _build_sigmoid(rec, t, args, kwargs, out):
+    a = rec.tensor_slot(t)
+    o = rec.buffer_like(out.data)
+
+    def run(s, a=a, o=o):
+        buf = s[o]
+        np.clip(s[a], -60.0, 60.0, out=buf)
+        np.negative(buf, out=buf)
+        np.exp(buf, out=buf)
+        np.add(buf, 1.0, out=buf)
+        np.true_divide(1.0, buf, out=buf)
+
+    rec.add_step("sigmoid", run)
+    rec.bind_tensor(out, o)
+
+
+def _build_relu(rec, t, args, kwargs, out):
+    a = rec.tensor_slot(t)
+    o = rec.buffer_like(out.data)
+    positive = np.empty(out.data.shape, dtype=bool)
+
+    def run(s, a=a, o=o, m=positive):
+        # copyto-with-where reproduces np.where(mask, x, 0.0) exactly,
+        # including the sign of zero — np.maximum would not.
+        np.greater(s[a], 0, out=m)
+        buf = s[o]
+        buf.fill(0.0)
+        np.copyto(buf, s[a], where=m)
+
+    rec.add_step("relu", run)
+    rec.bind_tensor(out, o)
+
+
+def _build_leaky_relu(rec, t, args, kwargs, out):
+    a = rec.tensor_slot(t)
+    slope = args[0] if args else kwargs.get("negative_slope", 0.01)
+    o = rec.buffer_like(out.data)
+    positive = np.empty(out.data.shape, dtype=bool)
+
+    def run(s, a=a, o=o, m=positive, slope=slope):
+        np.greater(s[a], 0, out=m)
+        buf = s[o]
+        np.multiply(s[a], slope, out=buf)
+        np.copyto(buf, s[a], where=m)
+
+    rec.add_step("leaky_relu", run)
+    rec.bind_tensor(out, o)
+
+
+def _build_clip(rec, t, args, kwargs, out):
+    a = rec.tensor_slot(t)
+    low, high = args[0], args[1]
+    o = rec.buffer_like(out.data)
+
+    def run(s, a=a, o=o, low=low, high=high):
+        np.clip(s[a], low, high, out=s[o])
+
+    rec.add_step("clip", run)
+    rec.bind_tensor(out, o)
+
+
+def _axis_keepdims(args, kwargs):
+    axis = kwargs.get("axis", args[0] if len(args) > 0 else None)
+    keepdims = kwargs.get("keepdims", args[1] if len(args) > 1 else False)
+    return axis, keepdims
+
+
+def _build_sum(rec, t, args, kwargs, out):
+    a = rec.tensor_slot(t)
+    axis, keepdims = _axis_keepdims(args, kwargs)
+    o = rec.buffer_like(out.data)
+
+    def run(s, a=a, o=o, axis=axis, keepdims=keepdims):
+        np.sum(s[a], axis=axis, keepdims=keepdims, out=s[o])
+
+    rec.add_step("sum", run)
+    rec.bind_tensor(out, o)
+
+
+def _build_max(rec, t, args, kwargs, out):
+    a = rec.tensor_slot(t)
+    axis, keepdims = _axis_keepdims(args, kwargs)
+    o = rec.buffer_like(out.data)
+
+    def run(s, a=a, o=o, axis=axis, keepdims=keepdims):
+        np.amax(s[a], axis=axis, keepdims=keepdims, out=s[o])
+
+    rec.add_step("max", run)
+    rec.bind_tensor(out, o)
+
+
+def _build_reshape(rec, t, args, kwargs, out):
+    a = rec.tensor_slot(t)
+    shape = out.data.shape
+    o = rec._new_slot(out.data)
+
+    def run(s, a=a, o=o, shape=shape):
+        s[o] = s[a].reshape(shape)
+
+    rec.add_step("reshape", run)
+    rec.bind_tensor(out, o)
+
+
+def _build_transpose(rec, t, args, kwargs, out):
+    axes = tuple(args) if args else tuple(reversed(range(t.ndim)))
+    a = rec.tensor_slot(t)
+    o = rec._new_slot(out.data)
+
+    def run(s, a=a, o=o, axes=axes):
+        s[o] = s[a].transpose(axes)
+
+    rec.add_step("transpose", run)
+    rec.bind_tensor(out, o)
+
+
+def _build_getitem(rec, t, args, kwargs, out):
+    a = rec.tensor_slot(t)
+    index = args[0]
+    o = rec._new_slot(out.data)
+
+    def run(s, a=a, o=o, index=index):
+        s[o] = s[a][index]
+
+    rec.add_step("getitem", run)
+    rec.bind_tensor(out, o)
+
+
+#: method name -> replay builder.  ``__sub__``/``__rsub__``, ``mean`` and
+#: ``__rtruediv__`` are *not* here: they decompose into these primitives
+#: inside the tape, so recording them would double-count.
+_BUILDERS: Dict[str, Callable] = {
+    "__add__": _binary("add", np.add),
+    "__radd__": _binary("add", np.add),
+    "__neg__": _unary("neg", np.negative),
+    "__mul__": _binary("mul", np.multiply),
+    "__rmul__": _binary("mul", np.multiply),
+    "__truediv__": _binary("div", np.true_divide),
+    "__pow__": _build_pow,
+    "__matmul__": _binary("matmul", np.matmul),
+    "exp": _unary("exp", np.exp),
+    "log": _unary("log", np.log),
+    "sqrt": _unary("sqrt", np.sqrt),
+    "tanh": _unary("tanh", np.tanh),
+    "abs": _unary("abs", np.abs),
+    "sigmoid": _build_sigmoid,
+    "relu": _build_relu,
+    "leaky_relu": _build_leaky_relu,
+    "clip": _build_clip,
+    "sum": _build_sum,
+    "max": _build_max,
+    "reshape": _build_reshape,
+    "transpose": _build_transpose,
+    "__getitem__": _build_getitem,
+}
+
+
+def _primitive_wrapper(method: str, original, builder):
+    def wrapper(self, *args, **kwargs):
+        out = original(self, *args, **kwargs)
+        rec = _ACTIVE.get()
+        if rec is not None and not rec.suppressing:
+            builder(rec, self, args, kwargs, out)
+        return out
+
+    wrapper.__name__ = getattr(original, "__name__", method)
+    wrapper.__qualname__ = getattr(original, "__qualname__", method)
+    return wrapper
+
+
+# --------------------------------------------------------------------------- #
+# composite kernels (recorded as fused steps, internals suppressed)
+# --------------------------------------------------------------------------- #
+
+def _softmax_wrapper(original):
+    def softmax(x: Tensor, axis: int = -1) -> Tensor:
+        rec = _ACTIVE.get()
+        if rec is None or rec.suppressing:
+            return original(x, axis=axis)
+        with rec.suppressed():
+            out = original(x, axis=axis)
+        a = rec.tensor_slot(x)
+        o = rec.buffer_like(out.data)
+        reduced = x.data.max(axis=axis, keepdims=True)
+        mx = np.empty(reduced.shape, dtype=np.float64)
+        sm = np.empty(reduced.shape, dtype=np.float64)
+
+        def run(s, a=a, o=o, mx=mx, sm=sm, axis=axis):
+            # Matches the tape exactly: x + (-max), exp, divide by sum.
+            buf = s[o]
+            np.amax(s[a], axis=axis, keepdims=True, out=mx)
+            np.negative(mx, out=mx)
+            np.add(s[a], mx, out=buf)
+            np.exp(buf, out=buf)
+            np.sum(buf, axis=axis, keepdims=True, out=sm)
+            np.true_divide(buf, sm, out=buf)
+
+        rec.add_step("softmax", run)
+        rec.bind_tensor(out, o)
+        return out
+    return softmax
+
+
+def _embedding_wrapper(original):
+    def forward(self, indices):
+        rec = _ACTIVE.get()
+        if rec is None or rec.suppressing:
+            return original(self, indices)
+        indices = np.asarray(indices, dtype=np.int64)
+        i = rec.array_slot(indices, "embedding indices")
+        with rec.suppressed():
+            out = original(self, indices)
+        w = rec.tensor_slot(self.weight)
+        o = rec.buffer_like(out.data)
+
+        def run(s, w=w, i=i, o=o):
+            # Range validation already ran at record time; replay assumes
+            # the scheduler encodes with the same vocabulary.
+            np.take(s[w], s[i], axis=0, out=s[o])
+
+        rec.add_step("gather", run)
+        rec.bind_tensor(out, o)
+        return out
+    return forward
+
+
+def _overlap_wrapper(original):
+    def overlap_indicators(self, ids):
+        rec = _ACTIVE.get()
+        if rec is None or rec.suppressing:
+            return original(self, ids)
+        i = rec.array_slot(np.asarray(ids), "overlap-indicator ids")
+        with rec.suppressed():
+            out = original(self, ids)
+        o = rec._new_slot(out)
+
+        def run(s, i=i, o=o, fn=original, module=self):
+            s[o] = fn(module, s[i])
+
+        rec.add_step("overlap_indicators", run)
+        rec.bind_array(out, o)
+        return out
+    return overlap_indicators
+
+
+def _additive_mask_wrapper(original):
+    def additive_mask(attention_mask, causal: bool = False):
+        rec = _ACTIVE.get()
+        if rec is None or rec.suppressing:
+            return original(attention_mask, causal)
+        mask = np.asarray(attention_mask, dtype=np.float64)
+        m = rec.array_slot(mask, "attention mask")
+        with rec.suppressed():
+            out = original(mask, causal)
+        o = rec.buffer_like(out)
+        n, t = mask.shape
+        if causal:
+            scratch = np.empty((n, t), dtype=np.float64)
+            causal_bias = _causal_bias(t)[None, None, :, :]
+
+            def run(s, m=m, o=o, tmp=scratch, cb=causal_bias):
+                buf = s[o]
+                np.subtract(1.0, s[m], out=tmp)
+                np.multiply(tmp, MASK_BIAS, out=tmp)
+                np.add(tmp[:, None, None, :], cb, out=buf)
+                np.maximum(buf, MASK_BIAS, out=buf)
+        else:
+            def run(s, m=m, o=o, n=n, t=t):
+                view = s[o].reshape(n, t)
+                np.subtract(1.0, s[m], out=view)
+                np.multiply(view, MASK_BIAS, out=view)
+
+        rec.add_step("additive_mask", run)
+        rec.bind_array(out, o)
+        return out
+    return additive_mask
+
+
+def _gelu_wrapper(original):
+    def gelu(x: Tensor) -> Tensor:
+        rec = _ACTIVE.get()
+        if rec is None or rec.suppressing:
+            return original(x)
+        with rec.suppressed():
+            out = original(x)
+        a = rec.tensor_slot(x)
+        o = rec.buffer_like(out.data)
+        scale = np.sqrt(2.0 / np.pi)
+        inner = np.empty(x.shape, dtype=np.float64)
+
+        def run(s, a=a, o=o):
+            # tanh approximation, the tape's exact op order collapsed to
+            # one step (multiplies/adds are bitwise order-insensitive).
+            buf = s[o]
+            np.multiply(s[a], s[a], out=inner)
+            np.multiply(inner, s[a], out=inner)
+            np.multiply(inner, 0.044715, out=inner)
+            np.add(s[a], inner, out=inner)
+            np.multiply(inner, scale, out=inner)
+            np.tanh(inner, out=inner)
+            np.add(inner, 1.0, out=inner)
+            np.multiply(s[a], 0.5, out=buf)
+            np.multiply(buf, inner, out=buf)
+
+        rec.add_step("gelu", run)
+        rec.bind_tensor(out, o)
+        return out
+    return gelu
+
+
+def _layernorm_wrapper(original):
+    def forward(self, x: Tensor) -> Tensor:
+        rec = _ACTIVE.get()
+        if rec is None or rec.suppressing:
+            return original(self, x)
+        with rec.suppressed():
+            out = original(self, x)
+        a = rec.tensor_slot(x)
+        o = rec.buffer_like(out.data)
+        shape = x.shape
+        reduced = shape[:-1] + (1,)
+        inv_d = 1.0 / shape[-1]
+        eps = self.eps
+        gamma, beta = self.gamma.data, self.beta.data
+        r1 = np.empty(reduced, dtype=np.float64)
+        r2 = np.empty(reduced, dtype=np.float64)
+        centered = np.empty(shape, dtype=np.float64)
+
+        def run(s, a=a, o=o):
+            # The tape's exact op sequence (mean = sum * 1/d, centered =
+            # x + (-mean), ...) collapsed to one step over three scratch
+            # buffers — bit-identical, twelve fewer dispatches/buffers.
+            buf = s[o]
+            np.sum(s[a], axis=-1, keepdims=True, out=r1)
+            np.multiply(r1, inv_d, out=r1)
+            np.negative(r1, out=r1)
+            np.add(s[a], r1, out=centered)
+            np.multiply(centered, centered, out=buf)
+            np.sum(buf, axis=-1, keepdims=True, out=r2)
+            np.multiply(r2, inv_d, out=r2)
+            np.add(r2, eps, out=r2)
+            np.sqrt(r2, out=r2)
+            np.true_divide(centered, r2, out=buf)
+            np.multiply(buf, gamma, out=buf)
+            np.add(buf, beta, out=buf)
+
+        rec.add_step("layer_norm", run)
+        rec.bind_tensor(out, o)
+        return out
+    return forward
+
+
+def _record_attention(rec: TraceRecorder, module: MultiHeadAttention,
+                      x: Tensor, bias: Optional[np.ndarray],
+                      out: Tensor) -> None:
+    """Record self-attention as five fused kernels over shared scratch.
+
+    One GEMM projects Q, K and V from a concatenated weight with the
+    ``1/sqrt(head_dim)`` scale folded into the query columns; softmax runs
+    in place on the score buffer; head split/merge are strided copies into
+    preallocated contiguous scratch so every matmul hits BLAS directly.
+    """
+    n, t, dim = x.shape
+    heads, head_dim = module.num_heads, module.head_dim
+    scale = 1.0 / np.sqrt(head_dim)
+    projections = (module.query, module.key, module.value)
+    has_bias = [linear.bias is not None for linear in projections]
+    if any(has_bias) != all(has_bias):
+        raise TraceError("attention projections mix biased and bias-free")
+    w_qkv = np.concatenate(
+        [module.query.weight.data * scale, module.key.weight.data,
+         module.value.weight.data], axis=1)
+    b_qkv = (np.concatenate([module.query.bias.data * scale,
+                             module.key.bias.data, module.value.bias.data])
+             if all(has_bias) else None)
+    w_out = module.out.weight.data
+    b_out = module.out.bias.data if module.out.bias is not None else None
+
+    a = rec.tensor_slot(x)
+    b = (rec.array_slot(np.asarray(bias), "attention bias")
+         if bias is not None else None)
+    o = rec.buffer_like(out.data)
+
+    qkv = np.empty((n, t, 3 * dim))
+    split = [np.empty((n, heads, t, head_dim)) for __ in range(3)]
+    qh, kh, vh = split
+    scores = np.empty((n, heads, t, t))
+    mx = np.empty((n, heads, t, 1))
+    sm = np.empty((n, heads, t, 1))
+    context = np.empty((n, heads, t, head_dim))
+    merged = np.empty((n, t, dim))
+    # Build-time views of stable scratch: (n, t, 3, heads, head_dim) slices
+    # and the transposed K — recreated never, valid for the program's life.
+    qkv5 = qkv.reshape(n, t, 3, heads, head_dim)
+    head_sources = [qkv5[:, :, j].transpose(0, 2, 1, 3) for j in range(3)]
+    kh_t = kh.transpose(0, 1, 3, 2)
+    merged_view = merged.reshape(n, t, heads, head_dim)
+
+    def run_qkv(s, a=a):
+        np.matmul(s[a], w_qkv, out=qkv)
+        if b_qkv is not None:
+            np.add(qkv, b_qkv, out=qkv)
+        for target, source in zip(split, head_sources):
+            np.copyto(target, source)
+
+    def run_scores(s, b=b):
+        np.matmul(qh, kh_t, out=scores)
+        if b is not None:
+            np.add(scores, s[b], out=scores)
+
+    def run_softmax(s):
+        np.amax(scores, axis=-1, keepdims=True, out=mx)
+        np.negative(mx, out=mx)
+        np.add(scores, mx, out=scores)
+        np.exp(scores, out=scores)
+        np.sum(scores, axis=-1, keepdims=True, out=sm)
+        np.true_divide(scores, sm, out=scores)
+
+    def run_context(s):
+        np.matmul(scores, vh, out=context)
+        np.copyto(merged_view, context.transpose(0, 2, 1, 3))
+
+    def run_out(s, o=o):
+        buf = s[o]
+        np.matmul(merged, w_out, out=buf)
+        if b_out is not None:
+            np.add(buf, b_out, out=buf)
+
+    rec.add_step("attention.qkv_gemm", run_qkv)
+    rec.add_step("attention.scores", run_scores)
+    rec.add_step("attention.softmax", run_softmax)
+    rec.add_step("attention.context", run_context)
+    rec.add_step("attention.out", run_out)
+    rec.bind_tensor(out, o)
+
+
+def _attention_wrapper(original):
+    def forward(self, queries, keys, values, bias=None):
+        rec = _ACTIVE.get()
+        if rec is None or rec.suppressing:
+            return original(self, queries, keys, values, bias)
+        if not (queries is keys and keys is values):
+            raise TraceError(
+                "only self-attention is compiled (decoder cross-attention "
+                "stays on the tape path)")
+        if self.dropout.training and self.dropout.rate > 0.0:
+            raise TraceError("recording requires eval-mode attention")
+        with rec.suppressed():
+            out = original(self, queries, keys, values, bias)
+        _record_attention(rec, self, queries, bias, out)
+        return out
+    return forward
+
+
+# --------------------------------------------------------------------------- #
+# patch-in / patch-out and the recording entry point
+# --------------------------------------------------------------------------- #
+
+_RECORD_LOCK = threading.Lock()
+
+
+@contextlib.contextmanager
+def _patched():
+    """Install every recording wrapper; always restore the originals.
+
+    Installed process-wide (class/module attributes), but every wrapper
+    no-ops unless the *calling context* carries an active recorder, so
+    concurrent non-recording threads are unaffected.
+    """
+    from ..extractors import transformer as transformer_mod
+    saved = []
+
+    def patch(owner, name, factory):
+        original = (owner.__dict__[name] if isinstance(owner, type)
+                    else getattr(owner, name))
+        saved.append((owner, name, original))
+        setattr(owner, name, factory(original))
+
+    try:
+        for method, builder in _BUILDERS.items():
+            original = Tensor.__dict__[method]
+            saved.append((Tensor, method, original))
+            setattr(Tensor, method,
+                    _primitive_wrapper(method, original, builder))
+        patch(functional, "softmax", _softmax_wrapper)
+        patch(Embedding, "forward", _embedding_wrapper)
+        patch(LayerNorm, "forward", _layernorm_wrapper)
+        from . import attention as attention_mod
+        patch(attention_mod, "gelu", _gelu_wrapper)
+        patch(MultiHeadAttention, "forward", _attention_wrapper)
+        patch(transformer_mod, "additive_mask", _additive_mask_wrapper)
+        patch(transformer_mod.TransformerExtractor, "overlap_indicators",
+              _overlap_wrapper)
+        yield
+    finally:
+        for owner, name, original in reversed(saved):
+            setattr(owner, name, original)
+
+
+def record_program(pipeline, ids: np.ndarray, mask: np.ndarray,
+                   digest: Optional[str] = None) -> CompiledProgram:
+    """Record, verify and return one :class:`CompiledProgram`.
+
+    Runs a single instrumented ``extractor.encode -> matcher -> softmax``
+    forward under ``no_grad`` for the given padded batch, then *verifies*
+    the program by replaying it on the same inputs: the replay must match
+    the tape sample to :data:`VERIFY_TOLERANCE`.  Raises :class:`TraceError`
+    for any graph outside the contract (callers fall back to the tape).
+    """
+    from ..extractors.transformer import TransformerExtractor
+    from ..matcher import MlpMatcher
+
+    extractor, matcher = pipeline.extractor, pipeline.matcher
+    if not isinstance(extractor, TransformerExtractor):
+        raise TraceError(
+            f"extractor {type(extractor).__name__} is not traceable "
+            f"(transformer-only contract)")
+    if not isinstance(matcher, MlpMatcher):
+        raise TraceError(
+            f"matcher {type(matcher).__name__} is not traceable")
+    if extractor.training or matcher.training:
+        raise TraceError("recording requires eval-mode modules")
+    ids = np.ascontiguousarray(ids, dtype=np.int64)
+    mask = np.ascontiguousarray(mask, dtype=np.float64)
+    if ids.ndim != 2 or ids.shape[0] == 0:
+        raise TraceError(f"cannot record batch of shape {ids.shape}")
+    if mask.shape != ids.shape:
+        raise TraceError(f"ids {ids.shape} / mask {mask.shape} disagree")
+
+    recorder = TraceRecorder()
+    with _RECORD_LOCK, _patched(), recorder.active(), no_grad():
+        recorder.register_inputs(ids, mask)
+        features = extractor.encode(ids, mask)
+        probabilities = functional.softmax(matcher.forward(features), axis=-1)
+    sample = probabilities.data[:, 1].copy()
+    output_slot = recorder.tensor_slot_strict(probabilities,
+                                              "the probability head")
+    program = CompiledProgram(
+        digest=digest, ids_shape=ids.shape, slots=list(recorder.slots),
+        ids_slot=recorder.ids_slot, mask_slot=recorder.mask_slot,
+        steps=list(recorder.steps), output_slot=output_slot)
+
+    replayed = program.run(ids, mask)
+    drift = float(np.max(np.abs(replayed - sample))) if sample.size else 0.0
+    if drift > VERIFY_TOLERANCE:
+        raise TraceError(
+            f"verification replay drifts {drift:.3e} from the tape "
+            f"(> {VERIFY_TOLERANCE:.0e})")
+    return program
+
+
+class CompiledInference:
+    """Per-snapshot compiled scorer: shape-keyed programs, tape fallback.
+
+    Programs are cached under ``(digest, batch shape)`` with LRU eviction
+    (buffer memory scales with shape, so unbounded residual batch sizes
+    must not pin unbounded buffers).  Any shape whose recording fails is
+    remembered as tape-only and never re-attempted.  ``probabilities`` is
+    a drop-in for ``matcher.probabilities(extractor.encode(ids, mask))``.
+    """
+
+    def __init__(self, pipeline, digest: Optional[str] = None,
+                 max_programs: int = 32):
+        self.pipeline = pipeline
+        self.digest = digest if digest is not None else getattr(
+            pipeline, "manifest_digest", None)
+        self.max_programs = max_programs
+        self._programs: "OrderedDict[Tuple, Optional[CompiledProgram]]" = \
+            OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = {"compiles": 0, "replays": 0, "fallbacks": 0,
+                      "failed_shapes": 0}
+        self.op_profile: Optional[Dict[str, List[float]]] = None
+
+    def enable_profile(self) -> None:
+        """Collect per-kernel replay timings into :attr:`op_profile`."""
+        self.op_profile = {}
+
+    def attribution(self, k: Optional[int] = None) -> List[Dict]:
+        """Per-kernel profile records, most expensive first."""
+        profile = self.op_profile or {}
+        records = [{"op": name, "calls": calls, "total_seconds": seconds}
+                   for name, (calls, seconds) in profile.items()]
+        records.sort(key=lambda r: (-r["total_seconds"], r["op"]))
+        return records[:k] if k is not None else records
+
+    @property
+    def compiled_shapes(self) -> List[Tuple[int, ...]]:
+        with self._lock:
+            return [key[1] for key, prog in self._programs.items()
+                    if prog is not None]
+
+    def program_for(self, ids: np.ndarray,
+                    mask: np.ndarray) -> Optional[CompiledProgram]:
+        """The cached (or freshly compiled) program for this shape."""
+        from ..telemetry import REGISTRY, span
+        key = (self.digest, ids.shape)
+        with self._lock:
+            if key in self._programs:
+                self._programs.move_to_end(key)
+                return self._programs[key]
+        try:
+            with span("nn.compiled.record", shape=str(ids.shape),
+                      digest=(self.digest or "")[:12]):
+                program = record_program(self.pipeline, ids, mask,
+                                         digest=self.digest)
+            REGISTRY.counter("nn.compiled.record").inc()
+            self.stats["compiles"] += 1
+        except TraceError as error:
+            logger.warning("shape %s stays on the tape path: %s",
+                           ids.shape, error)
+            REGISTRY.counter("nn.compiled.record_failed").inc()
+            self.stats["failed_shapes"] += 1
+            program = None
+        with self._lock:
+            self._programs[key] = program
+            self._programs.move_to_end(key)
+            while len(self._programs) > self.max_programs:
+                self._programs.popitem(last=False)
+        return program
+
+    def probabilities(self, ids: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Match probabilities for one padded batch — replay or fallback."""
+        from ..telemetry import REGISTRY
+        program = self.program_for(ids, mask)
+        if program is None:
+            REGISTRY.counter("nn.compiled.fallback").inc()
+            self.stats["fallbacks"] += 1
+            with no_grad():
+                return self.pipeline.matcher.probabilities(
+                    self.pipeline.extractor.encode(ids, mask))
+        REGISTRY.counter("nn.compiled.replay").inc()
+        self.stats["replays"] += 1
+        return program.run(ids, mask, profile=self.op_profile)

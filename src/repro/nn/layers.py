@@ -9,7 +9,7 @@ import numpy as np
 from . import init
 from .functional import dropout as dropout_fn
 from .module import Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, grad_enabled
 
 
 class Linear(Module):
@@ -61,7 +61,7 @@ class Embedding(Module):
             weight._accumulate(full)
 
         out = Tensor(data)
-        if weight.requires_grad:
+        if weight.requires_grad and grad_enabled():
             out.requires_grad = True
             out._parents = (weight,)
             out._backward = backward
@@ -87,7 +87,13 @@ class LayerNorm(Module):
 
 
 class Dropout(Module):
-    """Inverted dropout; a no-op in eval mode."""
+    """Inverted dropout; a *structural* identity in eval mode.
+
+    Eval (or zero-rate) forwards return the input tensor itself rather than
+    dispatching through :func:`repro.nn.functional.dropout`, so traced
+    inference graphs contain no dead op and ``module(x) is x`` holds — the
+    property the compiled-path tests pin.
+    """
 
     def __init__(self, rate: float, rng: np.random.Generator):
         super().__init__()
@@ -95,6 +101,8 @@ class Dropout(Module):
         self.rng = rng
 
     def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate <= 0.0:
+            return x
         return dropout_fn(x, self.rate, self.rng, self.training)
 
 

@@ -13,11 +13,43 @@ gradients into every tensor created with ``requires_grad=True``.
 
 from __future__ import annotations
 
+import contextvars
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+#: Whether newly produced tensors may join the gradient tape.  A context
+#: variable (not a plain global) so ``no_grad()`` scopes correctly across
+#: threads and asyncio tasks — the serve daemon scores on executor threads
+#: while re-adaptation may be training elsewhere in the same process.
+_GRAD_ENABLED: contextvars.ContextVar[bool] = contextvars.ContextVar(
+    "repro_grad_enabled", default=True)
+
+
+def grad_enabled() -> bool:
+    """True unless the caller is inside a :func:`no_grad` block."""
+    return _GRAD_ENABLED.get()
+
+
+class no_grad:
+    """Context manager that suspends tape construction.
+
+    Inside the block every op computes exactly the same numpy values but
+    skips parents and backward closures, so inference builds no graph and
+    frees each intermediate as soon as it goes out of scope.  Leaf tensors
+    keep their ``requires_grad`` flag; only *derived* tensors are cut off.
+    Re-entrant, and safe across threads/async tasks (contextvar-scoped).
+    """
+
+    def __enter__(self) -> "no_grad":
+        self._token = _GRAD_ENABLED.set(False)
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        _GRAD_ENABLED.reset(self._token)
+        return False
 
 #: The tape operations the autograd profiler may wrap, as
 #: ``method name -> op label`` (dunder aliases share a label, so ``a + b``
@@ -137,7 +169,7 @@ class Tensor:
     def _make(self, data: np.ndarray, parents: Tuple["Tensor", ...],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
         out = Tensor(data)
-        if any(p.requires_grad for p in parents):
+        if _GRAD_ENABLED.get() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(p for p in parents if p.requires_grad)
             out._backward = backward
@@ -435,7 +467,7 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                 tensor._accumulate(grad[tuple(index)])
 
     out = Tensor(data)
-    if any(t.requires_grad for t in tensors):
+    if _GRAD_ENABLED.get() and any(t.requires_grad for t in tensors):
         out.requires_grad = True
         out._parents = tuple(t for t in tensors if t.requires_grad)
         out._backward = backward
@@ -454,7 +486,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                 tensor._accumulate(piece)
 
     out = Tensor(data)
-    if any(t.requires_grad for t in tensors):
+    if _GRAD_ENABLED.get() and any(t.requires_grad for t in tensors):
         out.requires_grad = True
         out._parents = tuple(t for t in tensors if t.requires_grad)
         out._backward = backward
@@ -475,7 +507,7 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
             b._accumulate(_unbroadcast(np.where(cond, 0.0, grad), b.shape))
 
     out = Tensor(data)
-    if a.requires_grad or b.requires_grad:
+    if _GRAD_ENABLED.get() and (a.requires_grad or b.requires_grad):
         out.requires_grad = True
         out._parents = tuple(t for t in (a, b) if t.requires_grad)
         out._backward = backward

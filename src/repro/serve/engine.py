@@ -55,6 +55,8 @@ from .. import telemetry
 from ..artifacts import ArtifactError, ArtifactStore
 from ..blocking import CandidateStream, OverlapBlocker
 from ..data import Entity, EntityPair
+from ..nn import no_grad
+from ..nn.compiled import CompiledInference
 from ..pipeline import ERPipeline, MatchDecision
 from ..resilience import ChaosConfig, Events, RetryPolicy, SupervisedPool
 from .cache import ScoreCache, pair_key
@@ -245,7 +247,7 @@ class SequentialScorer(RequestScorer):
     def __init__(self, pipeline: ERPipeline,
                  scheduler: Optional[BatchScheduler] = None,
                  cache: Optional[ScoreCache] = None,
-                 router=None, calibrator=None):
+                 router=None, calibrator=None, compiled: bool = False):
         self.pipeline = pipeline
         self.scheduler = scheduler or BatchScheduler(
             pipeline.extractor.vocab, pipeline.extractor.max_len)
@@ -253,6 +255,11 @@ class SequentialScorer(RequestScorer):
         self.router = router
         self.calibrator = calibrator
         self._digest = getattr(pipeline, "manifest_digest", None)
+        #: Trace-and-replay engine (``compiled=True``): programs recorded
+        #: per (digest, bucket shape), transparent tape fallback otherwise.
+        self.compiled: Optional[CompiledInference] = (
+            CompiledInference(pipeline, digest=self._digest)
+            if compiled else None)
         if cache is not None and self._digest is None:
             raise ValueError(
                 "a ScoreCache needs the pipeline's snapshot identity; save "
@@ -263,7 +270,7 @@ class SequentialScorer(RequestScorer):
     @classmethod
     def from_directory(cls, directory: Union[str, Path],
                        cache: Optional[ScoreCache] = None,
-                       router=None,
+                       router=None, compiled: bool = False,
                        **scheduler_kwargs) -> "SequentialScorer":
         pipeline = ERPipeline.load(directory)
         scheduler = BatchScheduler(pipeline.extractor.vocab,
@@ -271,7 +278,7 @@ class SequentialScorer(RequestScorer):
                                    **scheduler_kwargs)
         calibrator = _snapshot_calibrator(directory) if router else None
         return cls(pipeline, scheduler, cache=cache, router=router,
-                   calibrator=calibrator)
+                   calibrator=calibrator, compiled=compiled)
 
     def close(self) -> None:
         """Nothing to tear down; present so registries can close any engine."""
@@ -283,8 +290,13 @@ class SequentialScorer(RequestScorer):
             with telemetry.span("serve.batch", engine=self.engine_name,
                                 num_pairs=batch.num_pairs,
                                 padded_length=batch.padded_length) as sp:
-                probs = matcher.probabilities(extractor.encode(batch.ids,
-                                                               batch.mask))
+                if self.compiled is not None:
+                    probs = self.compiled.probabilities(batch.ids, batch.mask)
+                else:
+                    # Inference never reads the tape — skip building it.
+                    with no_grad():
+                        probs = matcher.probabilities(
+                            extractor.encode(batch.ids, batch.mask))
             meter.record_batch(batch.num_covered, sp.duration)
             batch.scatter(probabilities, probs)
             self._admit_scored(batch, probs, keys, meter)
@@ -319,18 +331,30 @@ def _init_worker(directory: str, expected_digest: Optional[str]) -> None:
         _WORKER_PIPELINE = ERPipeline.load(directory)
 
 
-def _worker_setup(directory: str, expected_digest: Optional[str]) -> ERPipeline:
-    """Supervisor initializer: digest-verified warm pipeline as worker state."""
+def _worker_setup(directory: str, expected_digest: Optional[str],
+                  compiled: bool = False
+                  ) -> Union[ERPipeline, CompiledInference]:
+    """Supervisor initializer: digest-verified warm pipeline as worker state.
+
+    With ``compiled`` the state is a :class:`CompiledInference` wrapping
+    the warm pipeline — each worker records its own programs (processes
+    share nothing), keyed by the same digest the parent pinned.
+    """
     _init_worker(directory, expected_digest)
     assert _WORKER_PIPELINE is not None
+    if compiled:
+        return CompiledInference(_WORKER_PIPELINE)
     return _WORKER_PIPELINE
 
 
-def _score_payload(pipeline: ERPipeline,
+def _score_payload(state: Union[ERPipeline, CompiledInference],
                    payload: Tuple[np.ndarray, np.ndarray]) -> np.ndarray:
-    """Score one padded ``(ids, mask)`` batch with a warm pipeline."""
+    """Score one padded ``(ids, mask)`` batch with warm worker state."""
     ids, mask = payload
-    return pipeline.matcher.probabilities(pipeline.extractor.encode(ids, mask))
+    if isinstance(state, CompiledInference):
+        return state.probabilities(ids, mask)
+    with no_grad():
+        return state.matcher.probabilities(state.extractor.encode(ids, mask))
 
 
 def _validate_probabilities(payload: Tuple[np.ndarray, np.ndarray],
@@ -390,12 +414,13 @@ class ParallelScorer(RequestScorer):
                  retry: Optional[RetryPolicy] = None,
                  chaos: Optional[ChaosConfig] = None,
                  cache: Optional[ScoreCache] = None,
-                 router=None,
+                 router=None, compiled: bool = False,
                  **scheduler_kwargs):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.cache = cache
         self.router = router
+        self.compiled = compiled
         self.directory = Path(directory)
         self.num_workers = num_workers
         store = ArtifactStore(self.directory)
@@ -420,7 +445,8 @@ class ParallelScorer(RequestScorer):
         #: ``last_metrics.events`` carries the per-run delta.
         self.events = Events()
         self._supervisor: Optional[SupervisedPool] = None
-        self._fallback_pipeline: Optional[ERPipeline] = None
+        self._fallback_pipeline: Optional[Union[ERPipeline,
+                                                CompiledInference]] = None
         self._closed = False
         self.last_metrics: Optional[ServeMetrics] = None
 
@@ -429,7 +455,9 @@ class ParallelScorer(RequestScorer):
                         ) -> np.ndarray:
         """In-process scoring for quarantined batches and pool death."""
         if self._fallback_pipeline is None:
-            self._fallback_pipeline = ERPipeline.load(self.directory)
+            pipeline = ERPipeline.load(self.directory)
+            self._fallback_pipeline = (CompiledInference(pipeline)
+                                       if self.compiled else pipeline)
         return _score_payload(self._fallback_pipeline, payload)
 
     def _ensure_pool(self) -> SupervisedPool:
@@ -440,7 +468,7 @@ class ParallelScorer(RequestScorer):
         if self._supervisor is None:
             self._supervisor = SupervisedPool(
                 setup=_worker_setup,
-                setup_args=(str(self.directory), self._digest),
+                setup_args=(str(self.directory), self._digest, self.compiled),
                 handle=_score_payload,
                 num_workers=self.num_workers,
                 policy=self.retry,
